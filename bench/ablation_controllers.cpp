@@ -1,0 +1,86 @@
+// Ablation: placement controllers head to head on the same two-day noisy
+// diurnal workload with price variation — the economic argument for the
+// paper's MPC design spelled out against the alternatives a practitioner
+// would actually reach for:
+//   mpc        the paper's controller (Algorithm 1, seasonal predictor —
+//              Section III: demand is "reasonably predicted using
+//              historical traces"; day 1 warms the season up)
+//   reactive   myopic re-optimization for the current demand (W=1, c=0)
+//   autoscaler industry threshold rules (no prediction, no price awareness)
+//   static     one-shot peak provisioning (classic replica placement)
+//
+// Expected: MPC has the lowest cost at comparable compliance; static is the
+// most expensive (pays for the peak all day); the autoscaler churns and
+// lags ramps; reactive churns most.
+#include "common/stats.hpp"
+#include "scenarios.hpp"
+
+int main() {
+  using namespace gp;
+
+  auto scenario = bench::paper_scenario(3, 8, 1.5e-5);
+  scenario.model.reconfig_cost.assign(3, 0.01);
+  scenario.model.sla.reservation_ratio = 1.15;
+
+  sim::SimulationConfig config;
+  config.periods = 48;
+  config.period_hours = 1.0;
+  config.noisy_demand = true;
+  config.seed = 2026;
+
+  bench::print_series_header(
+      "Ablation: controllers on the same 2-day noisy diurnal workload",
+      {"controller", "total_cost", "churn", "mean_sla", "worst_sla"});
+
+  auto report = [](const char* name, const sim::SimulationSummary& summary) {
+    std::printf("%s,", name);
+    bench::print_row({summary.total_cost, summary.total_churn, summary.mean_compliance,
+                      summary.worst_compliance});
+    return summary;
+  };
+
+  // MPC (the paper's controller).
+  control::MpcSettings settings;
+  settings.horizon = 4;
+  control::MpcController mpc(scenario.model, settings, bench::make_predictor("seasonal"),
+                             bench::make_predictor("seasonal"));
+  sim::SimulationEngine engine1(scenario.model, scenario.demand, scenario.prices, config);
+  const auto mpc_summary = report("mpc", engine1.run(sim::policy_from(mpc)));
+
+  // Reactive (myopic LP).
+  control::ReactiveController reactive(scenario.model);
+  sim::SimulationEngine engine2(scenario.model, scenario.demand, scenario.prices, config);
+  const auto reactive_summary = report("reactive", engine2.run(sim::policy_from(reactive)));
+
+  // Threshold autoscaler.
+  control::ThresholdAutoscaler autoscaler(scenario.model);
+  sim::SimulationEngine engine3(scenario.model, scenario.demand, scenario.prices, config);
+  const auto autoscaler_summary =
+      report("autoscaler", engine3.run(sim::policy_from(autoscaler)));
+
+  // Static peak provisioning.
+  linalg::Vector peak(scenario.model.num_access_networks(), 0.0);
+  for (double h = 0.0; h < 24.0; h += 1.0) {
+    const auto rates = scenario.demand.mean_rates(h);
+    for (std::size_t v = 0; v < peak.size(); ++v) peak[v] = std::max(peak[v], rates[v]);
+  }
+  sim::SimulationEngine engine4(scenario.model, scenario.demand, scenario.prices, config);
+  control::StaticController static_controller(scenario.model, peak,
+                                              engine4.observe_price(12.0));
+  const auto static_summary = report("static", engine4.run(sim::policy_from(static_controller)));
+
+  // The autoscaler's low bill is an artifact of under-provisioning (it
+  // drops ~half the demand), so cost comparisons are made at comparable
+  // compliance: MPC must beat static and reactive on cost while keeping
+  // compliance high, and expose the autoscaler's compliance collapse.
+  const bool ok = mpc_summary.total_cost < static_summary.total_cost &&
+                  mpc_summary.total_cost < reactive_summary.total_cost &&
+                  mpc_summary.mean_compliance > 0.9 &&
+                  autoscaler_summary.mean_compliance < mpc_summary.mean_compliance - 0.2;
+  std::printf("\n# shape check: mpc cost %.3f < static %.3f, < reactive %.3f at"
+              " %.1f%% SLA; autoscaler SLA only %.1f%% -- %s\n",
+              mpc_summary.total_cost, static_summary.total_cost,
+              reactive_summary.total_cost, 100.0 * mpc_summary.mean_compliance,
+              100.0 * autoscaler_summary.mean_compliance, ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

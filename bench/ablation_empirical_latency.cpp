@@ -1,0 +1,51 @@
+// Ablation / validation: the analytic queueing formulas the controller
+// plans with versus request-level simulation. For a sweep of utilizations,
+// compares (a) the M/M/1 mean sojourn 1/(mu - lambda) against the simulated
+// split-server mean, (b) the paper's percentile device ln(20) * mean
+// against the simulated p95, and (c) the Erlang-C pooled response against
+// the simulated M/M/c — the three analytic pillars of the sizing rule.
+//
+// Expected shape: every analytic value within a few percent of the
+// simulation at every utilization (the whole point of using closed forms).
+#include <cmath>
+
+#include "queueing/mm1.hpp"
+#include "queueing/mmc.hpp"
+#include "scenarios.hpp"
+#include "sim/request_sim.hpp"
+
+int main() {
+  using namespace gp;
+
+  constexpr double kMu = 50.0;
+  constexpr int kServers = 6;
+  constexpr double kDuration = 4000.0;
+
+  bench::print_series_header(
+      "Validation: analytic vs simulated latency (mu=50, 6 servers, seconds)",
+      {"utilization", "mean_analytic", "mean_simulated", "p95_analytic", "p95_simulated",
+       "pooled_analytic", "pooled_simulated"});
+
+  Rng rng(17);
+  double worst_error = 0.0;
+  for (const double rho : {0.5, 0.7, 0.85, 0.95}) {
+    const double lambda = rho * kMu * kServers;
+    const double mean_analytic = queueing::mean_response_time(kMu, lambda / kServers);
+    const double p95_analytic = queueing::percentile_factor(0.95) * mean_analytic;
+    const double pooled_analytic = queueing::mmc_mean_response_time(kServers, lambda, kMu);
+    const auto split = sim::simulate_split_mm1(lambda, kMu, kServers, kDuration, rng);
+    const auto pooled = sim::simulate_pooled_mmc(lambda, kMu, kServers, kDuration, rng);
+    bench::print_row({rho, mean_analytic, split.mean_response, p95_analytic,
+                      split.p95_response, pooled_analytic, pooled.mean_response});
+    worst_error = std::max(
+        {worst_error, std::abs(split.mean_response - mean_analytic) / mean_analytic,
+         std::abs(split.p95_response - p95_analytic) / p95_analytic,
+         std::abs(pooled.mean_response - pooled_analytic) / pooled_analytic});
+  }
+
+  const bool ok = worst_error < 0.10;
+  std::printf("\n# shape check: worst analytic-vs-simulated relative error %.1f%% < 10%%"
+              " -- %s\n",
+              100.0 * worst_error, ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

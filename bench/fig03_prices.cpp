@@ -1,0 +1,62 @@
+// Reproduces Fig. 3: "Prices of electricity used in the experiments" —
+// hourly wholesale electricity prices ($/MWh) per region over one day, in
+// each region's local time, plus the derived per-server prices for the
+// paper's three VM flavors (30/70/140 W).
+//
+// Expected shape: California is generally the most expensive with a peak
+// around 17:00 local; Texas is the cheapest; prices stay within the
+// figure's ~$10-$115 envelope and every region has an afternoon peak.
+#include "scenarios.hpp"
+#include "workload/price.hpp"
+
+int main() {
+  using namespace gp;
+  const workload::ElectricityPriceModel model;
+  const std::vector<std::pair<const char*, topology::Region>> regions = {
+      {"SanJose_CA", topology::Region::kCalifornia},
+      {"Houston_TX", topology::Region::kTexas},
+      {"Atlanta_GA", topology::Region::kSoutheast},
+      {"Chicago_IL", topology::Region::kMidwest},
+  };
+
+  bench::print_series_header(
+      "Fig.3: hourly electricity price [$ per MWh] per region (local time)",
+      {"local_hour", "SanJose_CA", "Houston_TX", "Atlanta_GA", "Chicago_IL"});
+  for (int hour = 0; hour < 24; ++hour) {
+    std::vector<double> row{static_cast<double>(hour)};
+    for (const auto& [name, region] : regions) {
+      (void)name;
+      row.push_back(model.price(region, static_cast<double>(hour)));
+    }
+    bench::print_row(row);
+  }
+
+  std::printf("\n");
+  bench::print_series_header(
+      "derived per-server price [$ per server-hour] at PUE 1.3, by VM flavor (CA curve)",
+      {"local_hour", "small_30W", "medium_70W", "large_140W"});
+  const auto sites = topology::default_datacenter_sites(1);  // San Jose
+  for (int hour = 0; hour < 24; ++hour) {
+    std::vector<double> row{static_cast<double>(hour)};
+    for (auto vm : {workload::VmType::kSmall, workload::VmType::kMedium,
+                    workload::VmType::kLarge}) {
+      const workload::ServerPriceModel spm(sites, vm, model);
+      // Convert local SJ hour to UTC for the API.
+      const double utc = static_cast<double>(hour) - sites[0].location.utc_offset_hours;
+      row.push_back(spm.server_price(0, utc));
+    }
+    bench::print_row(row);
+  }
+
+  // Shape assertions (the bench fails loudly if the reproduction drifts).
+  const double ca_peak = model.price(topology::Region::kCalifornia, 17.0);
+  const double tx_same = model.price(topology::Region::kTexas, 17.0);
+  const double ca_night = model.price(topology::Region::kCalifornia, 3.0);
+  if (!(ca_peak > tx_same && ca_peak > 90.0 && ca_night < 40.0)) {
+    std::printf("SHAPE CHECK FAILED\n");
+    return 1;
+  }
+  std::printf("\n# shape check: CA 17:00 peak $%.1f > TX $%.1f, CA night $%.1f -- OK\n",
+              ca_peak, tx_same, ca_night);
+  return 0;
+}

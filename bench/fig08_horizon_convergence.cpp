@@ -1,0 +1,70 @@
+// Reproduces Fig. 8: "Impact of prediction horizon length on the speed of
+// convergence" — Algorithm-2 iterations to a stable outcome as the
+// prediction window W of each provider's best-response DSPP grows.
+//
+// The paper's figure shows iterations FALLING (~55 to ~35) as the horizon
+// grows to 10. In this implementation the dependence is flat within seed
+// noise, and we report that honestly: the paper's declining trend is tied
+// to its fixed-step quota update, whose effective step grows with the dual
+// magnitude (duals sum over the window, so they scale with W — a larger
+// horizon implicitly takes bigger negotiation steps). Our production
+// exchange normalizes the step by the dual spread precisely to remove that
+// scale dependence (see game::QuotaUpdateRule), which also removes the
+// artifact. The weaker form of the paper's observation — longer horizons
+// do NOT slow convergence — does hold and is what the shape check asserts.
+// Both update rules can be compared in bench/ablation_quota_rule.
+#include <algorithm>
+
+#include "game/competition.hpp"
+#include "scenarios.hpp"
+
+int main() {
+  using namespace gp;
+
+  // Same scarce-bottleneck environment as Fig. 7: an0 reachable only from
+  // the throttled cheap data center.
+  const topology::NetworkModel network({"dc-cheap", "dc-big"}, {"an0", "an1", "an2"},
+                                       {{15.0, 25.0, 35.0}, {100.0, 20.0, 15.0}});
+
+  bench::print_series_header(
+      "Fig.8: Algorithm-2 iterations vs prediction horizon (8 providers, bottleneck 150)",
+      {"horizon", "iterations"});
+
+  std::vector<double> iteration_series;
+  for (std::size_t horizon = 1; horizon <= 10; ++horizon) {
+    int total_iterations = 0;
+    constexpr int kSeeds = 5;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(500 + static_cast<std::uint64_t>(seed));
+      game::RandomProviderParams params;
+      params.horizon = horizon;
+      params.max_latency_min_ms = 60.0;
+      params.max_latency_max_ms = 120.0;
+      params.demand_min = 150.0;
+      params.demand_max = 500.0;
+      std::vector<game::ProviderConfig> providers;
+      for (int i = 0; i < 8; ++i) {
+        providers.push_back(make_random_provider(network, params, rng));
+        for (auto& price : providers.back().price) price[0] = 0.4 * price[1];
+      }
+      game::GameSettings settings;
+      settings.epsilon = 0.02;
+      game::CompetitionGame game(std::move(providers), linalg::Vector{150.0, 3000.0},
+                                 settings);
+      total_iterations += game.run().iterations;
+    }
+    iteration_series.push_back(static_cast<double>(total_iterations) / kSeeds);
+    bench::print_row({static_cast<double>(horizon), iteration_series.back()});
+  }
+
+  // Shape check (weaker, honest form): the long-horizon tail needs no more
+  // iterations than the short-horizon head, within a 1.6x noise allowance.
+  const double head = (iteration_series[0] + iteration_series[1] + iteration_series[2]) / 3.0;
+  const double tail = (iteration_series[7] + iteration_series[8] + iteration_series[9]) / 3.0;
+  const bool ok = tail <= 1.6 * head;
+  std::printf("\n# shape check: mean iters(W=8..10)=%.1f <= 1.6 x mean iters(W=1..3)=%.1f"
+              " -- %s\n# NOTE: the paper's DECLINE does not reproduce under the"
+              " scale-invariant quota exchange; see EXPERIMENTS.md.\n",
+              tail, head, ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+// Solver micro-benchmarks (google-benchmark): how the ADMM and IPM paths
+// scale with the DSPP window dimensions (L data centers x V access networks
+// x W periods), plus the sparse LDL^T kernel on a window KKT system.
+//
+// These justify the solver architecture: the sparse ADMM path is the
+// production solver (near-linear in nonzeros per iteration after one
+// factorization), the dense IPM is the small-problem cross-checker (cubic).
+#include <benchmark/benchmark.h>
+
+#include "dspp/window_program.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "qp/admm_solver.hpp"
+#include "qp/ipm_solver.hpp"
+#include "scenarios.hpp"
+
+namespace {
+
+using namespace gp;
+
+/// Builds a window program of the given dimensions on the paper scenario.
+dspp::WindowProgram make_window(std::size_t num_dcs, std::size_t num_cities,
+                                std::size_t horizon) {
+  static std::vector<std::unique_ptr<bench::Scenario>> keep_alive;  // owns models
+  keep_alive.push_back(
+      std::make_unique<bench::Scenario>(bench::paper_scenario(num_dcs, num_cities, 1.5e-5)));
+  auto& scenario = *keep_alive.back();
+  // Loose SLA so every (l, v) pair is usable: maximizes the pair count for
+  // a given (L, V), i.e. the hardest window program of those dimensions.
+  scenario.model.sla.max_latency_ms = 60.0;
+  const dspp::PairIndex pairs(scenario.model);
+  dspp::WindowInputs inputs;
+  inputs.initial_state.assign(pairs.num_pairs(), 1.0);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    inputs.demand.push_back(scenario.demand.mean_rates(static_cast<double>(t)));
+    inputs.price.push_back(scenario.prices.server_prices(static_cast<double>(t)));
+  }
+  return dspp::WindowProgram(scenario.model, pairs, std::move(inputs));
+}
+
+void BM_AdmmWindow(benchmark::State& state) {
+  const auto num_dcs = static_cast<std::size_t>(state.range(0));
+  const auto num_cities = static_cast<std::size_t>(state.range(1));
+  const auto horizon = static_cast<std::size_t>(state.range(2));
+  const auto program = make_window(num_dcs, num_cities, horizon);
+  qp::AdmmSolver solver;
+  for (auto _ : state) {
+    auto solution = program.solve(solver);
+    benchmark::DoNotOptimize(solution.objective);
+    if (!solution.ok()) state.SkipWithError("ADMM failed");
+  }
+  state.counters["vars"] = static_cast<double>(program.problem().num_variables());
+  state.counters["rows"] = static_cast<double>(program.problem().num_constraints());
+}
+BENCHMARK(BM_AdmmWindow)
+    ->Args({1, 1, 5})
+    ->Args({2, 6, 5})
+    ->Args({4, 12, 5})
+    ->Args({4, 24, 5})
+    ->Args({4, 24, 10})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IpmWindow(benchmark::State& state) {
+  const auto num_dcs = static_cast<std::size_t>(state.range(0));
+  const auto num_cities = static_cast<std::size_t>(state.range(1));
+  const auto horizon = static_cast<std::size_t>(state.range(2));
+  const auto program = make_window(num_dcs, num_cities, horizon);
+  qp::IpmSolver solver;
+  for (auto _ : state) {
+    auto solution = program.solve(solver);
+    benchmark::DoNotOptimize(solution.objective);
+    if (!solution.ok()) state.SkipWithError("IPM failed");
+  }
+  state.counters["vars"] = static_cast<double>(program.problem().num_variables());
+}
+BENCHMARK(BM_IpmWindow)
+    ->Args({1, 1, 5})
+    ->Args({2, 6, 5})
+    ->Args({4, 12, 5})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparseLdltFactor(benchmark::State& state) {
+  const auto num_cities = static_cast<std::size_t>(state.range(0));
+  const auto program = make_window(4, num_cities, 8);
+  // Assemble the ADMM KKT upper triangle the way the solver does.
+  const auto& problem = program.problem();
+  const auto n = static_cast<std::int32_t>(problem.num_variables());
+  const auto m = static_cast<std::int32_t>(problem.num_constraints());
+  std::vector<linalg::Triplet> triplets;
+  for (std::int32_t i = 0; i < n; ++i) triplets.push_back({i, i, 1e-6});
+  const auto pu = problem.p.upper_triangle();
+  for (std::int32_t c = 0; c < pu.cols(); ++c) {
+    for (std::int32_t e = pu.col_ptr()[c]; e < pu.col_ptr()[c + 1]; ++e) {
+      triplets.push_back({pu.row_idx()[e], c, pu.values()[e]});
+    }
+  }
+  const auto at = problem.a.transposed();
+  for (std::int32_t c = 0; c < at.cols(); ++c) {
+    for (std::int32_t e = at.col_ptr()[c]; e < at.col_ptr()[c + 1]; ++e) {
+      triplets.push_back({at.row_idx()[e], n + c, at.values()[e]});
+    }
+  }
+  for (std::int32_t i = 0; i < m; ++i) triplets.push_back({n + i, n + i, -10.0});
+  const auto kkt = linalg::SparseMatrix::from_triplets(n + m, n + m, triplets);
+  for (auto _ : state) {
+    linalg::SparseLdlt ldlt;
+    const auto status = ldlt.factor(kkt);
+    benchmark::DoNotOptimize(status);
+    if (status != linalg::SparseLdlt::Status::kOk) state.SkipWithError("factor failed");
+  }
+  state.counters["dim"] = static_cast<double>(n + m);
+}
+BENCHMARK(BM_SparseLdltFactor)->Arg(6)->Arg(12)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

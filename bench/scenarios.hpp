@@ -1,0 +1,81 @@
+// Shared experiment setups for the figure-reproduction benches: the
+// Section VII environment (named data centers, 24 US-city access networks,
+// population-scaled diurnal demand, regional electricity prices) and small
+// helpers for printing plot-ready series.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/mpc_controller.hpp"
+#include "sim/engine.hpp"
+
+namespace gp::bench {
+
+/// Paper experiment environment: data centers, cities, demand, prices.
+struct Scenario {
+  dspp::DsppModel model;
+  workload::DemandModel demand;
+  workload::ServerPriceModel prices;
+  std::vector<topology::DataCenterSite> sites;
+  std::vector<topology::City> cities;
+};
+
+/// The Section VII environment. `num_dcs` of the paper's sites,
+/// `num_cities` of the 24 access networks, an SLA tight enough that serving
+/// a city from a distant region costs visibly more servers, and the paper's
+/// 2000-server per-DC capacity.
+inline Scenario paper_scenario(std::size_t num_dcs = 4, std::size_t num_cities = 24,
+                               double rate_per_capita = 2e-5,
+                               workload::DiurnalProfile profile = workload::DiurnalProfile()) {
+  Scenario s{.model = {},
+             .demand = workload::DemandModel({{1.0, 0, profile}}),
+             .prices = workload::ServerPriceModel(topology::default_datacenter_sites(num_dcs),
+                                                  workload::VmType::kMedium,
+                                                  workload::ElectricityPriceModel()),
+             .sites = topology::default_datacenter_sites(num_dcs),
+             .cities = {}};
+  const auto& all = topology::us_cities24();
+  s.cities.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(num_cities));
+  s.model.network = topology::NetworkModel::from_geography(s.sites, s.cities);
+  s.model.sla.mu = 100.0;
+  s.model.sla.max_latency_ms = 32.0;
+  s.model.sla.reservation_ratio = 1.1;
+  s.model.reconfig_cost.assign(num_dcs, 0.002);
+  s.model.capacity.assign(num_dcs, 2000.0);
+  s.demand = workload::DemandModel::from_cities(s.cities, rate_per_capita, profile);
+  return s;
+}
+
+/// MPC controller with the named predictor ("oracle" needs the traces).
+inline std::unique_ptr<control::SeriesPredictor> make_predictor(
+    const std::string& kind, std::vector<linalg::Vector> oracle_trace = {}) {
+  if (kind == "oracle") {
+    return std::make_unique<control::OraclePredictor>(std::move(oracle_trace), true);
+  }
+  if (kind == "ar") return std::make_unique<control::ArPredictor>(2, 48);
+  if (kind == "seasonal") return std::make_unique<control::SeasonalNaivePredictor>(24);
+  if (kind == "seasonal_ar") return std::make_unique<control::SeasonalArPredictor>(24, 2, 72);
+  return std::make_unique<control::LastValuePredictor>();
+}
+
+/// Prints "# <title>" then a CSV header line — every bench emits the series
+/// of one paper figure in a directly plottable form.
+inline void print_series_header(const char* title, const std::vector<std::string>& columns) {
+  std::printf("# %s\n", title);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", columns[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void print_row(const std::vector<double>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%.6g", i ? "," : "", cells[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace gp::bench

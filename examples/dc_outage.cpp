@@ -1,0 +1,93 @@
+// Failure injection: a data-center outage in the middle of the day.
+//
+// The controller's capacity-quota hook (the same mechanism the competition
+// game uses) doubles as an operational lever: when a data center goes dark,
+// operations sets its usable capacity to ~zero and the MPC controller
+// migrates load to the surviving sites on the next control period — paying
+// the reconfiguration cost the paper's objective makes explicit — then
+// migrates back when the site recovers.
+//
+//   $ ./dc_outage
+#include <cstdio>
+#include <memory>
+
+#include "control/mpc_controller.hpp"
+#include "dspp/assignment.hpp"
+#include "workload/demand.hpp"
+#include "workload/price.hpp"
+
+int main() {
+  using namespace gp;
+
+  const auto sites = topology::default_datacenter_sites(3);
+  const std::vector<topology::City> cities(topology::us_cities24().begin(),
+                                           topology::us_cities24().begin() + 6);
+  dspp::DsppModel model;
+  model.network = topology::NetworkModel::from_geography(sites, cities);
+  model.sla.mu = 100.0;
+  model.sla.max_latency_ms = 60.0;
+  model.sla.reservation_ratio = 1.1;
+  model.reconfig_cost.assign(3, 0.01);
+  model.capacity.assign(3, 2000.0);
+
+  const auto demand =
+      workload::DemandModel::from_cities(cities, 1.5e-5, workload::DiurnalProfile());
+  const workload::ServerPriceModel prices(sites, workload::VmType::kMedium,
+                                          workload::ElectricityPriceModel());
+
+  control::MpcSettings settings;
+  settings.horizon = 3;
+  settings.soft_demand_penalty = 5.0;  // an outage can make hard demand infeasible
+  control::MpcController controller(model, settings,
+                                    std::make_unique<control::LastValuePredictor>(),
+                                    std::make_unique<control::LastValuePredictor>());
+  const auto& pairs = controller.pairs();
+
+  constexpr double kOutageStart = 11.0, kOutageEnd = 15.0;  // UTC hours
+  constexpr std::size_t kFailedDc = 1;                      // Houston (usually cheapest)
+
+  linalg::Vector state = controller.provision_for(demand.mean_rates(0.5),
+                                                  prices.server_prices(0.5));
+  std::printf("%-5s | %10s %10s %10s | %8s %9s %s\n", "hour", sites[0].name.c_str(),
+              sites[1].name.c_str(), sites[2].name.c_str(), "SLA%", "churn", "");
+  double total_migration = 0.0;
+  for (int hour = 0; hour < 24; ++hour) {
+    const bool outage = hour >= kOutageStart && hour < kOutageEnd;
+    if (outage) {
+      linalg::Vector quota(model.capacity.begin(), model.capacity.end());
+      quota[kFailedDc] = 1e-3;  // site effectively offline
+      controller.set_capacity_quota(quota);
+    } else {
+      controller.set_capacity_quota(std::nullopt);
+    }
+    const auto demand_now = demand.mean_rates(hour + 0.5);
+    const auto price_now = prices.server_prices(hour + 0.5);
+    const auto result = controller.step(state, demand_now, price_now);
+    if (!result.solved) {
+      std::printf("hour %d: solver status %s\n", hour, qp::to_string(result.status).c_str());
+      return 1;
+    }
+    double churn = 0.0;
+    for (double u : result.control) churn += std::abs(u);
+    total_migration += churn;
+    state = result.next_state;
+
+    const auto next_demand = demand.mean_rates(hour + 1.5);
+    const auto assignment = dspp::assign_demand(pairs, state, next_demand);
+    const auto report = dspp::evaluate_sla(model, pairs, state, assignment);
+    linalg::Vector per_dc(3, 0.0);
+    for (std::size_t p = 0; p < pairs.num_pairs(); ++p) {
+      per_dc[pairs.datacenter_of(p)] += state[p];
+    }
+    std::printf("%-5d | %10.2f %10.2f %10.2f | %8.1f %9.2f %s\n", hour, per_dc[0], per_dc[1],
+                per_dc[2], 100.0 * report.compliance(), churn,
+                outage ? "<- OUTAGE" : "");
+  }
+  std::printf("\ntotal migration over the day: %.1f server-moves\n", total_migration);
+  std::puts("The failed site's load migrates to the survivors over a couple of");
+  std::puts("control periods (the quadratic penalty rations the migration rate, so");
+  std::puts("SLA compliance dips while the outage overlaps the morning ramp) and");
+  std::puts("returns once the site recovers. Raising the reservation ratio or");
+  std::puts("lowering c^l trades money for faster recovery.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Dynamic multi-tenant competition: the full Section VI system over a
+// simulated day. Three service providers with different time-zone demand
+// profiles and VM sizes share two capacity-constrained data centers; every
+// hour each provider forecasts its window and the platform renegotiates
+// capacity quotas (Algorithm 2), warm-starting from the previous
+// equilibrium. Prints per-hour tenant allocations and the negotiation
+// effort.
+//
+//   $ ./dynamic_competition
+#include <cstdio>
+
+#include "sim/multi_provider.hpp"
+
+namespace {
+
+gp::sim::TenantConfig make_tenant(const gp::topology::NetworkModel& network, double base_rate,
+                                  double server_size, int utc_offset, double reconfig) {
+  using namespace gp;
+  dspp::DsppModel model;
+  model.network = network;
+  model.sla.mu = 100.0;
+  model.sla.max_latency_ms = 100.0;
+  model.reconfig_cost = {reconfig, reconfig};
+  model.capacity = {1e12, 1e12};  // the shared quotas govern capacity
+  model.server_size = server_size;
+  return sim::TenantConfig{
+      std::move(model),
+      workload::DemandModel(
+          {{base_rate, utc_offset, workload::DiurnalProfile()},
+           {base_rate * 0.7, utc_offset, workload::DiurnalProfile()}}),
+      std::make_unique<control::ArPredictor>(2, 24)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace gp;
+
+  const topology::NetworkModel network({"dc-east", "dc-west"}, {"an-east", "an-west"},
+                                       {{12.0, 35.0}, {32.0, 14.0}});
+  std::vector<sim::TenantConfig> tenants;
+  tenants.push_back(make_tenant(network, 500.0, 1.0, -5, 0.05));  // east-coast web tier
+  tenants.push_back(make_tenant(network, 350.0, 2.0, -8, 0.02));  // west-coast, fat VMs
+  tenants.push_back(make_tenant(network, 250.0, 1.0, -6, 0.10));  // central, sticky state
+
+  const workload::ServerPriceModel prices(topology::default_datacenter_sites(2),
+                                          workload::VmType::kMedium,
+                                          workload::ElectricityPriceModel());
+
+  sim::MultiTenantConfig config;
+  config.periods = 24;
+  config.horizon = 3;
+  config.noisy_demand = true;
+  config.seed = 7;
+  config.game.epsilon = 0.02;
+  // Tight enough that quotas bind during overlapping busy hours.
+  sim::MultiTenantSimulation simulation(std::move(tenants), prices, {28.0, 28.0}, config);
+  const auto summary = simulation.run();
+
+  std::printf("%-5s | %9s %9s %9s | %10s %10s | %6s %5s\n", "hour", "T0 units", "T1 units",
+              "T2 units", "unserved", "cost[$]", "iters", "conv");
+  for (std::size_t k = 0; k < config.periods; ++k) {
+    double unserved = 0.0, cost = 0.0;
+    for (std::size_t i = 0; i < summary.tenants.size(); ++i) {
+      unserved += summary.tenants[i][k].unserved;
+      cost += summary.tenants[i][k].cost;
+    }
+    std::printf("%-5zu | %9.2f %9.2f %9.2f | %10.2f %10.4f | %6d %5s\n", k,
+                summary.tenants[0][k].servers, summary.tenants[1][k].servers,
+                summary.tenants[2][k].servers, unserved, cost, summary.game_iterations[k],
+                summary.game_converged[k] ? "yes" : "NO");
+  }
+  std::printf("\nper-tenant totals: $%.4f / $%.4f / $%.4f,  total unserved %.2f req/s-periods\n",
+              summary.tenant_total_costs[0], summary.tenant_total_costs[1],
+              summary.tenant_total_costs[2], summary.total_unserved);
+  std::puts("Note how negotiation effort (iters) spikes when busy hours collide across");
+  std::puts("time zones and settles to the floor once warm-started quotas stabilize.");
+  return 0;
+}

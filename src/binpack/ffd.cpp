@@ -1,0 +1,71 @@
+#include "binpack/ffd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace gp::binpack {
+
+PackingResult first_fit_decreasing(const std::vector<double>& sizes, double capacity) {
+  require(capacity > 0.0, "first_fit_decreasing: capacity must be > 0");
+  for (double s : sizes) {
+    require(s > 0.0 && s <= capacity, "first_fit_decreasing: size must be in (0, capacity]");
+  }
+  // Sort item indices by decreasing size.
+  std::vector<std::size_t> order(sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sizes[a] > sizes[b]; });
+
+  PackingResult result;
+  result.assignment.assign(sizes.size(), 0);
+  constexpr double kEps = 1e-9;
+  for (std::size_t item : order) {
+    bool placed = false;
+    for (std::size_t bin = 0; bin < result.bin_loads.size(); ++bin) {
+      if (result.bin_loads[bin] + sizes[item] <= capacity + kEps) {
+        result.bin_loads[bin] += sizes[item];
+        result.assignment[item] = bin;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      result.bin_loads.push_back(sizes[item]);
+      result.assignment[item] = result.bin_loads.size() - 1;
+    }
+  }
+  result.bins_used = result.bin_loads.size();
+  const double used_capacity = static_cast<double>(result.bins_used) * capacity;
+  const double total_size = std::accumulate(sizes.begin(), sizes.end(), 0.0);
+  result.waste_fraction =
+      used_capacity > 0.0 ? (used_capacity - total_size) / used_capacity : 0.0;
+  return result;
+}
+
+std::size_t capacity_lower_bound(const std::vector<double>& sizes, double capacity) {
+  require(capacity > 0.0, "capacity_lower_bound: capacity must be > 0");
+  const double total = std::accumulate(sizes.begin(), sizes.end(), 0.0);
+  return static_cast<std::size_t>(std::ceil(total / capacity - 1e-12));
+}
+
+bool divisible_hierarchy(const std::vector<double>& sizes, double capacity) {
+  require(capacity > 0.0, "divisible_hierarchy: capacity must be > 0");
+  constexpr double kEps = 1e-9;
+  auto divides = [&](double small, double large) {
+    const double ratio = large / small;
+    return std::abs(ratio - std::round(ratio)) < kEps;
+  };
+  std::vector<double> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] <= 0.0) return false;
+    if (!divides(sorted[i], capacity)) return false;
+    if (i + 1 < sorted.size() && !divides(sorted[i], sorted[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace gp::binpack

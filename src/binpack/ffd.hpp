@@ -1,0 +1,37 @@
+// First-Fit-Decreasing bin packing.
+//
+// Section VI of the paper justifies treating data-center capacity as exact:
+// "When VM sizes are multiples of each other, bin-packing can be solved
+// optimally using First-Fit-Decrease (FFD) policy, and no resource is wasted
+// during the process" (the GoGrid example, where each VM flavor is exactly
+// twice the previous one). This module implements FFD so that claim can be
+// validated empirically (see the ablation bench) and so the simulation can
+// quantify packing waste for arbitrary VM mixes.
+#pragma once
+
+#include <vector>
+
+namespace gp::binpack {
+
+/// Result of packing items into fixed-capacity bins.
+struct PackingResult {
+  std::size_t bins_used = 0;
+  std::vector<std::size_t> assignment;  ///< item index -> bin index
+  std::vector<double> bin_loads;        ///< per-bin total size
+  double waste_fraction = 0.0;          ///< unused capacity / total capacity used
+};
+
+/// Packs `sizes` into bins of capacity `capacity` using First-Fit-Decreasing.
+/// Every size must satisfy 0 < size <= capacity.
+PackingResult first_fit_decreasing(const std::vector<double>& sizes, double capacity);
+
+/// Simple lower bound on the optimal bin count: ceil(total size / capacity).
+std::size_t capacity_lower_bound(const std::vector<double>& sizes, double capacity);
+
+/// True when every size divides the capacity and sizes form a divisibility
+/// chain (each larger size is an integer multiple of each smaller one), the
+/// structure under which FFD is optimal and waste-free for full loads
+/// (GoGrid's power-of-two flavors are the motivating instance).
+bool divisible_hierarchy(const std::vector<double>& sizes, double capacity);
+
+}  // namespace gp::binpack

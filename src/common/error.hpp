@@ -1,0 +1,45 @@
+// Precondition / invariant checking helpers.
+//
+// The library follows the C++ Core Guidelines convention: programming errors
+// (violated preconditions, malformed inputs) throw exceptions; expected
+// run-time outcomes (e.g. "solver did not converge") are reported through
+// status enums on result types instead.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace gp {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a library bug, not a user error).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Checks a documented precondition of a public entry point.
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw PreconditionError(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+/// Checks an internal invariant; failure indicates a bug in this library.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantError(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace gp

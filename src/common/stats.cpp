@@ -1,0 +1,63 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double accum = 0.0;
+  for (double v : values) accum += (v - m) * (v - m);
+  return accum / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double sum(std::span<const double> values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+double max_abs(std::span<const double> values) {
+  double best = 0.0;
+  for (double v : values) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double percentile(std::span<const double> values, double p) {
+  require(!values.empty(), "percentile: empty input");
+  require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double total_variation(std::span<const double> values) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < values.size(); ++i) total += std::abs(values[i] - values[i - 1]);
+  return total;
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace gp

@@ -1,0 +1,32 @@
+// Small descriptive-statistics helpers shared by tests, benches and metrics.
+#pragma once
+
+#include <span>
+
+namespace gp {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Unbiased sample variance (n-1 denominator); returns 0 for n < 2.
+double variance(std::span<const double> values);
+
+/// Square root of variance().
+double stddev(std::span<const double> values);
+
+/// Sum of all values.
+double sum(std::span<const double> values);
+
+/// Maximum absolute value; 0 for an empty span.
+double max_abs(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double percentile(std::span<const double> values, double p);
+
+/// Total variation sum |v[i+1] - v[i]|; measures trajectory churn.
+double total_variation(std::span<const double> values);
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+}  // namespace gp

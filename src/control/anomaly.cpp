@@ -1,0 +1,44 @@
+#include "control/anomaly.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::control {
+
+AnomalyDetector::AnomalyDetector(double alpha, double threshold, std::size_t warmup)
+    : alpha_(alpha), threshold_(threshold), warmup_(warmup) {
+  require(alpha > 0.0 && alpha < 1.0, "AnomalyDetector: alpha must be in (0, 1)");
+  require(threshold > 0.0, "AnomalyDetector: threshold must be > 0");
+}
+
+bool AnomalyDetector::observe(const linalg::Vector& value) {
+  if (level_.empty()) {
+    level_ = value;
+    deviation_.assign(value.size(), 0.0);
+    flags_.assign(value.size(), false);
+    count_ = 1;
+    anomalous_ = false;
+    return false;
+  }
+  require(value.size() == level_.size(), "AnomalyDetector: dimension mismatch");
+  ++count_;
+  anomalous_ = false;
+  for (std::size_t d = 0; d < value.size(); ++d) {
+    const double residual = value[d] - level_[d];
+    // Floor the deviation at a small fraction of the level so a perfectly
+    // flat history does not flag microscopic jitter.
+    const double scale = std::max(deviation_[d], 0.02 * std::abs(level_[d]) + 1e-9);
+    const bool flagged = count_ > warmup_ && residual > threshold_ * scale;
+    flags_[d] = flagged;
+    anomalous_ = anomalous_ || flagged;
+    // Anomalous samples update with reduced weight: a sustained surge is
+    // adopted gradually instead of instantly poisoning the baseline.
+    const double weight = flagged ? alpha_ * 0.25 : alpha_;
+    level_[d] += weight * residual;
+    deviation_[d] += weight * (std::abs(residual) - deviation_[d]);
+  }
+  return anomalous_;
+}
+
+}  // namespace gp::control

@@ -1,0 +1,50 @@
+// Demand anomaly detection for the monitoring module.
+//
+// Section III of the paper: "there are occasions where both demand and
+// resource price can behave in an unexpectedly manner, e.g., flash-crowd
+// effect or system failure" — and historical predictors are blind to them.
+// AnomalyDetector keeps robust online statistics (EWMA level + EWMA
+// absolute deviation per dimension) and flags observations that sit many
+// deviations above the learned level. The guard reaction is simple and
+// effective: while an anomaly is active, the controller plans against an
+// inflated demand (an emergency cushion), which is algebraically the same
+// as raising the paper's reservation ratio r for the duration.
+#pragma once
+
+#include "linalg/vector_ops.hpp"
+
+namespace gp::control {
+
+/// Online flash-crowd / spike detector (see file comment).
+class AnomalyDetector {
+ public:
+  /// alpha: EWMA smoothing in (0, 1); threshold: deviations above the level
+  /// that count as anomalous; warmup: observations before any flagging.
+  explicit AnomalyDetector(double alpha = 0.25, double threshold = 4.0,
+                           std::size_t warmup = 6);
+
+  /// Feeds one observation; returns true when ANY dimension is anomalous.
+  /// Anomalous observations update the statistics with a reduced weight so
+  /// a sustained surge is eventually adopted as the new normal.
+  bool observe(const linalg::Vector& value);
+
+  /// Whether the last observation was anomalous.
+  bool anomalous() const { return anomalous_; }
+
+  /// Dimensions flagged by the last observation.
+  const std::vector<bool>& anomalous_dimensions() const { return flags_; }
+
+  std::size_t observations() const { return count_; }
+
+ private:
+  double alpha_;
+  double threshold_;
+  std::size_t warmup_;
+  std::size_t count_ = 0;
+  bool anomalous_ = false;
+  linalg::Vector level_;      ///< EWMA mean per dimension
+  linalg::Vector deviation_;  ///< EWMA absolute deviation per dimension
+  std::vector<bool> flags_;
+};
+
+}  // namespace gp::control

@@ -1,0 +1,56 @@
+#include "control/baselines.hpp"
+
+#include "common/error.hpp"
+#include "dspp/provisioning.hpp"
+
+namespace gp::control {
+
+using linalg::Vector;
+
+namespace {
+
+dspp::DsppModel without_reconfig_cost(dspp::DsppModel model) {
+  for (double& c : model.reconfig_cost) c = 0.0;
+  return model;
+}
+
+}  // namespace
+
+StaticController::StaticController(dspp::DsppModel model, const Vector& reference_demand,
+                                   const Vector& reference_price)
+    : model_(without_reconfig_cost(std::move(model))), pairs_(model_) {
+  qp::AdmmSolver solver;
+  target_ = dspp::min_cost_placement(model_, pairs_, reference_demand, reference_price, solver);
+}
+
+BaselineStepResult StaticController::step(const Vector& state, const Vector& demand,
+                                          const Vector& price) {
+  (void)demand;
+  (void)price;
+  require(state.size() == pairs_.num_pairs(), "StaticController::step: state size mismatch");
+  BaselineStepResult result;
+  result.solved = true;
+  result.control = linalg::sub(target_, state);
+  result.next_state = target_;
+  return result;
+}
+
+ReactiveController::ReactiveController(dspp::DsppModel model)
+    : model_(without_reconfig_cost(std::move(model))), pairs_(model_) {}
+
+BaselineStepResult ReactiveController::step(const Vector& state, const Vector& demand,
+                                            const Vector& price) {
+  require(state.size() == pairs_.num_pairs(), "ReactiveController::step: state size mismatch");
+  require(demand.size() == model_.num_access_networks(),
+          "ReactiveController::step: demand size mismatch");
+  require(price.size() == model_.num_datacenters(),
+          "ReactiveController::step: price size mismatch");
+  BaselineStepResult result;
+  const Vector target = dspp::min_cost_placement(model_, pairs_, demand, price, solver_);
+  result.solved = true;
+  result.control = linalg::sub(target, state);
+  result.next_state = target;
+  return result;
+}
+
+}  // namespace gp::control

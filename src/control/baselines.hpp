@@ -1,0 +1,63 @@
+// Baseline placement controllers used by the ablation benches.
+//
+// The paper's contribution is the *dynamic* MPC controller; these baselines
+// embody the strategies it implicitly argues against:
+//   - StaticController: provision once (for a reference demand, e.g. the
+//     peak) and never reconfigure — the classic static replica placement.
+//   - ReactiveController: re-solve a one-period cost-minimal placement for
+//     the demand observed right now, with no prediction and no
+//     reconfiguration penalty (a myopic W = 1, c = 0 policy).
+#pragma once
+
+#include "dspp/window_program.hpp"
+#include "qp/admm_solver.hpp"
+
+namespace gp::control {
+
+/// Common minimal interface shared with MpcController::step semantics:
+/// given x_k, observed demand and price, produce u_k.
+struct BaselineStepResult {
+  bool solved = false;
+  linalg::Vector control;
+  linalg::Vector next_state;
+};
+
+/// Provisions a fixed allocation once and holds it (see file comment).
+class StaticController {
+ public:
+  /// The fixed target is the cheapest placement for `reference_demand` at
+  /// `reference_price`, computed at construction.
+  StaticController(dspp::DsppModel model, const linalg::Vector& reference_demand,
+                   const linalg::Vector& reference_price);
+
+  /// Moves the state to the fixed target in one step (first call), then
+  /// holds (u = 0 forever after).
+  BaselineStepResult step(const linalg::Vector& state, const linalg::Vector& demand,
+                          const linalg::Vector& price);
+
+  const dspp::PairIndex& pairs() const { return pairs_; }
+  const linalg::Vector& target() const { return target_; }
+
+ private:
+  dspp::DsppModel model_;
+  dspp::PairIndex pairs_;
+  linalg::Vector target_;
+};
+
+/// Myopically matches the currently observed demand at minimal cost.
+class ReactiveController {
+ public:
+  explicit ReactiveController(dspp::DsppModel model);
+
+  BaselineStepResult step(const linalg::Vector& state, const linalg::Vector& demand,
+                          const linalg::Vector& price);
+
+  const dspp::PairIndex& pairs() const { return pairs_; }
+
+ private:
+  dspp::DsppModel model_;  ///< with reconfiguration costs zeroed
+  dspp::PairIndex pairs_;
+  qp::AdmmSolver solver_;
+};
+
+}  // namespace gp::control

@@ -1,0 +1,91 @@
+#include "control/mpc_controller.hpp"
+
+#include "common/error.hpp"
+#include "dspp/provisioning.hpp"
+
+namespace gp::control {
+
+using linalg::Vector;
+
+MpcController::MpcController(dspp::DsppModel model, MpcSettings settings,
+                             std::unique_ptr<SeriesPredictor> demand_predictor,
+                             std::unique_ptr<SeriesPredictor> price_predictor)
+    : model_(std::move(model)),
+      pairs_(model_),
+      settings_(settings),
+      demand_predictor_(std::move(demand_predictor)),
+      price_predictor_(std::move(price_predictor)),
+      solver_([&settings] {
+        // Consecutive windows share their sparsity pattern and differ only
+        // in forecasts, so warm-starting from the previous solution is
+        // always safe here and typically cuts iterations severalfold.
+        qp::AdmmSettings solver_settings = settings.solver;
+        solver_settings.auto_warm_start = true;
+        return solver_settings;
+      }()) {
+  require(settings_.horizon >= 1, "MpcController: horizon must be >= 1");
+  require(demand_predictor_ != nullptr, "MpcController: null demand predictor");
+  require(price_predictor_ != nullptr, "MpcController: null price predictor");
+}
+
+void MpcController::set_capacity_quota(std::optional<Vector> quota) {
+  if (quota) {
+    require(quota->size() == model_.num_datacenters(),
+            "set_capacity_quota: quota size != L");
+    for (double q : *quota) require(q > 0.0, "set_capacity_quota: quota must be > 0");
+  }
+  quota_ = std::move(quota);
+}
+
+MpcStepResult MpcController::step(const Vector& state, const Vector& demand,
+                                  const Vector& price) {
+  require(state.size() == pairs_.num_pairs(), "MpcController::step: state size != pairs");
+  require(demand.size() == model_.num_access_networks(),
+          "MpcController::step: demand size != V");
+  require(price.size() == model_.num_datacenters(), "MpcController::step: price size != L");
+
+  demand_predictor_->observe(demand);
+  price_predictor_->observe(price);
+
+  dspp::WindowInputs inputs;
+  inputs.initial_state = state;
+  inputs.demand = demand_predictor_->forecast(settings_.horizon);
+  inputs.price = price_predictor_->forecast(settings_.horizon);
+  inputs.capacity_override = quota_;
+  inputs.soft_demand_penalty = settings_.soft_demand_penalty;
+
+  const dspp::WindowProgram program(model_, pairs_, std::move(inputs));
+  const dspp::WindowSolution solution = program.solve(solver_);
+
+  MpcStepResult result;
+  result.status = solution.status;
+  result.solver_iterations = solution.solver_iterations;
+  if (!solution.ok()) {
+    // Keep the previous allocation when the window program fails; the
+    // caller can inspect `status` (e.g. primal infeasible under a quota).
+    result.control.assign(pairs_.num_pairs(), 0.0);
+    result.next_state = state;
+    return result;
+  }
+  result.solved = true;
+  result.window_objective = solution.objective;
+  result.control = solution.u.front();
+  result.next_state = linalg::add(state, result.control);
+  // Clamp solver noise: states are non-negative by construction.
+  for (double& x : result.next_state) x = std::max(0.0, x);
+  result.capacity_price = solution.capacity_price();
+  if (!solution.unserved.empty()) {
+    for (double value : solution.unserved.front()) result.unserved_next += value;
+  }
+  return result;
+}
+
+Vector MpcController::provision_for(const Vector& demand, const Vector& price) {
+  require(demand.size() == model_.num_access_networks(), "provision_for: demand size != V");
+  require(price.size() == model_.num_datacenters(), "provision_for: price size != L");
+  dspp::DsppModel scoped = model_;
+  if (quota_) scoped.capacity = *quota_;
+  return dspp::min_cost_placement(scoped, pairs_, demand, price, solver_);
+}
+
+}  // namespace gp::control

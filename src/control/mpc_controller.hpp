@@ -1,0 +1,75 @@
+// The resource controller: Model Predictive Control for DSPP (Algorithm 1).
+//
+// At the start of each control period the controller observes the current
+// demand and server prices, updates its predictors, builds the window
+// program over the prediction horizon W, solves it, and applies only the
+// first control u_{k|k} — exactly the receding-horizon loop of Algorithm 1.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "control/predictor.hpp"
+#include "dspp/window_program.hpp"
+#include "qp/admm_solver.hpp"
+
+namespace gp::control {
+
+/// Configuration of the MPC resource controller.
+struct MpcSettings {
+  std::size_t horizon = 5;            ///< W, prediction window length
+  double soft_demand_penalty = 0.0;   ///< > 0 adds unserved-demand slacks
+  qp::AdmmSettings solver;            ///< underlying QP solver settings
+};
+
+/// Outcome of one control period.
+struct MpcStepResult {
+  bool solved = false;
+  qp::SolveStatus status = qp::SolveStatus::kNumericalError;
+  linalg::Vector control;      ///< u_{k|k} per pair (applied)
+  linalg::Vector next_state;   ///< x_{k+1} = x_k + u_{k|k}
+  double window_objective = 0.0;
+  linalg::Vector capacity_price;  ///< max capacity dual per DC over the window
+  double unserved_next = 0.0;     ///< planned unserved demand at k+1 (soft mode)
+  int solver_iterations = 0;
+};
+
+/// Receding-horizon controller (see file comment). Thread-compatible: one
+/// instance per control loop.
+class MpcController {
+ public:
+  /// The controller copies `model`. Predictors are owned. The demand
+  /// predictor forecasts V-dimensional rates; the price predictor forecasts
+  /// L-dimensional $/server/period prices.
+  MpcController(dspp::DsppModel model, MpcSettings settings,
+                std::unique_ptr<SeriesPredictor> demand_predictor,
+                std::unique_ptr<SeriesPredictor> price_predictor);
+
+  /// One iteration of Algorithm 1. `state` is x_k per pair, `demand` the
+  /// observed D_k (size V), `price` the observed p_k (size L).
+  MpcStepResult step(const linalg::Vector& state, const linalg::Vector& demand,
+                     const linalg::Vector& price);
+
+  /// Restricts the capacity available to this provider (the game's quota
+  /// C^i); nullopt restores the model's full capacity.
+  void set_capacity_quota(std::optional<linalg::Vector> quota);
+
+  const dspp::PairIndex& pairs() const { return pairs_; }
+  const dspp::DsppModel& model() const { return model_; }
+  const MpcSettings& settings() const { return settings_; }
+
+  /// Minimal feasible allocation for a demand vector (cheapest placement
+  /// with no reconfiguration cost) — useful for initializing x_0.
+  linalg::Vector provision_for(const linalg::Vector& demand, const linalg::Vector& price);
+
+ private:
+  dspp::DsppModel model_;
+  dspp::PairIndex pairs_;
+  MpcSettings settings_;
+  std::unique_ptr<SeriesPredictor> demand_predictor_;
+  std::unique_ptr<SeriesPredictor> price_predictor_;
+  std::optional<linalg::Vector> quota_;
+  qp::AdmmSolver solver_;
+};
+
+}  // namespace gp::control

@@ -1,0 +1,260 @@
+#include "control/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/dense_factor.hpp"
+
+namespace gp::control {
+
+using linalg::Vector;
+
+// --- OraclePredictor ---
+
+OraclePredictor::OraclePredictor(std::vector<Vector> trace, bool wrap)
+    : trace_(std::move(trace)), wrap_(wrap) {
+  require(!trace_.empty(), "OraclePredictor: empty trace");
+  const std::size_t dim = trace_.front().size();
+  for (const auto& value : trace_) {
+    require(value.size() == dim, "OraclePredictor: ragged trace");
+  }
+}
+
+void OraclePredictor::observe(const Vector& value) {
+  require(value.size() == trace_.front().size(), "OraclePredictor: dimension mismatch");
+  ++cursor_;
+}
+
+std::vector<Vector> OraclePredictor::forecast(std::size_t horizon) {
+  require(cursor_ >= 1, "OraclePredictor: forecast before any observation");
+  std::vector<Vector> out;
+  out.reserve(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    std::size_t index = cursor_ + t;  // next period after cursor_-1 observations is trace_[cursor_]
+    if (index >= trace_.size()) {
+      index = wrap_ ? index % trace_.size() : trace_.size() - 1;
+    }
+    out.push_back(trace_[index]);
+  }
+  return out;
+}
+
+std::unique_ptr<SeriesPredictor> OraclePredictor::clone() const {
+  return std::make_unique<OraclePredictor>(*this);
+}
+
+// --- LastValuePredictor ---
+
+void LastValuePredictor::observe(const Vector& value) {
+  last_ = value;
+  seen_ = true;
+}
+
+std::vector<Vector> LastValuePredictor::forecast(std::size_t horizon) {
+  require(seen_, "LastValuePredictor: forecast before any observation");
+  return std::vector<Vector>(horizon, last_);
+}
+
+std::unique_ptr<SeriesPredictor> LastValuePredictor::clone() const {
+  return std::make_unique<LastValuePredictor>(*this);
+}
+
+// --- SeasonalNaivePredictor ---
+
+SeasonalNaivePredictor::SeasonalNaivePredictor(std::size_t season_length)
+    : season_(season_length) {
+  require(season_length >= 1, "SeasonalNaivePredictor: season must be >= 1");
+}
+
+void SeasonalNaivePredictor::observe(const Vector& value) {
+  if (!history_.empty()) {
+    require(value.size() == history_.front().size(),
+            "SeasonalNaivePredictor: dimension mismatch");
+  }
+  history_.push_back(value);
+}
+
+std::vector<Vector> SeasonalNaivePredictor::forecast(std::size_t horizon) {
+  require(!history_.empty(), "SeasonalNaivePredictor: forecast before any observation");
+  std::vector<Vector> out;
+  out.reserve(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    // Future period index (0-based since the start of history).
+    const std::size_t future = history_.size() + t;
+    if (future >= season_) {
+      // Use the most recent observation at the same phase of the season.
+      std::size_t same_phase = future - season_;
+      while (same_phase >= history_.size()) same_phase -= season_;
+      out.push_back(history_[same_phase]);
+    } else {
+      out.push_back(history_.back());
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<SeriesPredictor> SeasonalNaivePredictor::clone() const {
+  return std::make_unique<SeasonalNaivePredictor>(*this);
+}
+
+// --- ArPredictor ---
+
+ArPredictor::ArPredictor(std::size_t order, std::size_t window, double damping,
+                         bool non_negative)
+    : order_(order), window_(window), damping_(damping), non_negative_(non_negative) {
+  require(order >= 1, "ArPredictor: order must be >= 1");
+  require(window >= 2 * order + 2, "ArPredictor: window must be >= 2 * order + 2");
+  require(damping > 0.0 && damping <= 1.0, "ArPredictor: damping must be in (0, 1]");
+}
+
+void ArPredictor::observe(const Vector& value) {
+  if (!history_.empty()) {
+    require(value.size() == history_.front().size(), "ArPredictor: dimension mismatch");
+  }
+  history_.push_back(value);
+  while (history_.size() > window_) history_.pop_front();
+}
+
+std::vector<Vector> ArPredictor::forecast(std::size_t horizon) {
+  require(!history_.empty(), "ArPredictor: forecast before any observation");
+  const std::size_t dim = history_.front().size();
+  std::vector<Vector> out(horizon, Vector(dim, 0.0));
+
+  const std::size_t samples =
+      history_.size() > order_ ? history_.size() - order_ : 0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    // Extract the scalar series for this dimension.
+    Vector series(history_.size());
+    for (std::size_t i = 0; i < history_.size(); ++i) series[i] = history_[i][d];
+
+    Vector coefficients;  // [intercept, phi_1 .. phi_p]
+    bool fitted = false;
+    if (samples >= order_ + 2) {
+      linalg::DenseMatrix design(samples, order_ + 1);
+      Vector target(samples);
+      for (std::size_t row = 0; row < samples; ++row) {
+        design(row, 0) = 1.0;
+        for (std::size_t lag = 1; lag <= order_; ++lag) {
+          design(row, lag) = series[row + order_ - lag];
+        }
+        target[row] = series[row + order_];
+      }
+      // Ridge-regularized normal equations: lag matrices of trending or
+      // periodic series are frequently (near-)collinear, which plain least
+      // squares rejects as rank-deficient; a tiny ridge keeps the fit
+      // well-posed without visibly biasing the coefficients.
+      const std::size_t cols = order_ + 1;
+      linalg::DenseMatrix gram(cols, cols);
+      Vector rhs(cols, 0.0);
+      double scale = 0.0;
+      for (std::size_t i = 0; i < cols; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+          double total = 0.0;
+          for (std::size_t row = 0; row < samples; ++row) total += design(row, i) * design(row, j);
+          gram(i, j) = total;
+          if (i == j) scale = std::max(scale, total);
+        }
+        double total = 0.0;
+        for (std::size_t row = 0; row < samples; ++row) total += design(row, i) * target[row];
+        rhs[i] = total;
+      }
+      const double ridge = 1e-8 * std::max(scale, 1.0);
+      for (std::size_t i = 0; i < cols; ++i) gram(i, i) += ridge;
+      linalg::Cholesky chol;
+      if (chol.factor(gram) == linalg::FactorStatus::kOk) {
+        coefficients = chol.solve(rhs);
+        fitted = true;
+      }
+    }
+    if (!fitted) {
+      // Persistence fallback.
+      const double fallback =
+          non_negative_ ? std::max(0.0, series.back()) : series.back();
+      for (std::size_t t = 0; t < horizon; ++t) out[t][d] = fallback;
+      continue;
+    }
+    // Iterated multi-step forecast. Iterating a fitted AR can diverge when
+    // the estimated roots fall outside the unit circle (common on short
+    // windows of ramping data), so forecasts are clamped into an envelope
+    // around the observed range — a standard stability safeguard.
+    double max_observed = 0.0;
+    for (double value : series) max_observed = std::max(max_observed, std::abs(value));
+    const double ceiling = 3.0 * std::max(max_observed, 1e-12);
+    Vector lags(order_);
+    for (std::size_t lag = 1; lag <= order_; ++lag) {
+      lags[lag - 1] = series[series.size() - lag];  // lags[0] = most recent
+    }
+    const double floor = non_negative_ ? 0.0 : -ceiling;
+    const double last_observed = series.back();
+    double damp = 1.0;  // damping^t, t = 0 for the first step
+    for (std::size_t t = 0; t < horizon; ++t) {
+      double next = coefficients[0];
+      for (std::size_t lag = 1; lag <= order_; ++lag) next += coefficients[lag] * lags[lag - 1];
+      next = std::min(std::max(floor, next), ceiling);
+      // Iterate the raw AR state, but REPORT the damped forecast.
+      for (std::size_t lag = order_; lag-- > 1;) lags[lag] = lags[lag - 1];
+      lags[0] = next;
+      out[t][d] = std::max(floor, last_observed + (next - last_observed) * damp);
+      damp *= damping_;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<SeriesPredictor> ArPredictor::clone() const {
+  return std::make_unique<ArPredictor>(*this);
+}
+
+// --- SeasonalArPredictor ---
+
+SeasonalArPredictor::SeasonalArPredictor(std::size_t season_length, std::size_t order,
+                                         std::size_t window, double damping)
+    : season_(season_length),
+      residual_model_(order, window, damping, /*non_negative=*/false),
+      seasonal_(season_length) {
+  require(season_length >= 2, "SeasonalArPredictor: season must be >= 2");
+}
+
+void SeasonalArPredictor::observe(const Vector& value) {
+  if (!history_.empty()) {
+    require(value.size() == history_.front().size(),
+            "SeasonalArPredictor: dimension mismatch");
+  }
+  seasonal_.observe(value);
+  // The residual model only sees observations with a same-phase baseline:
+  // residuals from the warm-up season would be raw values and would poison
+  // the fit (iterated raw AR overshoots at demand ramps).
+  if (history_.size() >= season_) {
+    Vector residual = value;
+    const Vector& baseline = history_[history_.size() - season_];
+    for (std::size_t d = 0; d < residual.size(); ++d) residual[d] -= baseline[d];
+    residual_model_.observe(residual);
+  }
+  history_.push_back(value);
+}
+
+std::vector<Vector> SeasonalArPredictor::forecast(std::size_t horizon) {
+  require(!history_.empty(), "SeasonalArPredictor: forecast before any observation");
+  const auto seasonal_forecast = seasonal_.forecast(horizon);
+  if (history_.size() < season_ + 2) {
+    // Warm-up: persistence (the safe default until the baseline and a few
+    // residual samples exist).
+    return std::vector<Vector>(horizon, history_.back());
+  }
+  auto residual_forecast = residual_model_.forecast(horizon);
+  std::vector<Vector> out(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    out[t] = seasonal_forecast[t];
+    for (std::size_t d = 0; d < out[t].size(); ++d) {
+      out[t][d] = std::max(0.0, out[t][d] + residual_forecast[t][d]);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<SeriesPredictor> SeasonalArPredictor::clone() const {
+  return std::make_unique<SeasonalArPredictor>(*this);
+}
+
+}  // namespace gp::control

@@ -1,0 +1,135 @@
+// Demand / price prediction models for the analysis-and-prediction module
+// (Section III of the paper).
+//
+// The paper's controller is "generic and can work with any demand prediction
+// techniques"; it evaluates an autoregressive (AR) model in Figs. 8-10 and
+// mentions seasonal/historical prediction for daily patterns. SeriesPredictor
+// is the common interface: observe() feeds one measurement per control
+// period, forecast(h) returns the next h periods.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace gp::control {
+
+/// Interface for multivariate time-series predictors (see file comment).
+/// Forecast values are clamped to be non-negative (rates and prices).
+class SeriesPredictor {
+ public:
+  virtual ~SeriesPredictor() = default;
+
+  /// Feeds the measurement of the current period.
+  virtual void observe(const linalg::Vector& value) = 0;
+
+  /// Predicts the next `horizon` periods. Requires at least one prior
+  /// observe() call. Result is [t][dimension], t = 0 the next period.
+  virtual std::vector<linalg::Vector> forecast(std::size_t horizon) = 0;
+
+  /// Deep copy (providers in the game each own an independent predictor).
+  virtual std::unique_ptr<SeriesPredictor> clone() const = 0;
+};
+
+/// Perfect foresight: constructed with the full true trace, returns the
+/// actual future values. The number of observe() calls defines "now".
+/// Forecasts beyond the trace end repeat the final value (or wrap when
+/// `wrap` is set, natural for cyclic daily traces).
+class OraclePredictor final : public SeriesPredictor {
+ public:
+  explicit OraclePredictor(std::vector<linalg::Vector> trace, bool wrap = false);
+
+  void observe(const linalg::Vector& value) override;
+  std::vector<linalg::Vector> forecast(std::size_t horizon) override;
+  std::unique_ptr<SeriesPredictor> clone() const override;
+
+ private:
+  std::vector<linalg::Vector> trace_;
+  bool wrap_;
+  std::size_t cursor_ = 0;  ///< number of observations so far
+};
+
+/// Naive persistence: predicts every future period equal to the last
+/// observation.
+class LastValuePredictor final : public SeriesPredictor {
+ public:
+  void observe(const linalg::Vector& value) override;
+  std::vector<linalg::Vector> forecast(std::size_t horizon) override;
+  std::unique_ptr<SeriesPredictor> clone() const override;
+
+ private:
+  linalg::Vector last_;
+  bool seen_ = false;
+};
+
+/// Seasonal naive: predicts the value observed one season (e.g. one day)
+/// ago; falls back to the last value until a full season of history exists.
+/// This is the "predicted using historical traces" model of Section III.
+class SeasonalNaivePredictor final : public SeriesPredictor {
+ public:
+  /// season_length: periods per season (e.g. 24 for hourly periods).
+  explicit SeasonalNaivePredictor(std::size_t season_length);
+
+  void observe(const linalg::Vector& value) override;
+  std::vector<linalg::Vector> forecast(std::size_t horizon) override;
+  std::unique_ptr<SeriesPredictor> clone() const override;
+
+ private:
+  std::size_t season_;
+  std::vector<linalg::Vector> history_;
+};
+
+/// Autoregressive AR(p) model with intercept, refit by ridge-regularized
+/// least squares over a sliding window at every forecast and iterated for
+/// multi-step prediction (the predictor evaluated in the paper's
+/// Figs. 8-10). Falls back to persistence until 2p + 2 observations exist.
+///
+/// Multi-step forecasts are DAMPED toward the last observation
+/// (forecast_t = last + (raw_t - last) * damping^t): diurnal series fit
+/// near-unit-root AR coefficients whose iterated extrapolation badly
+/// overshoots at ramps; geometric damping is the standard remedy (damped
+/// trend exponential smoothing uses the same device).
+class ArPredictor final : public SeriesPredictor {
+ public:
+  /// order: p; window: observations kept for fitting (>= 2 * order + 2);
+  /// damping in (0, 1], 1 = undamped; non_negative clamps forecasts at 0
+  /// (rates/prices) — disable when modelling signed series (residuals).
+  explicit ArPredictor(std::size_t order = 2, std::size_t window = 48,
+                       double damping = 0.85, bool non_negative = true);
+
+  void observe(const linalg::Vector& value) override;
+  std::vector<linalg::Vector> forecast(std::size_t horizon) override;
+  std::unique_ptr<SeriesPredictor> clone() const override;
+
+ private:
+  std::size_t order_;
+  std::size_t window_;
+  double damping_;
+  bool non_negative_;
+  std::deque<linalg::Vector> history_;
+};
+
+/// Seasonal + AR hybrid: forecasts the seasonal-naive baseline (the value
+/// one season ago) plus an AR(p) model of the DESEASONALIZED residuals —
+/// the natural upgrade for diurnal cloud demand, where the daily pattern
+/// carries most of the signal and the AR captures short-term deviations
+/// from it. Falls back to plain AR until a full season of history exists.
+class SeasonalArPredictor final : public SeriesPredictor {
+ public:
+  explicit SeasonalArPredictor(std::size_t season_length, std::size_t order = 2,
+                               std::size_t window = 48, double damping = 0.85);
+
+  void observe(const linalg::Vector& value) override;
+  std::vector<linalg::Vector> forecast(std::size_t horizon) override;
+  std::unique_ptr<SeriesPredictor> clone() const override;
+
+ private:
+  std::size_t season_;
+  ArPredictor residual_model_;
+  SeasonalNaivePredictor seasonal_;
+  std::vector<linalg::Vector> history_;
+};
+
+}  // namespace gp::control

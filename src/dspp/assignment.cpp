@@ -1,0 +1,93 @@
+#include "dspp/assignment.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gp::dspp {
+
+double Assignment::total_unserved() const {
+  double total = 0.0;
+  for (double value : unserved) total += value;
+  return total;
+}
+
+Assignment assign_demand(const PairIndex& pairs, const linalg::Vector& allocation,
+                         const linalg::Vector& demand) {
+  require(allocation.size() == pairs.num_pairs(), "assign_demand: allocation size mismatch");
+  require(demand.size() == pairs.num_access_networks(), "assign_demand: demand size mismatch");
+  Assignment assignment;
+  assignment.rate.assign(pairs.num_pairs(), 0.0);
+  assignment.unserved.assign(pairs.num_access_networks(), 0.0);
+  for (std::size_t v = 0; v < pairs.num_access_networks(); ++v) {
+    require(demand[v] >= 0.0, "assign_demand: negative demand");
+    const auto& candidates = pairs.pairs_of_access_network(v);
+    double weight_sum = 0.0;
+    for (const std::size_t pair : candidates) {
+      weight_sum += allocation[pair] / pairs.coefficient(pair);
+    }
+    if (weight_sum <= 0.0) {
+      assignment.unserved[v] = demand[v];
+      continue;
+    }
+    for (const std::size_t pair : candidates) {
+      const double weight = allocation[pair] / pairs.coefficient(pair);
+      assignment.rate[pair] = demand[v] * weight / weight_sum;
+    }
+  }
+  return assignment;
+}
+
+SlaReport evaluate_sla(const DsppModel& model, const PairIndex& pairs,
+                       const linalg::Vector& allocation, const Assignment& assignment,
+                       double relative_tolerance) {
+  require(relative_tolerance >= 0.0, "evaluate_sla: negative tolerance");
+  require(allocation.size() == pairs.num_pairs(), "evaluate_sla: allocation size mismatch");
+  require(assignment.rate.size() == pairs.num_pairs(), "evaluate_sla: assignment size mismatch");
+  SlaReport report;
+  double weighted_latency = 0.0;
+  double finite_latency_rate = 0.0;  // served demand with a finite latency
+  for (std::size_t pair = 0; pair < pairs.num_pairs(); ++pair) {
+    const double rate = assignment.rate[pair];
+    if (rate <= 0.0) continue;
+    report.total_rate += rate;
+    const std::size_t l = pairs.datacenter_of(pair);
+    const std::size_t v = pairs.access_network_of(pair);
+    const double servers = allocation[pair];
+    const double network_ms = model.network.latency_ms(l, v);
+    if (servers <= 0.0) {
+      // Routed onto zero capacity cannot happen via assign_demand; treat as
+      // violating if an external caller constructed such an assignment.
+      report.violating_rate += rate;
+      ++report.overloaded_pairs;
+      continue;
+    }
+    const double per_server = rate / servers;  // lambda per server
+    if (!queueing::stable(model.sla.mu, per_server)) {
+      report.violating_rate += rate;
+      ++report.overloaded_pairs;
+      report.worst_latency_ms = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double kappa = queueing::percentile_factor(model.sla.percentile);
+    const double latency_ms =
+        network_ms + 1000.0 * kappa * queueing::mean_response_time(model.sla.mu, per_server);
+    weighted_latency += rate * latency_ms;
+    finite_latency_rate += rate;
+    report.worst_latency_ms = std::max(report.worst_latency_ms, latency_ms);
+    if (latency_ms > model.max_latency_ms_for(l, v) * (1.0 + relative_tolerance)) {
+      report.violating_rate += rate;
+    }
+  }
+  for (double unserved : assignment.unserved) {
+    report.total_rate += unserved;
+    report.violating_rate += unserved;
+  }
+  report.mean_latency_ms =
+      finite_latency_rate > 0.0 ? weighted_latency / finite_latency_rate : 0.0;
+  return report;
+}
+
+}  // namespace gp::dspp

@@ -1,0 +1,56 @@
+// Demand-assignment policy of the request routers (eq. (13) of the paper):
+// each router splits its demand across data centers proportionally to
+// x_lv / a_lv, which guarantees the per-(l, v) SLA whenever constraint (12)
+// holds. This module also evaluates the realized M/M/1 latencies so the
+// simulation can report actual SLA compliance.
+#pragma once
+
+#include "dspp/model.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace gp::dspp {
+
+/// Realized routing for one control period.
+struct Assignment {
+  /// sigma per pair (requests/s routed from v to l).
+  linalg::Vector rate;
+  /// Demand that could not be routed because an access network had zero
+  /// allocated capacity (per access network, requests/s).
+  linalg::Vector unserved;
+
+  double total_unserved() const;
+};
+
+/// Splits demand according to eq. (13). `allocation` is x per pair, `demand`
+/// is D per access network. Demand of a network whose pairs all have x = 0
+/// is reported as unserved rather than routed.
+Assignment assign_demand(const PairIndex& pairs, const linalg::Vector& allocation,
+                         const linalg::Vector& demand);
+
+/// Latency/SLA evaluation of an assignment.
+struct SlaReport {
+  double worst_latency_ms = 0.0;        ///< max mean end-to-end latency over loaded pairs
+  double mean_latency_ms = 0.0;         ///< demand-weighted mean latency
+  double violating_rate = 0.0;          ///< requests/s exceeding the SLA bound (incl. unserved)
+  double total_rate = 0.0;              ///< total demand
+  std::size_t overloaded_pairs = 0;     ///< pairs driven at or beyond mu (unstable queue)
+
+  /// Fraction of demand meeting the SLA, in [0, 1].
+  double compliance() const {
+    return total_rate > 0.0 ? 1.0 - violating_rate / total_rate : 1.0;
+  }
+};
+
+/// Evaluates the mean M/M/1 end-to-end latency of every loaded pair under
+/// the given allocation and assignment, against the model's SLA bound.
+///
+/// `relative_tolerance` is the margin above the bound still counted as
+/// compliant: an optimal allocation sits *exactly* on the SLA boundary
+/// (constraint (11) is tight at the optimum), so a strict comparison would
+/// flip on solver-tolerance noise. 1% is well below any materially felt
+/// violation and well above numerical slack.
+SlaReport evaluate_sla(const DsppModel& model, const PairIndex& pairs,
+                       const linalg::Vector& allocation, const Assignment& assignment,
+                       double relative_tolerance = 0.01);
+
+}  // namespace gp::dspp

@@ -1,0 +1,93 @@
+#include "dspp/model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::dspp {
+
+void DsppModel::validate() const {
+  const std::size_t num_l = network.num_datacenters();
+  require(num_l >= 1, "DsppModel: need at least one data center");
+  require(network.num_access_networks() >= 1, "DsppModel: need at least one access network");
+  require(reconfig_cost.size() == num_l, "DsppModel: reconfig_cost size != L");
+  require(capacity.size() == num_l, "DsppModel: capacity size != L");
+  for (double c : reconfig_cost) require(c >= 0.0, "DsppModel: negative reconfiguration cost");
+  for (double cap : capacity) require(cap > 0.0, "DsppModel: capacity must be > 0");
+  require(server_size > 0.0, "DsppModel: server size must be > 0");
+  require(sla.mu > 0.0, "DsppModel: mu must be > 0");
+  require(sla.max_latency_ms > 0.0, "DsppModel: max latency must be > 0");
+  require(sla.reservation_ratio >= 1.0, "DsppModel: reservation ratio must be >= 1");
+  require(sla.percentile >= 0.0 && sla.percentile < 1.0, "DsppModel: percentile in [0, 1)");
+  if (!max_latency_override_ms.empty()) {
+    require(max_latency_override_ms.size() == num_l,
+            "DsppModel: latency override row count != L");
+    for (const auto& row : max_latency_override_ms) {
+      require(row.size() == network.num_access_networks(),
+              "DsppModel: latency override row size != V");
+    }
+  }
+}
+
+double DsppModel::max_latency_ms_for(std::size_t l, std::size_t v) const {
+  if (l < max_latency_override_ms.size() && v < max_latency_override_ms[l].size() &&
+      max_latency_override_ms[l][v] > 0.0) {
+    return max_latency_override_ms[l][v];
+  }
+  return sla.max_latency_ms;
+}
+
+double DsppModel::sla_coefficient(std::size_t l, std::size_t v) const {
+  queueing::SlaParams params;
+  params.mu = sla.mu;
+  params.network_latency = network.latency_ms(l, v) / 1000.0;
+  params.max_latency = max_latency_ms_for(l, v) / 1000.0;
+  params.reservation_ratio = sla.reservation_ratio;
+  params.percentile = sla.percentile;
+  return queueing::sla_coefficient(params);
+}
+
+PairIndex::PairIndex(const DsppModel& model) {
+  model.validate();
+  num_l_ = model.num_datacenters();
+  num_v_ = model.num_access_networks();
+  pair_of_.assign(num_l_, std::vector<std::int32_t>(num_v_, -1));
+  by_access_network_.assign(num_v_, {});
+  by_datacenter_.assign(num_l_, {});
+  for (std::size_t l = 0; l < num_l_; ++l) {
+    for (std::size_t v = 0; v < num_v_; ++v) {
+      const double a = model.sla_coefficient(l, v);
+      if (!std::isfinite(a)) continue;
+      const std::size_t id = pairs_.size();
+      pairs_.emplace_back(l, v);
+      a_.push_back(a);
+      pair_of_[l][v] = static_cast<std::int32_t>(id);
+      by_access_network_[v].push_back(id);
+      by_datacenter_[l].push_back(id);
+    }
+  }
+  for (std::size_t v = 0; v < num_v_; ++v) {
+    require(!by_access_network_[v].empty(),
+            "PairIndex: access network " + std::to_string(v) +
+                " has no data center able to meet the SLA");
+  }
+}
+
+std::optional<std::size_t> PairIndex::pair_of(std::size_t l, std::size_t v) const {
+  require(l < num_l_ && v < num_v_, "pair_of: index out of range");
+  const std::int32_t id = pair_of_[l][v];
+  if (id < 0) return std::nullopt;
+  return static_cast<std::size_t>(id);
+}
+
+const std::vector<std::size_t>& PairIndex::pairs_of_access_network(std::size_t v) const {
+  require(v < num_v_, "pairs_of_access_network: out of range");
+  return by_access_network_[v];
+}
+
+const std::vector<std::size_t>& PairIndex::pairs_of_datacenter(std::size_t l) const {
+  require(l < num_l_, "pairs_of_datacenter: out of range");
+  return by_datacenter_[l];
+}
+
+}  // namespace gp::dspp

@@ -1,0 +1,23 @@
+#include "dspp/provisioning.hpp"
+
+#include "common/error.hpp"
+
+namespace gp::dspp {
+
+linalg::Vector min_cost_placement(const DsppModel& model, const PairIndex& pairs,
+                                  const linalg::Vector& demand, const linalg::Vector& price,
+                                  qp::QpSolver& solver) {
+  DsppModel static_model = model;
+  for (double& c : static_model.reconfig_cost) c = 0.0;
+  WindowInputs inputs;
+  inputs.initial_state.assign(pairs.num_pairs(), 0.0);
+  inputs.demand = {demand};
+  inputs.price = {price};
+  const WindowProgram program(static_model, pairs, std::move(inputs));
+  const WindowSolution solution = program.solve(solver);
+  ensure(solution.ok(),
+         "min_cost_placement: provisioning QP failed: " + qp::to_string(solution.status));
+  return solution.x.front();
+}
+
+}  // namespace gp::dspp

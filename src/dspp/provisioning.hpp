@@ -1,0 +1,17 @@
+// One-shot provisioning: the cheapest SLA-feasible placement for a single
+// demand vector, ignoring reconfiguration. Used to initialize simulations,
+// by the static/reactive baselines, and by MpcController::provision_for.
+#pragma once
+
+#include "dspp/window_program.hpp"
+
+namespace gp::dspp {
+
+/// Solves min p.x s.t. demand, capacity, x >= 0 for one period and returns
+/// x per pair. Throws InvariantError when the solver fails (the problem is
+/// feasible whenever total capacity can carry the demand).
+linalg::Vector min_cost_placement(const DsppModel& model, const PairIndex& pairs,
+                                  const linalg::Vector& demand, const linalg::Vector& price,
+                                  qp::QpSolver& solver);
+
+}  // namespace gp::dspp

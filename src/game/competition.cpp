@@ -1,0 +1,290 @@
+#include "game/competition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::game {
+
+using linalg::Triplet;
+using linalg::Vector;
+
+CompetitionGame::CompetitionGame(std::vector<ProviderConfig> providers, Vector capacity,
+                                 GameSettings settings)
+    : providers_(std::move(providers)), capacity_(std::move(capacity)), settings_(settings),
+      solver_([&settings] {
+        // The quota exchange is driven by the capacity duals, so the best
+        // responses are polished to near-exact KKT points.
+        qp::AdmmSettings solver_settings = settings.solver;
+        solver_settings.polish = true;
+        return solver_settings;
+      }()) {
+  require(!providers_.empty(), "CompetitionGame: need at least one provider");
+  require(settings_.epsilon > 0.0, "CompetitionGame: epsilon must be > 0");
+  require(settings_.step_size > 0.0, "CompetitionGame: step size must be > 0");
+  require(settings_.soft_demand_penalty > 0.0,
+          "CompetitionGame: soft demand penalty must be > 0 (quotas can be infeasible)");
+  horizon_ = providers_.front().demand.size();
+  const std::size_t num_l = providers_.front().model.num_datacenters();
+  require(capacity_.size() == num_l, "CompetitionGame: capacity size != L");
+  for (double c : capacity_) require(c > 0.0, "CompetitionGame: capacity must be > 0");
+  pair_index_.reserve(providers_.size());
+  for (const auto& provider : providers_) {
+    require(provider.demand.size() == horizon_, "CompetitionGame: providers disagree on W");
+    require(provider.price.size() == horizon_, "CompetitionGame: price horizon mismatch");
+    require(provider.model.num_datacenters() == num_l,
+            "CompetitionGame: providers disagree on the data-center set");
+    pair_index_.emplace_back(provider.model);
+    require(provider.initial_state.size() == pair_index_.back().num_pairs(),
+            "CompetitionGame: initial state size mismatch");
+  }
+}
+
+dspp::WindowSolution CompetitionGame::best_response(std::size_t i, const Vector& quota) {
+  const auto& provider = providers_[i];
+  dspp::WindowInputs inputs;
+  inputs.initial_state = provider.initial_state;
+  inputs.demand = provider.demand;
+  inputs.price = provider.price;
+  inputs.capacity_override = quota;
+  inputs.soft_demand_penalty = settings_.soft_demand_penalty;
+  const dspp::WindowProgram program(provider.model, pair_index_[i], std::move(inputs));
+  return program.solve(solver_);
+}
+
+GameResult CompetitionGame::run(std::optional<std::vector<Vector>> initial_quotas) {
+  const std::size_t n = providers_.size();
+  const std::size_t num_l = capacity_.size();
+
+  // Quotas: caller-provided warm start, or the equal split C^i = C / N.
+  std::vector<Vector> quotas;
+  if (initial_quotas) {
+    quotas = std::move(*initial_quotas);
+    require(quotas.size() == n, "run: initial quota count != providers");
+    for (const auto& quota : quotas) {
+      require(quota.size() == num_l, "run: initial quota size != L");
+      for (double q : quota) require(q > 0.0, "run: initial quotas must be > 0");
+    }
+  } else {
+    quotas.assign(n, Vector(num_l, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t l = 0; l < num_l; ++l) {
+        quotas[i][l] = capacity_[l] / static_cast<double>(n);
+      }
+    }
+  }
+  const double quota_floor_scale = settings_.min_quota_fraction / static_cast<double>(n);
+
+  GameResult result;
+  result.provider_costs.assign(n, 0.0);
+  result.solutions.resize(n);
+  double previous_cost = std::numeric_limits<double>::infinity();
+  int stable_streak = 0;
+
+  for (int iteration = 0; iteration < settings_.max_iterations; ++iteration) {
+    // --- Best responses and duals. ---
+    double total_cost = 0.0;
+    std::vector<Vector> duals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.solutions[i] = best_response(i, quotas[i]);
+      // A soft best response is always feasible; accept a max-iterations
+      // iterate (the ADMM solution is a usable approximation and its duals
+      // still point the quota update in the right direction), but a
+      // certificate of infeasibility or a numerical failure is a bug.
+      const auto status = result.solutions[i].status;
+      ensure(status == qp::SolveStatus::kOptimal || status == qp::SolveStatus::kMaxIterations,
+             "CompetitionGame: best response of provider " + std::to_string(i) +
+                 " failed with status " + qp::to_string(status));
+      result.provider_costs[i] = result.solutions[i].objective;
+      total_cost += result.provider_costs[i];
+      duals[i] = result.solutions[i].capacity_price();
+    }
+    result.cost_history.push_back(total_cost);
+    result.iterations = iteration + 1;
+    result.total_cost = total_cost;
+
+    // --- Convergence check: the paper's relative-cost criterion, demanded
+    // for several consecutive iterations (one quiet iteration can be an
+    // early plateau while quotas are still being exchanged). ---
+    if (std::isfinite(previous_cost) &&
+        std::abs(total_cost - previous_cost) <= settings_.epsilon * std::abs(previous_cost)) {
+      ++stable_streak;
+      if (stable_streak >= settings_.stable_iterations_required) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      stable_streak = 0;
+    }
+    previous_cost = total_cost;
+
+    // --- Quota update (Algorithm 2, lines 7-8); see QuotaUpdateRule. ---
+    for (std::size_t l = 0; l < num_l; ++l) {
+      const double floor = quota_floor_scale * capacity_[l];
+      if (settings_.update_rule == QuotaUpdateRule::kPaperFixedStep) {
+        // Cbar^i = C^i + alpha lambda^i; C^i := Cbar^i * C / sum_j Cbar^j.
+        double column_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          quotas[i][l] =
+              std::max(floor, quotas[i][l] + settings_.paper_step_size * duals[i][l]);
+          column_sum += quotas[i][l];
+        }
+        ensure(column_sum > 0.0, "CompetitionGame: quota column collapsed");
+        for (std::size_t i = 0; i < n; ++i) {
+          quotas[i][l] = std::max(floor, quotas[i][l] * capacity_[l] / column_sum);
+        }
+        continue;
+      }
+      // kStabilized: move capacity along MEAN-CENTRED duals (from providers
+      // whose marginal value lambda^{il} is below average to those above),
+      // with the step normalized by the dual spread so at most `step_size`
+      // of C^l moves per iteration, and diminishing over iterations. The
+      // fixed point — equal duals across providers — is the socially
+      // optimal split behind Theorem 1.
+      double mean_dual = 0.0, max_dual = 0.0, min_dual = std::numeric_limits<double>::max();
+      for (std::size_t i = 0; i < n; ++i) {
+        mean_dual += duals[i][l];
+        max_dual = std::max(max_dual, duals[i][l]);
+        min_dual = std::min(min_dual, duals[i][l]);
+      }
+      mean_dual /= static_cast<double>(n);
+      const double spread = max_dual - min_dual;
+      if (spread <= 1e-12) continue;  // all marginal values equal: at rest
+      const double step =
+          settings_.step_size / (1.0 + settings_.step_decay * static_cast<double>(iteration));
+      const double alpha = step * capacity_[l] / spread;
+      double column_sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        quotas[i][l] = std::max(floor, quotas[i][l] + alpha * (duals[i][l] - mean_dual));
+        column_sum += quotas[i][l];
+      }
+      // Flooring can perturb the sum; renormalize back onto the simplex.
+      for (std::size_t i = 0; i < n; ++i) {
+        quotas[i][l] = std::max(floor, quotas[i][l] * capacity_[l] / column_sum);
+      }
+    }
+  }
+
+  result.quotas = std::move(quotas);
+  for (const auto& solution : result.solutions) {
+    for (const auto& per_period : solution.unserved) {
+      for (double value : per_period) result.total_unserved += value;
+    }
+  }
+  return result;
+}
+
+SocialWelfareResult CompetitionGame::solve_social_welfare() {
+  const std::size_t n = providers_.size();
+  const std::size_t num_l = capacity_.size();
+
+  // Per-provider window programs with effectively unconstrained private
+  // capacity; the shared capacity rows are appended jointly below.
+  std::vector<dspp::WindowProgram> programs;
+  programs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dspp::WindowInputs inputs;
+    inputs.initial_state = providers_[i].initial_state;
+    inputs.demand = providers_[i].demand;
+    inputs.price = providers_[i].price;
+    inputs.capacity_override = Vector(num_l, 1e12);
+    inputs.soft_demand_penalty = settings_.soft_demand_penalty;
+    programs.emplace_back(providers_[i].model, pair_index_[i], std::move(inputs));
+  }
+
+  // --- Assemble the joint QP: block-diagonal stack + shared capacity rows.
+  std::size_t total_vars = 0, total_rows = 0;
+  std::vector<std::size_t> var_offset(n), row_offset(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    var_offset[i] = total_vars;
+    row_offset[i] = total_rows;
+    total_vars += programs[i].problem().num_variables();
+    total_rows += programs[i].problem().num_constraints();
+  }
+  const std::size_t shared_rows = horizon_ * num_l;
+
+  qp::QpProblem joint;
+  joint.q.assign(total_vars, 0.0);
+  joint.lower.assign(total_rows + shared_rows, 0.0);
+  joint.upper.assign(total_rows + shared_rows, 0.0);
+  std::vector<Triplet> p_triplets, a_triplets;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& block = programs[i].problem();
+    const auto voff = static_cast<std::int32_t>(var_offset[i]);
+    const auto roff = static_cast<std::int32_t>(row_offset[i]);
+    // P block.
+    const auto pc = block.p.col_ptr();
+    const auto pr = block.p.row_idx();
+    const auto pv = block.p.values();
+    for (std::int32_t c = 0; c < block.p.cols(); ++c) {
+      for (std::int32_t e = pc[c]; e < pc[c + 1]; ++e) {
+        p_triplets.push_back({pr[e] + voff, c + voff, pv[e]});
+      }
+    }
+    for (std::size_t j = 0; j < block.q.size(); ++j) joint.q[var_offset[i] + j] = block.q[j];
+    // A block.
+    const auto ac = block.a.col_ptr();
+    const auto ar = block.a.row_idx();
+    const auto av = block.a.values();
+    for (std::int32_t c = 0; c < block.a.cols(); ++c) {
+      for (std::int32_t e = ac[c]; e < ac[c + 1]; ++e) {
+        a_triplets.push_back({ar[e] + roff, c + voff, av[e]});
+      }
+    }
+    for (std::size_t r = 0; r < block.num_constraints(); ++r) {
+      joint.lower[row_offset[i] + r] = block.lower[r];
+      joint.upper[row_offset[i] + r] = block.upper[r];
+    }
+  }
+  // Shared capacity rows: sum_i sum_{pairs in l} s^i x^i_{t, pair} <= C^l.
+  for (std::size_t t = 0; t < horizon_; ++t) {
+    for (std::size_t l = 0; l < num_l; ++l) {
+      const auto row = static_cast<std::int32_t>(total_rows + t * num_l + l);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (const std::size_t pair : pair_index_[i].pairs_of_datacenter(l)) {
+          a_triplets.push_back(
+              {row, static_cast<std::int32_t>(var_offset[i] + programs[i].x_variable(t, pair)),
+               providers_[i].model.server_size});
+        }
+      }
+      joint.lower[total_rows + t * num_l + l] = -qp::kInfinity;
+      joint.upper[total_rows + t * num_l + l] = capacity_[l];
+    }
+  }
+  joint.p = linalg::SparseMatrix::from_triplets(static_cast<std::int32_t>(total_vars),
+                                                static_cast<std::int32_t>(total_vars),
+                                                p_triplets);
+  joint.a = linalg::SparseMatrix::from_triplets(
+      static_cast<std::int32_t>(total_rows + shared_rows),
+      static_cast<std::int32_t>(total_vars), a_triplets);
+
+  const qp::QpResult raw = solver_.solve(joint);
+  SocialWelfareResult result;
+  if (!raw.ok()) return result;
+  result.solved = true;
+  result.total_cost = raw.objective;
+  result.provider_costs.assign(n, 0.0);
+  result.x.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    // Slice this provider's variables and re-evaluate its own objective.
+    const auto& block = programs[i].problem();
+    Vector xi(block.num_variables());
+    for (std::size_t j = 0; j < xi.size(); ++j) xi[j] = raw.x[var_offset[i] + j];
+    result.provider_costs[i] = block.objective(xi);
+    qp::QpResult sliced;
+    sliced.status = qp::SolveStatus::kOptimal;
+    sliced.x = std::move(xi);
+    sliced.objective = result.provider_costs[i];
+    result.x[i] = programs[i].extract(sliced).x;
+  }
+  return result;
+}
+
+double efficiency_ratio(const GameResult& equilibrium, const SocialWelfareResult& welfare) {
+  require(welfare.solved, "efficiency_ratio: SWP not solved");
+  require(welfare.total_cost > 0.0, "efficiency_ratio: non-positive SWP cost");
+  return equilibrium.total_cost / welfare.total_cost;
+}
+
+}  // namespace gp::game

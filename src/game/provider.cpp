@@ -1,0 +1,65 @@
+#include "game/provider.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::game {
+
+using linalg::Vector;
+
+ProviderConfig make_random_provider(const topology::NetworkModel& network,
+                                    const RandomProviderParams& params, Rng& rng) {
+  require(params.horizon >= 1, "make_random_provider: horizon must be >= 1");
+  require(!params.server_sizes.empty(), "make_random_provider: no server sizes");
+  ProviderConfig config;
+  config.model.network = network;
+  // Redraw the SLA until every access network is reachable (a tight random
+  // dbar may cut off distant networks entirely).
+  for (int attempt = 0;; ++attempt) {
+    config.model.sla.mu = rng.uniform(params.mu_min, params.mu_max);
+    config.model.sla.max_latency_ms =
+        rng.uniform(params.max_latency_min_ms, params.max_latency_max_ms);
+    bool all_reachable = true;
+    for (std::size_t v = 0; v < network.num_access_networks() && all_reachable; ++v) {
+      bool reachable = false;
+      for (std::size_t l = 0; l < network.num_datacenters() && !reachable; ++l) {
+        reachable = std::isfinite(config.model.sla_coefficient(l, v));
+      }
+      all_reachable = reachable;
+    }
+    if (all_reachable) break;
+    require(attempt < 200, "make_random_provider: cannot find a feasible SLA draw");
+  }
+  const std::size_t num_l = network.num_datacenters();
+  const std::size_t num_v = network.num_access_networks();
+  config.model.reconfig_cost.resize(num_l);
+  for (double& c : config.model.reconfig_cost) {
+    c = rng.uniform(params.reconfig_min, params.reconfig_max);
+  }
+  config.model.capacity.assign(num_l, 1e12);  // overridden by quotas in the game
+  config.model.server_size = params.server_sizes[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(params.server_sizes.size()) - 1))];
+
+  // Demand: random level per access network with a mild random walk in t.
+  Vector level(num_v);
+  for (double& d : level) d = rng.uniform(params.demand_min, params.demand_max);
+  config.demand.assign(params.horizon, Vector(num_v, 0.0));
+  for (std::size_t t = 0; t < params.horizon; ++t) {
+    for (std::size_t v = 0; v < num_v; ++v) {
+      if (t > 0) level[v] = std::max(1.0, level[v] * rng.uniform(0.9, 1.1));
+      config.demand[t][v] = level[v];
+    }
+  }
+  // Prices: constant per data center over the window.
+  Vector price(num_l);
+  for (double& p : price) p = rng.uniform(params.price_min, params.price_max);
+  config.price.assign(params.horizon, price);
+
+  const dspp::PairIndex pairs(config.model);
+  config.initial_state.assign(pairs.num_pairs(), 0.0);
+  return config;
+}
+
+}  // namespace gp::game

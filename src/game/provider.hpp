@@ -1,0 +1,39 @@
+// A service provider participating in the resource-competition game
+// (Section VI of the paper): its own SLA parameters (mu^i, dbar^i), server
+// size s^i, reconfiguration weights c^{il}, demand forecast D^i and initial
+// placement — everything needed to solve its best-response DSPP given a
+// capacity quota.
+#pragma once
+
+#include "common/rng.hpp"
+#include "dspp/window_program.hpp"
+
+namespace gp::game {
+
+/// One provider's private data. The model's `capacity` field is ignored by
+/// the game (quotas override it); `server_size` is the s^i of eq. (16).
+struct ProviderConfig {
+  dspp::DsppModel model;
+  linalg::Vector initial_state;          ///< per usable pair of this provider
+  std::vector<linalg::Vector> demand;    ///< [t][v] over the game window
+  std::vector<linalg::Vector> price;     ///< [t][l] over the game window
+};
+
+/// Parameters for sampling random providers (the paper generates
+/// (mu^i, D^i_k, s^i, c^{il}, dbar^i) randomly for its Figs. 7-8).
+struct RandomProviderParams {
+  std::size_t horizon = 3;
+  double mu_min = 50.0, mu_max = 150.0;
+  double max_latency_min_ms = 80.0, max_latency_max_ms = 200.0;
+  double demand_min = 50.0, demand_max = 300.0;     ///< per access network, req/s
+  double reconfig_min = 0.1, reconfig_max = 2.0;    ///< c^{il}
+  std::vector<double> server_sizes = {1.0, 2.0, 4.0};  ///< s^i drawn uniformly
+  double price_min = 0.02, price_max = 0.12;        ///< $/server/period
+};
+
+/// Samples a provider over the given shared network. Demands follow a mild
+/// random walk across the window; prices are constant per (provider, DC).
+ProviderConfig make_random_provider(const topology::NetworkModel& network,
+                                    const RandomProviderParams& params, Rng& rng);
+
+}  // namespace gp::game

@@ -1,0 +1,75 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::linalg {
+
+CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b, Vector& x,
+                            const CgSettings& settings) {
+  require(a.rows() == a.cols(), "conjugate_gradient: matrix must be square");
+  const auto n = static_cast<std::size_t>(a.rows());
+  require(b.size() == n, "conjugate_gradient: rhs size mismatch");
+  require(x.size() == n, "conjugate_gradient: x size mismatch");
+  require(settings.max_iterations >= 1, "conjugate_gradient: max_iterations must be >= 1");
+  require(settings.tolerance > 0.0, "conjugate_gradient: tolerance must be > 0");
+
+  // Jacobi preconditioner: M^{-1} = 1 / diag(A) (identity where the
+  // diagonal vanishes).
+  Vector inv_diag(n, 1.0);
+  if (settings.jacobi_preconditioner) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = a.coefficient(static_cast<std::int32_t>(i),
+                                     static_cast<std::int32_t>(i));
+      inv_diag[i] = std::abs(d) > 1e-300 ? 1.0 / d : 1.0;
+    }
+  }
+  auto apply_preconditioner = [&](const Vector& r) {
+    Vector z(n);
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    return z;
+  };
+
+  const double b_norm = norm2(b);
+  CgResult result;
+  if (b_norm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  Vector r = sub(b, a.multiply(x));
+  Vector z = apply_preconditioner(r);
+  Vector direction = z;
+  double rho = dot(r, z);
+
+  for (int iteration = 0; iteration < settings.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    const Vector a_direction = a.multiply(direction);
+    const double curvature = dot(direction, a_direction);
+    if (curvature <= 0.0) {
+      // Not positive definite along this direction: report non-convergence.
+      result.relative_residual = norm2(r) / b_norm;
+      return result;
+    }
+    const double alpha = rho / curvature;
+    axpy(alpha, direction, x);
+    axpy(-alpha, a_direction, r);
+    const double residual = norm2(r) / b_norm;
+    if (residual <= settings.tolerance) {
+      result.converged = true;
+      result.relative_residual = residual;
+      return result;
+    }
+    z = apply_preconditioner(r);
+    const double rho_next = dot(r, z);
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::size_t i = 0; i < n; ++i) direction[i] = z[i] + beta * direction[i];
+  }
+  result.relative_residual = norm2(r) / b_norm;
+  return result;
+}
+
+}  // namespace gp::linalg

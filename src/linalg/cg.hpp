@@ -1,0 +1,36 @@
+// Preconditioned conjugate gradient for sparse symmetric positive-definite
+// systems.
+//
+// The direct sparse LDL^T is the library's workhorse, but very large window
+// programs (many data centers x access networks x long horizons) can push
+// the factorization's fill beyond memory. CG needs only matrix-vector
+// products, making it the scalable fallback; a Jacobi (diagonal)
+// preconditioner is built in because the DSPP normal-equation systems are
+// strongly diagonally weighted.
+#pragma once
+
+#include "linalg/sparse_matrix.hpp"
+
+namespace gp::linalg {
+
+/// Options for conjugate_gradient.
+struct CgSettings {
+  int max_iterations = 1000;
+  double tolerance = 1e-10;     ///< on ||r|| / ||b||
+  bool jacobi_preconditioner = true;
+};
+
+/// Outcome of a CG solve.
+struct CgResult {
+  bool converged = false;
+  int iterations = 0;
+  double relative_residual = 0.0;  ///< final ||b - A x|| / ||b||
+};
+
+/// Solves A x = b for symmetric positive-definite A, starting from the
+/// provided x (warm starts welcome; pass zeros otherwise). The full matrix
+/// must be supplied (not just a triangle).
+CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b, Vector& x,
+                            const CgSettings& settings = {});
+
+}  // namespace gp::linalg

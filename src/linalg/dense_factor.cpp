@@ -1,0 +1,168 @@
+#include "linalg/dense_factor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::linalg {
+
+FactorStatus Cholesky::factor(const DenseMatrix& a) {
+  require(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  l_ = DenseMatrix(n, n);
+  factored_ = false;
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0) return FactorStatus::kNotPositiveDefinite;
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double value = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) value -= l_(i, k) * l_(j, k);
+      l_(i, j) = value / ljj;
+    }
+  }
+  factored_ = true;
+  return FactorStatus::kOk;
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  require(factored_, "Cholesky::solve before successful factor()");
+  const std::size_t n = l_.rows();
+  require(b.size() == n, "Cholesky::solve: size mismatch");
+  Vector x(b.begin(), b.end());
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = x[i];
+    for (std::size_t k = 0; k < i; ++k) value -= l_(i, k) * x[k];
+    x[i] = value / l_(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    double value = x[i];
+    for (std::size_t k = i + 1; k < n; ++k) value -= l_(k, i) * x[k];
+    x[i] = value / l_(i, i);
+  }
+  return x;
+}
+
+FactorStatus Ldlt::factor(const DenseMatrix& a, double pivot_tolerance) {
+  require(a.rows() == a.cols(), "Ldlt: matrix must be square");
+  const std::size_t n = a.rows();
+  l_ = DenseMatrix(n, n);
+  d_.assign(n, 0.0);
+  factored_ = false;
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l_(j, k) * l_(j, k) * d_[k];
+    if (std::abs(dj) < pivot_tolerance) return FactorStatus::kZeroPivot;
+    d_[j] = dj;
+    l_(j, j) = 1.0;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double value = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) value -= l_(i, k) * l_(j, k) * d_[k];
+      l_(i, j) = value / dj;
+    }
+  }
+  factored_ = true;
+  return FactorStatus::kOk;
+}
+
+Vector Ldlt::solve(std::span<const double> b) const {
+  require(factored_, "Ldlt::solve before successful factor()");
+  const std::size_t n = l_.rows();
+  require(b.size() == n, "Ldlt::solve: size mismatch");
+  Vector x(b.begin(), b.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = x[i];
+    for (std::size_t k = 0; k < i; ++k) value -= l_(i, k) * x[k];
+    x[i] = value;  // L has unit diagonal
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] /= d_[i];
+  for (std::size_t i = n; i-- > 0;) {
+    double value = x[i];
+    for (std::size_t k = i + 1; k < n; ++k) value -= l_(k, i) * x[k];
+    x[i] = value;
+  }
+  return x;
+}
+
+FactorStatus HouseholderQr::factor(const DenseMatrix& a, double rank_tolerance) {
+  require(a.rows() >= a.cols(), "HouseholderQr: requires rows >= cols");
+  qr_ = a;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  beta_.assign(n, 0.0);
+  factored_ = false;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Build the Householder reflector for column j.
+    double norm_sq = 0.0;
+    for (std::size_t i = j; i < m; ++i) norm_sq += qr_(i, j) * qr_(i, j);
+    const double norm = std::sqrt(norm_sq);
+    if (norm < rank_tolerance) return FactorStatus::kRankDeficient;
+    const double alpha = qr_(j, j) >= 0.0 ? -norm : norm;
+    const double v0 = qr_(j, j) - alpha;
+    // v = (v0, qr(j+1..m-1, j)); beta = 2 / (v^T v).
+    double vtv = v0 * v0;
+    for (std::size_t i = j + 1; i < m; ++i) vtv += qr_(i, j) * qr_(i, j);
+    if (vtv < rank_tolerance * rank_tolerance) {
+      beta_[j] = 0.0;  // column already triangular
+      qr_(j, j) = alpha;
+      continue;
+    }
+    beta_[j] = 2.0 / vtv;
+    // Apply the reflector to the trailing columns.
+    for (std::size_t c = j + 1; c < n; ++c) {
+      double proj = v0 * qr_(j, c);
+      for (std::size_t i = j + 1; i < m; ++i) proj += qr_(i, j) * qr_(i, c);
+      proj *= beta_[j];
+      qr_(j, c) -= proj * v0;
+      for (std::size_t i = j + 1; i < m; ++i) qr_(i, c) -= proj * qr_(i, j);
+    }
+    qr_(j, j) = alpha;
+    // Store v (below diagonal); v0 is kept in a scaled form: normalize so the
+    // stored sub-diagonal entries are v_i / v0 and fold v0 into beta.
+    if (v0 != 0.0) {
+      for (std::size_t i = j + 1; i < m; ++i) qr_(i, j) /= v0;
+      beta_[j] *= v0 * v0;
+    } else {
+      beta_[j] = 0.0;
+    }
+  }
+  factored_ = true;
+  return FactorStatus::kOk;
+}
+
+Vector HouseholderQr::solve_least_squares(std::span<const double> b) const {
+  require(factored_, "HouseholderQr::solve before successful factor()");
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  require(b.size() == m, "HouseholderQr::solve: size mismatch");
+  Vector y(b.begin(), b.end());
+  // Apply Q^T = H_{n-1} ... H_0 to b. Stored v has implicit v_j = 1.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (beta_[j] == 0.0) continue;
+    double proj = y[j];
+    for (std::size_t i = j + 1; i < m; ++i) proj += qr_(i, j) * y[i];
+    proj *= beta_[j];
+    y[j] -= proj;
+    for (std::size_t i = j + 1; i < m; ++i) y[i] -= proj * qr_(i, j);
+  }
+  // Back-substitute R x = y[0..n).
+  Vector x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double value = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) value -= qr_(i, k) * x[k];
+    x[i] = value / qr_(i, i);
+  }
+  return x;
+}
+
+std::optional<Vector> least_squares(const DenseMatrix& a, std::span<const double> b) {
+  HouseholderQr qr;
+  if (qr.factor(a) != FactorStatus::kOk) return std::nullopt;
+  return qr.solve_least_squares(b);
+}
+
+}  // namespace gp::linalg

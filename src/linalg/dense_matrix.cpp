@@ -1,0 +1,100 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  require(data_.size() == rows * cols, "DenseMatrix: data size does not match shape");
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix eye(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+DenseMatrix DenseMatrix::diagonal(std::span<const double> diag) {
+  DenseMatrix out(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) out(i, i) = diag[i];
+  return out;
+}
+
+Vector DenseMatrix::multiply(std::span<const double> x) const {
+  require(x.size() == cols_, "multiply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    double total = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) total += row_ptr[c] * x[c];
+    y[r] = total;
+  }
+  return y;
+}
+
+Vector DenseMatrix::multiply_transposed(std::span<const double> x) const {
+  require(x.size() == rows_, "multiply_transposed: size mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row_ptr[c] * xr;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+DenseMatrix DenseMatrix::operator+(const DenseMatrix& other) const {
+  require(same_shape(other), "operator+: shape mismatch");
+  DenseMatrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+DenseMatrix DenseMatrix::operator-(const DenseMatrix& other) const {
+  require(same_shape(other), "operator-: shape mismatch");
+  DenseMatrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+DenseMatrix DenseMatrix::operator*(const DenseMatrix& other) const {
+  require(cols_ == other.rows_, "operator*: inner dimension mismatch");
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      const double* other_row = other.data_.data() + k * other.cols_;
+      double* out_row = out.data_.data() + r * out.cols_;
+      for (std::size_t c = 0; c < other.cols_; ++c) out_row[c] += a * other_row[c];
+    }
+  }
+  return out;
+}
+
+DenseMatrix& DenseMatrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+double DenseMatrix::norm_inf() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+}  // namespace gp::linalg

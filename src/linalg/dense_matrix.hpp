@@ -1,0 +1,73 @@
+// Row-major dense matrix used by the interior-point solver, AR model
+// fitting, and tests. Sizes in this library are small enough (a few
+// thousand) that a straightforward dense implementation is appropriate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace gp::linalg {
+
+/// Dense row-major matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix filled from row-major data (size must match).
+  DenseMatrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  static DenseMatrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  static DenseMatrix diagonal(std::span<const double> diag);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::span<const double> data() const { return data_; }
+
+  /// y = this * x.
+  Vector multiply(std::span<const double> x) const;
+
+  /// y = this^T * x.
+  Vector multiply_transposed(std::span<const double> x) const;
+
+  DenseMatrix transposed() const;
+
+  /// this + other (same shape).
+  DenseMatrix operator+(const DenseMatrix& other) const;
+
+  /// this - other (same shape).
+  DenseMatrix operator-(const DenseMatrix& other) const;
+
+  /// this * other (inner dimensions must agree).
+  DenseMatrix operator*(const DenseMatrix& other) const;
+
+  DenseMatrix& operator*=(double scalar);
+
+  /// Max |a_ij|.
+  double norm_inf() const;
+
+  bool same_shape(const DenseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace gp::linalg

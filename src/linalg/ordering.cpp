@@ -1,0 +1,138 @@
+#include "linalg/ordering.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gp::linalg {
+
+Permutation identity_permutation(std::int32_t n) {
+  Permutation perm(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  return perm;
+}
+
+Permutation invert_permutation(const Permutation& perm) {
+  Permutation inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<std::int32_t>(i);
+  }
+  return inv;
+}
+
+Permutation minimum_degree_ordering(const SparseMatrix& a) {
+  require(a.rows() == a.cols(), "minimum_degree_ordering: matrix must be square");
+  const std::int32_t n = a.rows();
+  // Build symmetric adjacency (pattern of A + A^T, no self-loops), as sorted
+  // unique neighbour lists.
+  std::vector<std::vector<std::int32_t>> adj(static_cast<std::size_t>(n));
+  const auto col_ptr = a.col_ptr();
+  const auto row_idx = a.row_idx();
+  for (std::int32_t c = 0; c < n; ++c) {
+    for (std::int32_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+      const std::int32_t r = row_idx[p];
+      if (r == c) continue;
+      adj[static_cast<std::size_t>(r)].push_back(c);
+      adj[static_cast<std::size_t>(c)].push_back(r);
+    }
+  }
+  for (auto& neighbours : adj) {
+    std::sort(neighbours.begin(), neighbours.end());
+    neighbours.erase(std::unique(neighbours.begin(), neighbours.end()), neighbours.end());
+  }
+
+  std::vector<bool> eliminated(static_cast<std::size_t>(n), false);
+  Permutation perm;
+  perm.reserve(static_cast<std::size_t>(n));
+
+  // Bucketed degrees with lazy revalidation.
+  std::vector<std::int32_t> degree(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(adj[static_cast<std::size_t>(v)].size());
+  }
+
+  auto prune = [&](std::vector<std::int32_t>& neighbours) {
+    neighbours.erase(std::remove_if(neighbours.begin(), neighbours.end(),
+                                    [&](std::int32_t v) {
+                                      return eliminated[static_cast<std::size_t>(v)];
+                                    }),
+                     neighbours.end());
+  };
+
+  for (std::int32_t step = 0; step < n; ++step) {
+    // Find the live vertex of minimum (up-to-date) degree.
+    std::int32_t best = -1;
+    std::int32_t best_degree = n + 1;
+    for (std::int32_t v = 0; v < n; ++v) {
+      if (eliminated[static_cast<std::size_t>(v)]) continue;
+      if (degree[static_cast<std::size_t>(v)] < best_degree) {
+        best = v;
+        best_degree = degree[static_cast<std::size_t>(v)];
+      }
+    }
+    ensure(best >= 0, "minimum_degree_ordering: no live vertex found");
+
+    auto& neighbours = adj[static_cast<std::size_t>(best)];
+    prune(neighbours);
+    eliminated[static_cast<std::size_t>(best)] = true;
+    perm.push_back(best);
+
+    // Form the elimination clique among the surviving neighbours.
+    for (std::int32_t u : neighbours) {
+      auto& list = adj[static_cast<std::size_t>(u)];
+      prune(list);
+      // Merge (sorted) the clique into u's adjacency, skipping u itself.
+      std::vector<std::int32_t> merged;
+      merged.reserve(list.size() + neighbours.size());
+      std::merge(list.begin(), list.end(), neighbours.begin(), neighbours.end(),
+                 std::back_inserter(merged));
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      merged.erase(std::remove(merged.begin(), merged.end(), u), merged.end());
+      list = std::move(merged);
+      degree[static_cast<std::size_t>(u)] = static_cast<std::int32_t>(list.size());
+    }
+    neighbours.clear();
+    neighbours.shrink_to_fit();
+  }
+  return perm;
+}
+
+SparseMatrix symmetric_permute_upper(const SparseMatrix& upper, const Permutation& perm) {
+  require(upper.rows() == upper.cols(), "symmetric_permute_upper: matrix must be square");
+  require(static_cast<std::int32_t>(perm.size()) == upper.rows(),
+          "symmetric_permute_upper: permutation size mismatch");
+  const Permutation inv = invert_permutation(perm);
+  const auto col_ptr = upper.col_ptr();
+  const auto row_idx = upper.row_idx();
+  const auto values = upper.values();
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(upper.nnz()));
+  for (std::int32_t c = 0; c < upper.cols(); ++c) {
+    for (std::int32_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+      const std::int32_t r = row_idx[p];
+      ensure(r <= c, "symmetric_permute_upper: input must be upper triangular");
+      std::int32_t new_r = inv[static_cast<std::size_t>(r)];
+      std::int32_t new_c = inv[static_cast<std::size_t>(c)];
+      if (new_r > new_c) std::swap(new_r, new_c);
+      triplets.push_back({new_r, new_c, values[p]});
+    }
+  }
+  return SparseMatrix::from_triplets(upper.rows(), upper.cols(), triplets);
+}
+
+Vector permute(std::span<const double> x, const Permutation& perm) {
+  require(x.size() == perm.size(), "permute: size mismatch");
+  Vector out(x.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) out[i] = x[static_cast<std::size_t>(perm[i])];
+  return out;
+}
+
+Vector permute_inverse(std::span<const double> x, const Permutation& perm) {
+  require(x.size() == perm.size(), "permute_inverse: size mismatch");
+  Vector out(x.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) out[static_cast<std::size_t>(perm[i])] = x[i];
+  return out;
+}
+
+}  // namespace gp::linalg

@@ -1,0 +1,40 @@
+// Fill-reducing orderings and symmetric permutation for sparse LDL^T.
+//
+// A classic minimum-degree ordering (greedy, quotient-free) is provided; it
+// is O(n^2) in the worst case but more than adequate for the KKT systems this
+// library factors (a few thousand unknowns, very sparse). An identity
+// ordering is available for tests and ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/sparse_matrix.hpp"
+
+namespace gp::linalg {
+
+/// Permutation vector semantics: perm[new_index] = old_index.
+using Permutation = std::vector<std::int32_t>;
+
+/// Identity permutation of size n.
+Permutation identity_permutation(std::int32_t n);
+
+/// Inverse permutation: inv[perm[i]] = i.
+Permutation invert_permutation(const Permutation& perm);
+
+/// Greedy minimum-degree ordering of the symmetric sparsity pattern of A
+/// (the pattern of A + A^T is used; values are ignored). A must be square.
+Permutation minimum_degree_ordering(const SparseMatrix& a);
+
+/// Symmetric permutation of a square symmetric matrix given by its UPPER
+/// triangle: returns the upper triangle of P A P^T where row/col old index
+/// perm[i] maps to new index i.
+SparseMatrix symmetric_permute_upper(const SparseMatrix& upper, const Permutation& perm);
+
+/// Applies a permutation to a vector: out[i] = x[perm[i]].
+Vector permute(std::span<const double> x, const Permutation& perm);
+
+/// Applies the inverse permutation: out[perm[i]] = x[i].
+Vector permute_inverse(std::span<const double> x, const Permutation& perm);
+
+}  // namespace gp::linalg

@@ -1,0 +1,65 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(std::span<const double> a) {
+  double best = 0.0;
+  for (double v : a) best = std::max(best, std::abs(v));
+  return best;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+Vector add(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "add: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "sub: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector hadamard(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "hadamard: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Vector constant(std::size_t size, double value) { return Vector(size, value); }
+
+Vector project_box(std::span<const double> x, std::span<const double> lo,
+                   std::span<const double> hi) {
+  require(x.size() == lo.size() && x.size() == hi.size(), "project_box: size mismatch");
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::min(std::max(x[i], lo[i]), hi[i]);
+  return out;
+}
+
+}  // namespace gp::linalg

@@ -1,0 +1,47 @@
+// Free-function kernels on dense vectors (std::vector<double>).
+//
+// The library represents dense vectors as plain std::vector<double>; these
+// kernels are the shared BLAS-1 layer for the dense and sparse solvers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gp::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dot product. Requires equal sizes.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+double norm2(std::span<const double> a);
+
+/// Infinity norm (max |a_i|); 0 for empty input.
+double norm_inf(std::span<const double> a);
+
+/// y += alpha * x. Requires equal sizes.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(double alpha, std::span<double> x);
+
+/// Element-wise out = a + b.
+Vector add(std::span<const double> a, std::span<const double> b);
+
+/// Element-wise out = a - b.
+Vector sub(std::span<const double> a, std::span<const double> b);
+
+/// Element-wise product.
+Vector hadamard(std::span<const double> a, std::span<const double> b);
+
+/// Constant vector of the given size.
+Vector constant(std::size_t size, double value);
+
+/// Element-wise projection of x onto the box [lo, hi] (vectors of equal
+/// size). Named distinctly from std::clamp, which ADL would otherwise find
+/// for std::vector arguments and clamp lexicographically.
+Vector project_box(std::span<const double> x, std::span<const double> lo,
+                   std::span<const double> hi);
+
+}  // namespace gp::linalg

@@ -1,0 +1,383 @@
+#include "qp/admm_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::qp {
+
+namespace {
+
+using linalg::SparseLdlt;
+using linalg::SparseMatrix;
+using linalg::Triplet;
+using linalg::Vector;
+
+/// Assembles the upper triangle of [[P + sigma I, A^T], [A, -diag(1/rho)]].
+SparseMatrix build_kkt_upper(const SparseMatrix& p, const SparseMatrix& a, double sigma,
+                             std::span<const double> rho) {
+  const std::int32_t n = p.rows();
+  const std::int32_t m = a.rows();
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(p.nnz() + a.nnz()) + static_cast<std::size_t>(n + m));
+
+  // Upper triangle of P.
+  const auto p_col = p.col_ptr();
+  const auto p_row = p.row_idx();
+  const auto p_val = p.values();
+  for (std::int32_t c = 0; c < n; ++c) {
+    for (std::int32_t idx = p_col[c]; idx < p_col[c + 1]; ++idx) {
+      if (p_row[idx] <= c) triplets.push_back({p_row[idx], c, p_val[idx]});
+    }
+  }
+  // sigma I (summed with P's diagonal by from_triplets).
+  for (std::int32_t i = 0; i < n; ++i) triplets.push_back({i, i, sigma});
+  // A^T block sits at rows [0, n), columns [n, n+m).
+  const auto a_col = a.col_ptr();
+  const auto a_row = a.row_idx();
+  const auto a_val = a.values();
+  for (std::int32_t c = 0; c < a.cols(); ++c) {
+    for (std::int32_t idx = a_col[c]; idx < a_col[c + 1]; ++idx) {
+      triplets.push_back({c, n + a_row[idx], a_val[idx]});
+    }
+  }
+  // -diag(1/rho).
+  for (std::int32_t i = 0; i < m; ++i) {
+    triplets.push_back({n + i, n + i, -1.0 / rho[static_cast<std::size_t>(i)]});
+  }
+  return SparseMatrix::from_triplets(n + m, n + m, triplets);
+}
+
+/// Max-norm KKT residual pair (primal violation, dual stationarity).
+std::pair<double, double> kkt_residuals(const QpProblem& problem, const Vector& x,
+                                        const Vector& y) {
+  const double primal = problem.constraint_violation(x);
+  const Vector px = problem.p.multiply(x);
+  const Vector aty = problem.a.multiply_transposed(y);
+  double dual = 0.0;
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    dual = std::max(dual, std::abs(px[j] + problem.q[j] + aty[j]));
+  }
+  return {primal, dual};
+}
+
+/// OSQP-style polish: equality-constrained QP on the active rows (see
+/// AdmmSettings::polish). Returns true and overwrites (x, y) on success.
+bool polish_solution(const QpProblem& problem, const AdmmSettings& settings, Vector& x,
+                     Vector& y) {
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  const Vector ax = problem.a.multiply(x);
+
+  // Detect the active set from the duals (sign convention: y > 0 pushes on
+  // the upper bound) with a primal confirmation.
+  std::vector<std::int32_t> active_rows;
+  std::vector<double> active_rhs;
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool equality = problem.lower[i] == problem.upper[i];
+    const double span_tol =
+        1e-6 * (1.0 + std::max(std::abs(problem.lower[i]), std::abs(problem.upper[i])));
+    if (equality) {
+      active_rows.push_back(static_cast<std::int32_t>(i));
+      active_rhs.push_back(problem.upper[i]);
+    } else if (y[i] > 1e-10 && problem.upper[i] < kInfinity &&
+               ax[i] > problem.upper[i] - 1e3 * span_tol) {
+      active_rows.push_back(static_cast<std::int32_t>(i));
+      active_rhs.push_back(problem.upper[i]);
+    } else if (y[i] < -1e-10 && problem.lower[i] > -kInfinity &&
+               ax[i] < problem.lower[i] + 1e3 * span_tol) {
+      active_rows.push_back(static_cast<std::int32_t>(i));
+      active_rhs.push_back(problem.lower[i]);
+    }
+  }
+  const std::size_t k = active_rows.size();
+
+  // Assemble the reduced KKT upper triangle [[P + dI, A_act^T], [A_act, -dI]].
+  const double reg = settings.polish_regularization;
+  std::vector<Triplet> triplets;
+  const auto pu = problem.p.upper_triangle();
+  for (std::int32_t c = 0; c < pu.cols(); ++c) {
+    for (std::int32_t e = pu.col_ptr()[c]; e < pu.col_ptr()[c + 1]; ++e) {
+      triplets.push_back({pu.row_idx()[e], c, pu.values()[e]});
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    triplets.push_back({static_cast<std::int32_t>(j), static_cast<std::int32_t>(j), reg});
+  }
+  // Rows of A restricted to the active set, as columns n..n+k-1.
+  const auto at = problem.a.transposed();  // columns of A^T are rows of A
+  for (std::size_t r = 0; r < k; ++r) {
+    const std::int32_t row = active_rows[r];
+    for (std::int32_t e = at.col_ptr()[row]; e < at.col_ptr()[row + 1]; ++e) {
+      triplets.push_back({at.row_idx()[e], static_cast<std::int32_t>(n + r),
+                          at.values()[e]});
+    }
+    triplets.push_back({static_cast<std::int32_t>(n + r), static_cast<std::int32_t>(n + r),
+                        -reg});
+  }
+  const auto kkt = SparseMatrix::from_triplets(static_cast<std::int32_t>(n + k),
+                                               static_cast<std::int32_t>(n + k), triplets);
+  SparseLdlt ldlt;
+  if (ldlt.factor(kkt) != SparseLdlt::Status::kOk) return false;
+
+  // Solve with a few steps of iterative refinement against the UNregularized
+  // system (the standard trick to cancel the d-perturbation).
+  Vector rhs(n + k, 0.0);
+  for (std::size_t j = 0; j < n; ++j) rhs[j] = -problem.q[j];
+  for (std::size_t r = 0; r < k; ++r) rhs[n + r] = active_rhs[r];
+  Vector solution = ldlt.solve(rhs);
+  for (int step = 0; step < settings.polish_refinement_steps; ++step) {
+    // residual = rhs - K_exact * solution, where K_exact has no +/-d terms.
+    Vector residual = rhs;
+    Vector xs(solution.begin(), solution.begin() + static_cast<std::ptrdiff_t>(n));
+    Vector nu(solution.begin() + static_cast<std::ptrdiff_t>(n), solution.end());
+    const Vector pxs = problem.p.multiply(xs);
+    for (std::size_t j = 0; j < n; ++j) residual[j] -= pxs[j];
+    // A_act^T nu contribution on the first block; A_act xs on the second.
+    for (std::size_t r = 0; r < k; ++r) {
+      const std::int32_t row = active_rows[r];
+      for (std::int32_t e = at.col_ptr()[row]; e < at.col_ptr()[row + 1]; ++e) {
+        residual[static_cast<std::size_t>(at.row_idx()[e])] -= at.values()[e] * nu[r];
+        residual[n + r] -= at.values()[e] * xs[static_cast<std::size_t>(at.row_idx()[e])];
+      }
+    }
+    const Vector correction = ldlt.solve(residual);
+    for (std::size_t i = 0; i < solution.size(); ++i) solution[i] += correction[i];
+  }
+
+  Vector x_polished(solution.begin(), solution.begin() + static_cast<std::ptrdiff_t>(n));
+  Vector y_polished(m, 0.0);
+  for (std::size_t r = 0; r < k; ++r) {
+    y_polished[static_cast<std::size_t>(active_rows[r])] = solution[n + r];
+  }
+  // Accept only if the polished point is a strictly better KKT point.
+  const auto [p_old, d_old] = kkt_residuals(problem, x, y);
+  const auto [p_new, d_new] = kkt_residuals(problem, x_polished, y_polished);
+  if (std::max(p_new, d_new) < std::max(p_old, d_old)) {
+    x = std::move(x_polished);
+    y = std::move(y_polished);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+QpResult AdmmSolver::solve(const QpProblem& original) {
+  original.validate();
+  const std::size_t n = original.num_variables();
+  const std::size_t m = original.num_constraints();
+
+  QpProblem problem = original;  // scaled in place below
+  Scaling scaling = settings_.scale_problem
+                        ? ruiz_equilibrate(problem, settings_.scaling_iterations)
+                        : Scaling::identity(n, m);
+
+  // Per-row rho: stiffer on equality rows, zero-safe on free rows.
+  Vector rho(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool equality = problem.lower[i] == problem.upper[i];
+    const bool unbounded = problem.lower[i] == -kInfinity && problem.upper[i] == kInfinity;
+    if (equality) {
+      rho[i] = settings_.rho * settings_.rho_equality_scale;
+    } else if (unbounded) {
+      rho[i] = settings_.rho * 1e-3;  // loose rows barely constrain
+    } else {
+      rho[i] = settings_.rho;
+    }
+  }
+
+  SparseLdlt kkt;
+  {
+    const SparseMatrix kkt_upper = build_kkt_upper(problem.p, problem.a, settings_.sigma, rho);
+    if (kkt.factor(kkt_upper) != SparseLdlt::Status::kOk) {
+      QpResult failed;
+      failed.status = SolveStatus::kNumericalError;
+      return failed;
+    }
+  }
+
+  Vector x(n, 0.0), z(m, 0.0), y(m, 0.0);
+  // Warm start: scale the cached/pending unscaled iterate into the scaled
+  // space of THIS problem (x_s = x / d, y_s = y * c / e) and set z = A x.
+  if (warm_x_.size() == n && warm_y_.size() == m) {
+    for (std::size_t j = 0; j < n; ++j) x[j] = warm_x_[j] / scaling.d[j];
+    for (std::size_t i = 0; i < m; ++i) y[i] = warm_y_[i] * scaling.cost_scale / scaling.e[i];
+    z = problem.a.multiply(x);
+    z = linalg::project_box(z, problem.lower, problem.upper);
+  }
+  warm_x_.clear();
+  warm_y_.clear();
+  Vector x_prev(n, 0.0), y_prev(m, 0.0);
+  Vector rhs(n + m, 0.0);
+
+  QpResult result;
+  result.status = SolveStatus::kMaxIterations;
+
+  int iteration = 0;
+  for (; iteration < settings_.max_iterations; ++iteration) {
+    x_prev = x;
+    y_prev = y;
+
+    // Build the KKT right-hand side.
+    for (std::size_t j = 0; j < n; ++j) rhs[j] = settings_.sigma * x[j] - problem.q[j];
+    for (std::size_t i = 0; i < m; ++i) rhs[n + i] = z[i] - y[i] / rho[i];
+    kkt.solve_in_place(rhs);
+
+    // x~ = rhs[0..n), nu = rhs[n..n+m); z~ = z + (nu - y) / rho.
+    Vector z_tilde(m);
+    for (std::size_t i = 0; i < m; ++i) z_tilde[i] = z[i] + (rhs[n + i] - y[i]) / rho[i];
+
+    // Over-relaxed updates.
+    const double alpha = settings_.alpha;
+    for (std::size_t j = 0; j < n; ++j) x[j] = alpha * rhs[j] + (1.0 - alpha) * x[j];
+    Vector z_candidate(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      z_candidate[i] = alpha * z_tilde[i] + (1.0 - alpha) * z[i] + y[i] / rho[i];
+    }
+    const Vector z_next = linalg::project_box(z_candidate, problem.lower, problem.upper);
+    for (std::size_t i = 0; i < m; ++i) {
+      y[i] = rho[i] * (z_candidate[i] - z_next[i]);
+    }
+    z = z_next;
+
+    if ((iteration + 1) % settings_.check_interval != 0) continue;
+
+    // --- Residuals in UNSCALED quantities. ---
+    const Vector ax = problem.a.multiply(x);
+    const Vector px = problem.p.multiply(x);
+    const Vector aty = problem.a.multiply_transposed(y);
+
+    double prim_res = 0.0, prim_norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double inv_e = 1.0 / scaling.e[i];
+      prim_res = std::max(prim_res, std::abs(ax[i] - z[i]) * inv_e);
+      prim_norm = std::max({prim_norm, std::abs(ax[i]) * inv_e, std::abs(z[i]) * inv_e});
+    }
+    double dual_res = 0.0, dual_norm = 0.0;
+    const double inv_c = 1.0 / scaling.cost_scale;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double inv_d = 1.0 / scaling.d[j];
+      dual_res = std::max(dual_res, std::abs(px[j] + problem.q[j] + aty[j]) * inv_d * inv_c);
+      dual_norm = std::max({dual_norm, std::abs(px[j]) * inv_d * inv_c,
+                            std::abs(aty[j]) * inv_d * inv_c,
+                            std::abs(problem.q[j]) * inv_d * inv_c});
+    }
+
+    const double eps_prim = settings_.eps_abs + settings_.eps_rel * prim_norm;
+    const double eps_dual = settings_.eps_abs + settings_.eps_rel * dual_norm;
+    result.primal_residual = prim_res;
+    result.dual_residual = dual_res;
+
+    if (prim_res <= eps_prim && dual_res <= eps_dual) {
+      result.status = SolveStatus::kOptimal;
+      ++iteration;
+      break;
+    }
+
+    // --- Infeasibility certificates (on scaled deltas, normalized). ---
+    Vector delta_y(m), delta_x(n);
+    for (std::size_t i = 0; i < m; ++i) delta_y[i] = y[i] - y_prev[i];
+    for (std::size_t j = 0; j < n; ++j) delta_x[j] = x[j] - x_prev[j];
+    const double delta_y_norm = linalg::norm_inf(delta_y);
+    if (delta_y_norm > settings_.eps_infeasible) {
+      const Vector at_dy = problem.a.multiply_transposed(delta_y);
+      double support = 0.0;
+      bool valid = true;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double dy = delta_y[i];
+        if (dy > 0) {
+          if (problem.upper[i] == kInfinity) { valid = false; break; }
+          support += problem.upper[i] * dy;
+        } else if (dy < 0) {
+          if (problem.lower[i] == -kInfinity) { valid = false; break; }
+          support += problem.lower[i] * dy;
+        }
+      }
+      if (valid && linalg::norm_inf(at_dy) <= settings_.eps_infeasible * delta_y_norm &&
+          support <= -settings_.eps_infeasible * delta_y_norm) {
+        result.status = SolveStatus::kPrimalInfeasible;
+        ++iteration;
+        break;
+      }
+    }
+    const double delta_x_norm = linalg::norm_inf(delta_x);
+    if (delta_x_norm > settings_.eps_infeasible) {
+      const Vector p_dx = problem.p.multiply(delta_x);
+      const Vector a_dx = problem.a.multiply(delta_x);
+      const double q_dx = linalg::dot(problem.q, delta_x);
+      bool certificate = linalg::norm_inf(p_dx) <= settings_.eps_infeasible * delta_x_norm &&
+                         q_dx <= -settings_.eps_infeasible * delta_x_norm;
+      if (certificate) {
+        for (std::size_t i = 0; i < m && certificate; ++i) {
+          const double v = a_dx[i];
+          if (problem.upper[i] != kInfinity && v > settings_.eps_infeasible * delta_x_norm) {
+            certificate = false;
+          }
+          if (problem.lower[i] != -kInfinity && v < -settings_.eps_infeasible * delta_x_norm) {
+            certificate = false;
+          }
+        }
+        if (certificate) {
+          result.status = SolveStatus::kDualInfeasible;
+          ++iteration;
+          break;
+        }
+      }
+    }
+
+    // --- Adaptive rho. ---
+    if (settings_.adaptive_rho && (iteration + 1) % settings_.adaptive_rho_interval == 0) {
+      const double prim_ratio = prim_res / std::max(prim_norm, 1e-10);
+      const double dual_ratio = dual_res / std::max(dual_norm, 1e-10);
+      const double factor = std::sqrt(prim_ratio / std::max(dual_ratio, 1e-10));
+      if (factor > settings_.adaptive_rho_tolerance ||
+          factor < 1.0 / settings_.adaptive_rho_tolerance) {
+        for (std::size_t i = 0; i < m; ++i) {
+          rho[i] = std::min(std::max(rho[i] * factor, 1e-6), 1e6);
+        }
+        const SparseMatrix kkt_upper =
+            build_kkt_upper(problem.p, problem.a, settings_.sigma, rho);
+        if (kkt.refactor(kkt_upper) != SparseLdlt::Status::kOk) {
+          result.status = SolveStatus::kNumericalError;
+          break;
+        }
+      }
+    }
+  }
+
+  result.iterations = iteration;
+  // Unscale the solution: x = D x_s, y = E y_s / c.
+  result.x.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) result.x[j] = scaling.d[j] * x[j];
+  result.y.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) result.y[i] = scaling.e[i] * y[i] / scaling.cost_scale;
+  if (settings_.polish && result.status == SolveStatus::kOptimal) {
+    if (polish_solution(original, settings_, result.x, result.y)) {
+      const auto [primal, dual] = kkt_residuals(original, result.x, result.y);
+      result.primal_residual = primal;
+      result.dual_residual = dual;
+    }
+  }
+  result.objective = original.objective(result.x);
+  if (settings_.auto_warm_start &&
+      (result.status == SolveStatus::kOptimal || result.status == SolveStatus::kMaxIterations)) {
+    warm_x_ = result.x;
+    warm_y_ = result.y;
+  }
+  return result;
+}
+
+void AdmmSolver::warm_start(Vector x, Vector y) {
+  require(!x.empty(), "warm_start: empty primal");
+  warm_x_ = std::move(x);
+  warm_y_ = std::move(y);
+}
+
+void AdmmSolver::reset_warm_start() {
+  warm_x_.clear();
+  warm_y_.clear();
+}
+
+}  // namespace gp::qp

@@ -1,0 +1,76 @@
+// Operator-splitting QP solver in the style of OSQP
+// (Stellato et al., "OSQP: an operator splitting solver for quadratic
+// programs"), built on this library's sparse LDL^T.
+//
+// Each iteration solves one quasi-definite KKT system
+//
+//   [[ P + sigma I , A^T        ]  [x~]   [ sigma x - q      ]
+//    [ A           , -diag(1/rho)]] [nu] = [ z - diag(1/rho) y ]
+//
+// whose factorization is computed once and reused (and recomputed only when
+// rho adapts). Equality rows receive a stiffer rho than inequality rows.
+// The solver reports unscaled primal/dual solutions, residuals, and detects
+// primal/dual infeasibility via the standard certificate conditions.
+#pragma once
+
+#include "linalg/sparse_ldlt.hpp"
+#include "qp/scaling.hpp"
+#include "qp/solver.hpp"
+
+namespace gp::qp {
+
+/// Tuning knobs for AdmmSolver; the defaults follow OSQP's.
+struct AdmmSettings {
+  double rho = 0.1;              ///< initial step size for inequality rows
+  double rho_equality_scale = 1e3;  ///< equality rows use rho * this
+  double sigma = 1e-6;           ///< primal regularization
+  double alpha = 1.6;            ///< over-relaxation in (0, 2)
+  double eps_abs = 1e-6;         ///< absolute tolerance
+  double eps_rel = 1e-6;         ///< relative tolerance
+  double eps_infeasible = 1e-7;  ///< certificate tolerance
+  int max_iterations = 20000;
+  int check_interval = 25;       ///< residual / certificate check cadence
+  bool adaptive_rho = true;
+  int adaptive_rho_interval = 100;
+  double adaptive_rho_tolerance = 5.0;  ///< refactor when rho moves this much
+  bool scale_problem = true;
+  int scaling_iterations = 10;
+  /// Reuse the previous solve's (x, y) as the starting iterate when the
+  /// problem dimensions match. Receding-horizon callers (the MPC loop, the
+  /// game's best responses) solve near-identical problems back to back;
+  /// warm starts typically cut iterations severalfold there.
+  bool auto_warm_start = false;
+  /// After convergence, refine the solution by solving the equality-
+  /// constrained QP on the detected active set (OSQP's "polish" step):
+  /// turns the first-order 1e-6-ish iterate into a near-exact KKT point,
+  /// which sharpens the capacity duals the competition game consumes. The
+  /// polish is accepted only when it actually reduces the KKT residuals.
+  bool polish = false;
+  double polish_regularization = 1e-9;
+  int polish_refinement_steps = 3;
+};
+
+/// Sparse first-order QP solver (see file comment).
+class AdmmSolver final : public QpSolver {
+ public:
+  AdmmSolver() = default;
+  explicit AdmmSolver(AdmmSettings settings) : settings_(settings) {}
+
+  QpResult solve(const QpProblem& problem) override;
+
+  /// Provides an explicit starting point for the NEXT solve (unscaled
+  /// primal x of size n and dual y of size m). Cleared after use.
+  void warm_start(linalg::Vector x, linalg::Vector y);
+
+  /// Drops any cached or pending warm-start state.
+  void reset_warm_start();
+
+  const AdmmSettings& settings() const { return settings_; }
+
+ private:
+  AdmmSettings settings_;
+  linalg::Vector warm_x_;  // unscaled; empty = none
+  linalg::Vector warm_y_;
+};
+
+}  // namespace gp::qp

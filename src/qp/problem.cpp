@@ -1,0 +1,42 @@
+#include "qp/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::qp {
+
+void QpProblem::validate() const {
+  const auto n = static_cast<std::int32_t>(q.size());
+  const auto m = static_cast<std::int32_t>(lower.size());
+  require(p.rows() == n && p.cols() == n, "QpProblem: P must be n x n");
+  require(a.cols() == n, "QpProblem: A column count must equal n");
+  require(a.rows() == m, "QpProblem: A row count must equal bound size");
+  require(upper.size() == lower.size(), "QpProblem: bound sizes differ");
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    require(lower[i] <= upper[i], "QpProblem: lower > upper at row " + std::to_string(i));
+    require(!std::isnan(lower[i]) && !std::isnan(upper[i]), "QpProblem: NaN bound");
+    require(lower[i] < kInfinity && upper[i] > -kInfinity,
+            "QpProblem: bound has the wrong-signed infinity");
+  }
+}
+
+double QpProblem::objective(std::span<const double> x) const {
+  require(x.size() == q.size(), "objective: size mismatch");
+  const linalg::Vector px = p.multiply(x);
+  return 0.5 * linalg::dot(px, x) + linalg::dot(q, x);
+}
+
+double QpProblem::constraint_violation(std::span<const double> x) const {
+  require(x.size() == q.size(), "constraint_violation: size mismatch");
+  const linalg::Vector ax = a.multiply(x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    worst = std::max(worst, lower[i] - ax[i]);
+    worst = std::max(worst, ax[i] - upper[i]);
+  }
+  return worst;
+}
+
+}  // namespace gp::qp

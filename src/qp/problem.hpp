@@ -1,0 +1,43 @@
+// Convex quadratic program in OSQP form:
+//
+//   minimize    (1/2) x^T P x + q^T x
+//   subject to  lower <= A x <= upper
+//
+// P is symmetric positive semidefinite. Equality constraints are rows with
+// lower == upper; one-sided constraints use +/- infinity on the free side.
+// This is the single optimization interface the rest of the library builds
+// on: the DSPP window program (Section V of the paper), the per-provider
+// best-response programs and the social-welfare program (Section VI) are all
+// instances of this type.
+#pragma once
+
+#include <limits>
+
+#include "linalg/sparse_matrix.hpp"
+
+namespace gp::qp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Problem data for `min 1/2 x'Px + q'x  s.t.  lower <= Ax <= upper`.
+struct QpProblem {
+  linalg::SparseMatrix p;  ///< n x n symmetric PSD cost matrix (full, not triangle)
+  linalg::Vector q;        ///< linear cost, size n
+  linalg::SparseMatrix a;  ///< m x n constraint matrix
+  linalg::Vector lower;    ///< size m, entries may be -infinity
+  linalg::Vector upper;    ///< size m, entries may be +infinity
+
+  std::size_t num_variables() const { return q.size(); }
+  std::size_t num_constraints() const { return lower.size(); }
+
+  /// Throws PreconditionError when shapes/bounds are inconsistent.
+  void validate() const;
+
+  /// Objective value at x.
+  double objective(std::span<const double> x) const;
+
+  /// Max constraint violation at x (infinity norm of the bound excess).
+  double constraint_violation(std::span<const double> x) const;
+};
+
+}  // namespace gp::qp

@@ -1,0 +1,74 @@
+#include "qp/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::qp {
+
+namespace {
+
+// Clamp scaling factors away from 0 / infinity for numerical safety.
+double safe_inv_sqrt(double norm) {
+  constexpr double kMin = 1e-8;
+  constexpr double kMax = 1e8;
+  const double clamped = std::min(std::max(norm, kMin), kMax);
+  return 1.0 / std::sqrt(clamped);
+}
+
+}  // namespace
+
+Scaling Scaling::identity(std::size_t n, std::size_t m) {
+  return Scaling{linalg::Vector(n, 1.0), linalg::Vector(m, 1.0), 1.0};
+}
+
+Scaling ruiz_equilibrate(QpProblem& problem, int iterations) {
+  problem.validate();
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  Scaling scaling = Scaling::identity(n, m);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Column norms of the stacked KKT data: for variable j the relevant
+    // entries are column j of P and column j of A; for constraint i they are
+    // row i of A.
+    const linalg::Vector p_col = problem.p.column_inf_norms();
+    const linalg::Vector a_col = problem.a.column_inf_norms();
+    const linalg::Vector a_row = problem.a.row_inf_norms();
+
+    linalg::Vector delta_d(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      delta_d[j] = safe_inv_sqrt(std::max(p_col[j], a_col[j]));
+    }
+    linalg::Vector delta_e(m);
+    for (std::size_t i = 0; i < m; ++i) delta_e[i] = safe_inv_sqrt(a_row[i]);
+
+    // Apply: P <- Dd P Dd, q <- Dd q, A <- De A Dd, bounds <- De * bounds.
+    problem.p.scale_rows_cols(delta_d, delta_d);
+    for (std::size_t j = 0; j < n; ++j) problem.q[j] *= delta_d[j];
+    problem.a.scale_rows_cols(delta_e, delta_d);
+    for (std::size_t i = 0; i < m; ++i) {
+      problem.lower[i] *= delta_e[i];
+      problem.upper[i] *= delta_e[i];
+    }
+    for (std::size_t j = 0; j < n; ++j) scaling.d[j] *= delta_d[j];
+    for (std::size_t i = 0; i < m; ++i) scaling.e[i] *= delta_e[i];
+
+    // Cost normalization: scale so mean column norm of [P; q] is ~1.
+    const linalg::Vector p_col_after = problem.p.column_inf_norms();
+    double mean_norm = 0.0;
+    for (std::size_t j = 0; j < n; ++j) mean_norm += p_col_after[j];
+    mean_norm = n > 0 ? mean_norm / static_cast<double>(n) : 0.0;
+    const double q_norm = linalg::norm_inf(problem.q);
+    const double gamma = 1.0 / std::min(std::max(std::max(mean_norm, q_norm), 1e-8), 1e8);
+    if (std::abs(gamma - 1.0) > 1e-12) {
+      for (auto& value : problem.p.mutable_values()) value *= gamma;
+      for (auto& value : problem.q) value *= gamma;
+      scaling.cost_scale *= gamma;
+    }
+  }
+  return scaling;
+}
+
+}  // namespace gp::qp

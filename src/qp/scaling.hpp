@@ -1,0 +1,32 @@
+// Ruiz equilibration for QP data, as used by OSQP.
+//
+// Iteratively scales the stacked matrix [[P, A^T], [A, 0]] so that every row
+// and column has unit infinity norm, then scales the cost so its gradient is
+// O(1). Equilibration is what lets one set of ADMM tolerances work across
+// the library's very differently scaled inputs (request rates ~1e4, prices
+// ~1e-2, capacities ~1e3).
+#pragma once
+
+#include "qp/problem.hpp"
+
+namespace gp::qp {
+
+/// Diagonal scaling computed by Ruiz equilibration.
+///
+/// Scaled data: P_s = c * D P D, q_s = c * D q, A_s = E A D,
+/// lower_s = E lower, upper_s = E upper.
+/// Recover unscaled primal/dual: x = D x_s, y = E y_s / c, z = E^{-1} z_s.
+struct Scaling {
+  linalg::Vector d;       ///< variable scaling, size n (all > 0)
+  linalg::Vector e;       ///< constraint scaling, size m (all > 0)
+  double cost_scale = 1;  ///< objective scaling c > 0
+
+  /// Identity scaling of the given dimensions.
+  static Scaling identity(std::size_t n, std::size_t m);
+};
+
+/// Computes the equilibration and returns the scaled problem.
+/// `iterations` Ruiz sweeps are performed (10 matches OSQP's default).
+Scaling ruiz_equilibrate(QpProblem& problem, int iterations = 10);
+
+}  // namespace gp::qp

@@ -1,0 +1,16 @@
+#include "qp/solver.hpp"
+
+namespace gp::qp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kMaxIterations: return "max_iterations";
+    case SolveStatus::kPrimalInfeasible: return "primal_infeasible";
+    case SolveStatus::kDualInfeasible: return "dual_infeasible";
+    case SolveStatus::kNumericalError: return "numerical_error";
+  }
+  return "unknown";
+}
+
+}  // namespace gp::qp

@@ -1,0 +1,52 @@
+#include "queueing/mm1.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gp::queueing {
+
+double utilization(double mu, double lambda) {
+  require(mu > 0.0, "utilization: mu must be > 0");
+  require(lambda >= 0.0, "utilization: lambda must be >= 0");
+  return lambda / mu;
+}
+
+bool stable(double mu, double lambda) {
+  require(mu > 0.0, "stable: mu must be > 0");
+  return lambda < mu;
+}
+
+double mean_response_time(double mu, double lambda) {
+  require(stable(mu, lambda), "mean_response_time: queue is unstable (lambda >= mu)");
+  return 1.0 / (mu - lambda);
+}
+
+double percentile_factor(double phi) {
+  require(phi >= 0.0 && phi < 1.0, "percentile_factor: phi must be in [0, 1)");
+  if (phi == 0.0) return 1.0;  // bound the mean
+  return std::log(1.0 / (1.0 - phi));
+}
+
+double sla_coefficient(const SlaParams& params) {
+  require(params.mu > 0.0, "sla_coefficient: mu must be > 0");
+  require(params.network_latency >= 0.0, "sla_coefficient: negative network latency");
+  require(params.max_latency > 0.0, "sla_coefficient: max latency must be > 0");
+  require(params.reservation_ratio >= 1.0, "sla_coefficient: reservation ratio must be >= 1");
+
+  const double budget = params.max_latency - params.network_latency;
+  if (budget <= 0.0) return std::numeric_limits<double>::infinity();
+  // Constraint (8) with the percentile factor kappa:
+  //   d + kappa / (mu - sigma/x) <= dbar  =>  sigma/x <= mu - kappa / budget.
+  const double kappa = percentile_factor(params.percentile);
+  const double max_per_server_rate = params.mu - kappa / budget;
+  if (max_per_server_rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return params.reservation_ratio / max_per_server_rate;
+}
+
+bool sla_feasible(const SlaParams& params) {
+  return std::isfinite(sla_coefficient(params));
+}
+
+}  // namespace gp::queueing

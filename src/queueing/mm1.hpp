@@ -1,0 +1,42 @@
+// M/M/1 queueing formulas (Section IV-B of the paper) and the SLA
+// coefficient a_lv that turns the latency constraint (8) into the linear
+// constraint x >= a * sigma of (11).
+#pragma once
+
+namespace gp::queueing {
+
+/// Utilization rho = lambda / mu. Requires mu > 0.
+double utilization(double mu, double lambda);
+
+/// True when the queue is stable (lambda < mu).
+bool stable(double mu, double lambda);
+
+/// Mean response (sojourn) time of an M/M/1 server: 1 / (mu - lambda).
+/// Requires a stable queue. Units follow 1/mu.
+double mean_response_time(double mu, double lambda);
+
+/// Multiplier that converts the mean M/M/1 sojourn time into its
+/// phi-percentile (exponential sojourn distribution): ln(1 / (1 - phi)).
+/// The paper's Section IV-B suggests exactly this factor for 95th-percentile
+/// SLAs. Requires phi in [0, 1).
+double percentile_factor(double phi);
+
+/// Parameters of the SLA latency constraint for one (data center, access
+/// network) pair.
+struct SlaParams {
+  double mu = 1.0;                 ///< per-server service rate (req/s)
+  double network_latency = 0.0;    ///< d_lv, seconds
+  double max_latency = 0.1;        ///< dbar_lv, seconds
+  double reservation_ratio = 1.0;  ///< r >= 1 over-provisioning cushion
+  double percentile = 0.0;         ///< phi; 0 bounds the MEAN delay
+};
+
+/// The coefficient a_lv of constraint (11): servers required per unit of
+/// assigned demand. Returns +infinity when the pair cannot meet the SLA at
+/// any allocation (d_lv too close to or above dbar_lv), matching eq. (10).
+double sla_coefficient(const SlaParams& params);
+
+/// Convenience: whether the (l, v) pair is usable at all.
+bool sla_feasible(const SlaParams& params);
+
+}  // namespace gp::queueing

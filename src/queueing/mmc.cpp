@@ -1,0 +1,68 @@
+#include "queueing/mmc.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::queueing {
+
+double erlang_b(std::int64_t c, double offered_load) {
+  require(c >= 0, "erlang_b: negative server count");
+  require(offered_load >= 0.0, "erlang_b: negative offered load");
+  double b = 1.0;  // B(0, a) = 1
+  for (std::int64_t k = 1; k <= c; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  return b;
+}
+
+double erlang_c(std::int64_t c, double offered_load) {
+  require(c >= 1, "erlang_c: need at least one server");
+  require(offered_load < static_cast<double>(c), "erlang_c: unstable (a >= c)");
+  const double b = erlang_b(c, offered_load);
+  const double rho = offered_load / static_cast<double>(c);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+bool mmc_stable(std::int64_t c, double lambda, double mu) {
+  require(mu > 0.0, "mmc_stable: mu must be > 0");
+  require(c >= 1, "mmc_stable: need at least one server");
+  return lambda < static_cast<double>(c) * mu;
+}
+
+double mmc_mean_response_time(std::int64_t c, double lambda, double mu) {
+  require(mmc_stable(c, lambda, mu), "mmc_mean_response_time: unstable system");
+  require(lambda >= 0.0, "mmc_mean_response_time: negative arrival rate");
+  if (lambda == 0.0) return 1.0 / mu;
+  const double a = lambda / mu;
+  const double wait = erlang_c(c, a) / (static_cast<double>(c) * mu - lambda);
+  return 1.0 / mu + wait;
+}
+
+std::int64_t mmc_required_servers(double lambda, double mu, double budget,
+                                  std::int64_t max_servers) {
+  require(mu > 0.0, "mmc_required_servers: mu must be > 0");
+  require(lambda >= 0.0, "mmc_required_servers: negative arrival rate");
+  require(budget > 0.0, "mmc_required_servers: budget must be > 0");
+  if (budget <= 1.0 / mu) return -1;  // service time alone exceeds the budget
+  // Lower bound from stability; then linear scan (the response time is
+  // monotone decreasing in c, and the scan starts near the answer).
+  auto first = static_cast<std::int64_t>(std::floor(lambda / mu)) + 1;
+  if (first < 1) first = 1;
+  for (std::int64_t c = first; c <= max_servers; ++c) {
+    if (mmc_mean_response_time(c, lambda, mu) <= budget) return c;
+  }
+  return -1;
+}
+
+std::int64_t mm1_split_required_servers(double lambda, double mu, double budget) {
+  require(mu > 0.0, "mm1_split_required_servers: mu must be > 0");
+  require(lambda >= 0.0, "mm1_split_required_servers: negative arrival rate");
+  require(budget > 0.0, "mm1_split_required_servers: budget must be > 0");
+  const double margin = mu - 1.0 / budget;
+  if (margin <= 0.0) return -1;
+  if (lambda == 0.0) return 0;
+  return static_cast<std::int64_t>(std::ceil(lambda / margin - 1e-12));
+}
+
+}  // namespace gp::queueing

@@ -1,0 +1,45 @@
+// M/M/c (Erlang-C) queueing — the "other queueing models" extension the
+// paper's Section IV-B anticipates.
+//
+// The paper models each server as an independent M/M/1 queue fed an equal
+// share of the assigned demand. A data center that POOLS its x servers
+// behind one queue is an M/M/c system, which performs strictly better at
+// the same load (resource pooling). This module provides the Erlang-C
+// machinery plus the pooled equivalent of the DSPP sizing rule, so the
+// conservativeness of the paper's per-server-split model can be quantified
+// (see bench/ablation_queueing_model).
+#pragma once
+
+#include <cstdint>
+
+namespace gp::queueing {
+
+/// Erlang-B blocking probability for offered load `a = lambda/mu` and `c`
+/// servers, computed with the numerically stable recurrence.
+double erlang_b(std::int64_t c, double offered_load);
+
+/// Erlang-C probability that an arriving job waits (M/M/c, offered load
+/// a = lambda/mu < c). Requires a stable system.
+double erlang_c(std::int64_t c, double offered_load);
+
+/// True when lambda < c * mu.
+bool mmc_stable(std::int64_t c, double lambda, double mu);
+
+/// Mean sojourn (response) time of an M/M/c queue: 1/mu + C(c,a)/(c mu - lambda).
+/// Requires a stable system.
+double mmc_mean_response_time(std::int64_t c, double lambda, double mu);
+
+/// Smallest number of pooled servers whose mean response time meets
+/// `budget` (seconds) at arrival rate lambda — the M/M/c analogue of the
+/// paper's x >= a_lv * sigma sizing rule. Returns -1 when even the
+/// `max_servers` cap cannot meet the budget (budget <= 1/mu is infeasible
+/// for any c).
+std::int64_t mmc_required_servers(double lambda, double mu, double budget,
+                                  std::int64_t max_servers = 1 << 20);
+
+/// Servers required by the paper's per-server-split M/M/1 rule for the same
+/// inputs: ceil(sigma / (mu - 1/budget)); -1 when infeasible. Provided here
+/// for side-by-side comparison with mmc_required_servers.
+std::int64_t mm1_split_required_servers(double lambda, double mu, double budget);
+
+}  // namespace gp::queueing

@@ -1,0 +1,192 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "dspp/integer.hpp"
+#include "dspp/provisioning.hpp"
+
+namespace gp::sim {
+
+using linalg::Vector;
+
+PlacementPolicy policy_from(control::MpcController& controller) {
+  return [&controller](const Vector& state, const Vector& demand, const Vector& price) {
+    const auto result = controller.step(state, demand, price);
+    return PolicyOutcome{result.solved, result.control, result.next_state};
+  };
+}
+
+PlacementPolicy policy_from(control::StaticController& controller) {
+  return [&controller](const Vector& state, const Vector& demand, const Vector& price) {
+    const auto result = controller.step(state, demand, price);
+    return PolicyOutcome{result.solved, result.control, result.next_state};
+  };
+}
+
+PlacementPolicy policy_from(control::ReactiveController& controller) {
+  return [&controller](const Vector& state, const Vector& demand, const Vector& price) {
+    const auto result = controller.step(state, demand, price);
+    return PolicyOutcome{result.solved, result.control, result.next_state};
+  };
+}
+
+PlacementPolicy policy_from(control::ThresholdAutoscaler& controller) {
+  return [&controller](const Vector& state, const Vector& demand, const Vector& price) {
+    const auto result = controller.step(state, demand, price);
+    return PolicyOutcome{true, result.control, result.next_state};
+  };
+}
+
+PlacementPolicy integerized(PlacementPolicy inner, const dspp::DsppModel& model,
+                            const dspp::PairIndex& pairs) {
+  return [inner = std::move(inner), &model, &pairs](const Vector& state, const Vector& demand,
+                                                    const Vector& price) {
+    PolicyOutcome outcome = inner(state, demand, price);
+    if (!outcome.solved) return outcome;
+    const auto rounded =
+        dspp::round_up_allocation(model, pairs, outcome.next_state, demand, price);
+    if (rounded.feasible) {
+      outcome.next_state = rounded.allocation;
+      outcome.control = linalg::sub(outcome.next_state, state);
+    }
+    return outcome;
+  };
+}
+
+void SimulationSummary::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  std::vector<std::string> header{"utc_hour",     "total_demand",  "total_servers",
+                                  "resource_cost", "reconfig_cost", "sla_compliance",
+                                  "mean_latency_ms", "unserved_rate", "solved"};
+  if (!periods.empty()) {
+    for (std::size_t l = 0; l < periods.front().servers_per_dc.size(); ++l) {
+      header.push_back("servers_dc" + std::to_string(l));
+    }
+  }
+  csv.header(header);
+  for (const auto& period : periods) {
+    std::vector<double> row{period.utc_hour,      period.total_demand,
+                            period.total_servers, period.resource_cost,
+                            period.reconfig_cost, period.sla_compliance,
+                            period.mean_latency_ms, period.unserved_rate,
+                            period.solved ? 1.0 : 0.0};
+    for (double s : period.servers_per_dc) row.push_back(s);
+    csv.row(row);
+  }
+}
+
+SimulationEngine::SimulationEngine(dspp::DsppModel model, workload::DemandModel demand,
+                                   workload::ServerPriceModel prices, SimulationConfig config)
+    : model_(std::move(model)),
+      pairs_(model_),
+      demand_(std::move(demand)),
+      prices_(std::move(prices)),
+      config_(config) {
+  require(config_.periods >= 1, "SimulationEngine: need at least one period");
+  require(config_.period_hours > 0.0, "SimulationEngine: period length must be > 0");
+  require(demand_.num_access_networks() == model_.num_access_networks(),
+          "SimulationEngine: demand model V != network V");
+  require(prices_.num_datacenters() == model_.num_datacenters(),
+          "SimulationEngine: price model L != network L");
+}
+
+Vector SimulationEngine::observe_demand(double utc_hour, Rng& rng) const {
+  if (!config_.noisy_demand) return demand_.mean_rates(utc_hour + config_.period_hours / 2.0);
+  Vector rates(demand_.num_access_networks());
+  for (std::size_t v = 0; v < rates.size(); ++v) {
+    rates[v] = demand_.sample_rate(v, utc_hour, config_.period_hours, rng);
+  }
+  return rates;
+}
+
+Vector SimulationEngine::observe_price(double utc_hour) const {
+  Vector price = prices_.server_prices(utc_hour + config_.period_hours / 2.0);
+  linalg::scale(config_.period_hours, price);
+  return price;
+}
+
+SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
+  Rng rng(config_.seed);
+  SimulationSummary summary;
+  summary.periods.reserve(config_.periods);
+
+  // Pre-sample one consistent demand/price trace for periods 0..K (each
+  // period's observation is used both as "current" at step k and as the
+  // realized demand the step-(k-1) allocation serves).
+  std::vector<Vector> demand_trace, price_trace;
+  for (std::size_t k = 0; k <= config_.periods; ++k) {
+    const double hour = config_.utc_start_hour + static_cast<double>(k) * config_.period_hours;
+    demand_trace.push_back(observe_demand(hour, rng));
+    Vector price = observe_price(config_.freeze_prices ? config_.utc_start_hour : hour);
+    if (config_.price_noise_std > 0.0) {
+      for (double& p : price) {
+        p = std::max(0.1 * p, p * (1.0 + rng.normal(0.0, config_.price_noise_std)));
+      }
+    }
+    price_trace.push_back(std::move(price));
+  }
+
+  // Initial state: cheapest placement for the first observed demand.
+  Vector state(pairs_.num_pairs(), 0.0);
+  if (config_.provision_initial) {
+    qp::AdmmSolver solver;
+    state = dspp::min_cost_placement(model_, pairs_, demand_trace[0], price_trace[0], solver);
+    linalg::scale(config_.initial_overprovision, state);
+  }
+
+  double compliance_sum = 0.0;
+  for (std::size_t k = 0; k < config_.periods; ++k) {
+    const double hour = config_.utc_start_hour + static_cast<double>(k) * config_.period_hours;
+    const Vector& demand = demand_trace[k];
+    const Vector& price = price_trace[k];
+
+    const PolicyOutcome outcome = policy(state, demand, price);
+    PeriodMetrics metrics;
+    metrics.utc_hour = hour;
+    metrics.demand = demand;
+    for (double d : demand) metrics.total_demand += d;
+    metrics.solved = outcome.solved;
+    if (!outcome.solved) ++summary.unsolved_periods;
+
+    const Vector next_state = outcome.solved ? outcome.next_state : state;
+    const Vector control = outcome.solved ? outcome.control
+                                          : Vector(pairs_.num_pairs(), 0.0);
+
+    // The reconfigured allocation serves the NEXT period's demand; cost it
+    // at next period's prices (the p_k x_k term of eq. (3)).
+    const Vector& next_demand = demand_trace[k + 1];
+    const Vector& next_price = price_trace[k + 1];
+
+    metrics.servers_per_dc.assign(model_.num_datacenters(), 0.0);
+    for (std::size_t pair = 0; pair < pairs_.num_pairs(); ++pair) {
+      metrics.servers_per_dc[pairs_.datacenter_of(pair)] += next_state[pair];
+      metrics.total_servers += next_state[pair];
+      metrics.resource_cost += next_price[pairs_.datacenter_of(pair)] * next_state[pair];
+      const double c = model_.reconfig_cost[pairs_.datacenter_of(pair)];
+      metrics.reconfig_cost += c * control[pair] * control[pair];
+      summary.total_churn += std::abs(control[pair]);
+    }
+
+    const dspp::Assignment assignment = dspp::assign_demand(pairs_, next_state, next_demand);
+    const dspp::SlaReport report = dspp::evaluate_sla(model_, pairs_, next_state, assignment);
+    metrics.sla_compliance = report.compliance();
+    metrics.mean_latency_ms = report.mean_latency_ms;
+    metrics.unserved_rate = assignment.total_unserved();
+
+    summary.total_resource_cost += metrics.resource_cost;
+    summary.total_reconfig_cost += metrics.reconfig_cost;
+    compliance_sum += metrics.sla_compliance;
+    summary.worst_compliance = std::min(summary.worst_compliance, metrics.sla_compliance);
+    summary.periods.push_back(std::move(metrics));
+    state = next_state;
+  }
+  summary.total_cost = summary.total_resource_cost + summary.total_reconfig_cost;
+  summary.mean_compliance = compliance_sum / static_cast<double>(config_.periods);
+  return summary;
+}
+
+}  // namespace gp::sim

@@ -1,0 +1,120 @@
+// Discrete-time simulation engine tying the whole system together
+// (the architecture of the paper's Fig. 2): per control period it plays the
+// roles of the monitoring module (observe demand and prices), hands the
+// observation to a placement policy (the MPC resource controller or a
+// baseline), applies the policy's reconfiguration, routes the next period's
+// realized demand through the request routers (eq. 13), and records costs
+// and SLA outcomes.
+#pragma once
+
+#include <functional>
+
+#include "control/autoscaler.hpp"
+#include "control/baselines.hpp"
+#include "control/mpc_controller.hpp"
+#include "dspp/assignment.hpp"
+#include "workload/demand.hpp"
+#include "workload/price.hpp"
+
+namespace gp::sim {
+
+/// Any placement policy: maps (state, observed demand, price) to the next
+/// state. Adapters are provided for the MPC controller and both baselines.
+struct PolicyOutcome {
+  bool solved = false;
+  linalg::Vector control;
+  linalg::Vector next_state;
+};
+using PlacementPolicy = std::function<PolicyOutcome(
+    const linalg::Vector& state, const linalg::Vector& demand, const linalg::Vector& price)>;
+
+/// Wraps an MpcController as a PlacementPolicy (controller must outlive it).
+PlacementPolicy policy_from(control::MpcController& controller);
+/// Wraps a StaticController.
+PlacementPolicy policy_from(control::StaticController& controller);
+/// Wraps a ReactiveController.
+PlacementPolicy policy_from(control::ReactiveController& controller);
+/// Wraps a ThresholdAutoscaler.
+PlacementPolicy policy_from(control::ThresholdAutoscaler& controller);
+
+/// Decorates a policy so every applied allocation is INTEGRAL: the inner
+/// policy's next state is rounded up per pair with capacity repair (the
+/// paper's future-work integer regime, dspp::round_up_allocation). The
+/// model/pairs must match the engine's. When the repair cannot fit the
+/// ceiling into capacity the fractional state is kept (and will show up as
+/// SLA/capacity pressure in the metrics rather than a crash).
+PlacementPolicy integerized(PlacementPolicy inner, const dspp::DsppModel& model,
+                            const dspp::PairIndex& pairs);
+
+/// Simulation run parameters.
+struct SimulationConfig {
+  std::size_t periods = 24;       ///< control periods to simulate
+  double period_hours = 1.0;      ///< length of one period
+  double utc_start_hour = 0.0;
+  bool noisy_demand = false;      ///< sample the NHPP instead of mean rates
+  double price_noise_std = 0.0;   ///< multiplicative per-period price noise (volatile markets)
+  bool freeze_prices = false;     ///< hold prices at their start-hour value (Fig.10 setup)
+  std::uint64_t seed = 1;
+  bool provision_initial = true;  ///< x_0 = cheapest placement for D_0
+  double initial_overprovision = 1.0;  ///< scales x_0 (e.g. 3.0 models arriving
+                                       ///< from a demand peak, the Fig.10 transient)
+};
+
+/// Per-period record of everything the paper's figures plot.
+struct PeriodMetrics {
+  double utc_hour = 0.0;
+  double total_demand = 0.0;            ///< req/s observed this period
+  linalg::Vector demand;                ///< per access network
+  linalg::Vector servers_per_dc;        ///< after the policy step
+  double total_servers = 0.0;
+  double resource_cost = 0.0;           ///< p . x for the period, $
+  double reconfig_cost = 0.0;           ///< c . u^2, $
+  double sla_compliance = 1.0;          ///< fraction of demand within SLA
+  double mean_latency_ms = 0.0;
+  double unserved_rate = 0.0;           ///< req/s that could not be routed
+  bool solved = true;
+};
+
+/// Aggregates over a run.
+struct SimulationSummary {
+  std::vector<PeriodMetrics> periods;
+  double total_cost = 0.0;           ///< resource + reconfiguration
+  double total_resource_cost = 0.0;
+  double total_reconfig_cost = 0.0;
+  double total_churn = 0.0;          ///< sum |u| in servers
+  double mean_compliance = 1.0;
+  double worst_compliance = 1.0;
+  int unsolved_periods = 0;
+
+  /// Dumps one row per period as CSV (header included).
+  void write_csv(std::ostream& out) const;
+};
+
+/// The engine (see file comment).
+class SimulationEngine {
+ public:
+  SimulationEngine(dspp::DsppModel model, workload::DemandModel demand,
+                   workload::ServerPriceModel prices, SimulationConfig config);
+
+  /// Runs one policy over the configured horizon. Deterministic for a fixed
+  /// config seed.
+  SimulationSummary run(const PlacementPolicy& policy);
+
+  const dspp::PairIndex& pairs() const { return pairs_; }
+  const dspp::DsppModel& model() const { return model_; }
+
+  /// Observed demand vector at a UTC hour (mean or sampled per config).
+  linalg::Vector observe_demand(double utc_hour, Rng& rng) const;
+
+  /// Price vector in $ per server per PERIOD at a UTC hour.
+  linalg::Vector observe_price(double utc_hour) const;
+
+ private:
+  dspp::DsppModel model_;
+  dspp::PairIndex pairs_;
+  workload::DemandModel demand_;
+  workload::ServerPriceModel prices_;
+  SimulationConfig config_;
+};
+
+}  // namespace gp::sim

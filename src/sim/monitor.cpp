@@ -1,0 +1,83 @@
+#include "sim/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace gp::sim {
+
+Monitor::Monitor(std::size_t window, double alpha) : window_(window), alpha_(alpha) {
+  require(window >= 2, "Monitor: window must be >= 2");
+  require(alpha > 0.0 && alpha < 1.0, "Monitor: alpha must be in (0, 1)");
+}
+
+void Monitor::observe(const linalg::Vector& value) {
+  if (history_.empty()) {
+    history_.resize(value.size());
+    ewma_.assign(value.size(), 0.0);
+    deviation_.assign(value.size(), 0.0);
+    for (std::size_t d = 0; d < value.size(); ++d) ewma_[d] = value[d];
+  }
+  require(value.size() == history_.size(), "Monitor: dimension mismatch");
+  ++count_;
+  double total = 0.0;
+  for (std::size_t d = 0; d < value.size(); ++d) {
+    total += value[d];
+    history_[d].push_back(value[d]);
+    if (history_[d].size() > window_) history_[d].pop_front();
+    const double residual = value[d] - ewma_[d];
+    ewma_[d] += alpha_ * residual;
+    deviation_[d] += alpha_ * (std::abs(residual) - deviation_[d]);
+  }
+  if (count_ == 1) total_ewma_ = total;
+  total_history_.push_back(total);
+  if (total_history_.size() > window_) total_history_.pop_front();
+  const double total_residual = total - total_ewma_;
+  total_ewma_ += alpha_ * total_residual;
+  total_deviation_ += alpha_ * (std::abs(total_residual) - total_deviation_);
+}
+
+std::size_t Monitor::dimensions() const { return history_.size(); }
+
+SeriesStats Monitor::compute(const std::deque<double>& series, double ewma,
+                             double deviation) const {
+  SeriesStats stats;
+  if (series.empty()) return stats;
+  stats.observations = count_;
+  stats.last = series.back();
+  stats.ewma = ewma;
+  stats.ewma_deviation = deviation;
+  const std::vector<double> window_values(series.begin(), series.end());
+  stats.window_mean = mean(window_values);
+  stats.window_p95 = percentile(window_values, 95.0);
+  stats.window_max = max_abs(window_values);
+  // Least-squares slope over the window (periods as the abscissa).
+  const auto n = static_cast<double>(window_values.size());
+  if (window_values.size() >= 2) {
+    double sum_t = 0.0, sum_tt = 0.0, sum_y = 0.0, sum_ty = 0.0;
+    for (std::size_t t = 0; t < window_values.size(); ++t) {
+      const auto td = static_cast<double>(t);
+      sum_t += td;
+      sum_tt += td * td;
+      sum_y += window_values[t];
+      sum_ty += td * window_values[t];
+    }
+    const double denom = n * sum_tt - sum_t * sum_t;
+    if (denom > 0.0) stats.trend_per_period = (n * sum_ty - sum_t * sum_y) / denom;
+  }
+  return stats;
+}
+
+SeriesStats Monitor::stats(std::size_t d) const {
+  require(d < history_.size(), "Monitor::stats: dimension out of range");
+  return compute(history_[d], ewma_[d], deviation_[d]);
+}
+
+SeriesStats Monitor::total_stats() const {
+  return compute(total_history_, total_ewma_, total_deviation_);
+}
+
+}  // namespace gp::sim

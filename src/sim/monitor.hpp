@@ -1,0 +1,59 @@
+// The monitoring module of the paper's architecture (Fig. 2): collects the
+// per-period demand and price observations and maintains the descriptive
+// statistics the other components consume — EWMA level, EWMA deviation,
+// sliding-window mean / percentiles / trend per series. The predictors take
+// raw observations; this module answers the operational questions ("what is
+// the p95 demand this week", "is demand trending up").
+#pragma once
+
+#include <deque>
+
+#include "linalg/vector_ops.hpp"
+
+namespace gp::sim {
+
+/// Point-in-time statistics of one monitored series (dimension).
+struct SeriesStats {
+  double last = 0.0;
+  double ewma = 0.0;            ///< exponentially weighted level
+  double ewma_deviation = 0.0;  ///< exponentially weighted |residual|
+  double window_mean = 0.0;     ///< over the sliding window
+  double window_p95 = 0.0;
+  double window_max = 0.0;
+  double trend_per_period = 0.0;  ///< least-squares slope over the window
+  std::size_t observations = 0;
+};
+
+/// Multivariate sliding-window monitor (see file comment).
+class Monitor {
+ public:
+  /// window: periods retained for window statistics; alpha: EWMA smoothing.
+  explicit Monitor(std::size_t window = 48, double alpha = 0.2);
+
+  /// Feeds one period's observation (fixed dimension after the first call).
+  void observe(const linalg::Vector& value);
+
+  std::size_t dimensions() const;
+  std::size_t observations() const { return count_; }
+
+  /// Statistics of dimension d.
+  SeriesStats stats(std::size_t d) const;
+
+  /// Aggregate statistics of the per-period TOTAL across dimensions.
+  SeriesStats total_stats() const;
+
+ private:
+  SeriesStats compute(const std::deque<double>& series, double ewma, double deviation) const;
+
+  std::size_t window_;
+  double alpha_;
+  std::size_t count_ = 0;
+  std::vector<std::deque<double>> history_;  ///< per dimension
+  std::deque<double> total_history_;
+  linalg::Vector ewma_;
+  linalg::Vector deviation_;
+  double total_ewma_ = 0.0;
+  double total_deviation_ = 0.0;
+};
+
+}  // namespace gp::sim

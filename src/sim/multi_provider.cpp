@@ -1,0 +1,122 @@
+#include "sim/multi_provider.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::sim {
+
+using linalg::Vector;
+
+MultiTenantSimulation::MultiTenantSimulation(std::vector<TenantConfig> tenants,
+                                             workload::ServerPriceModel prices,
+                                             Vector capacity, MultiTenantConfig config)
+    : tenants_(std::move(tenants)), prices_(std::move(prices)),
+      capacity_(std::move(capacity)), config_(config) {
+  require(!tenants_.empty(), "MultiTenantSimulation: need at least one tenant");
+  require(config_.periods >= 1, "MultiTenantSimulation: need at least one period");
+  require(config_.horizon >= 1, "MultiTenantSimulation: horizon must be >= 1");
+  const std::size_t num_l = tenants_.front().model.num_datacenters();
+  require(capacity_.size() == num_l, "MultiTenantSimulation: capacity size != L");
+  require(prices_.num_datacenters() == num_l, "MultiTenantSimulation: price model L mismatch");
+  for (auto& tenant : tenants_) {
+    require(tenant.model.num_datacenters() == num_l,
+            "MultiTenantSimulation: tenants disagree on the data-center set");
+    require(tenant.demand.num_access_networks() == tenant.model.num_access_networks(),
+            "MultiTenantSimulation: tenant demand model V mismatch");
+    require(tenant.predictor != nullptr, "MultiTenantSimulation: null predictor");
+    pair_index_.emplace_back(tenant.model);
+  }
+}
+
+MultiTenantSummary MultiTenantSimulation::run() {
+  Rng rng(config_.seed);
+  const std::size_t n = tenants_.size();
+
+  MultiTenantSummary summary;
+  summary.tenants.assign(n, {});
+  summary.tenant_total_costs.assign(n, 0.0);
+
+  std::vector<Vector> states;
+  for (std::size_t i = 0; i < n; ++i) {
+    states.emplace_back(pair_index_[i].num_pairs(), 0.0);
+  }
+  std::optional<std::vector<Vector>> quotas;  // warm start across periods
+
+  for (std::size_t k = 0; k < config_.periods; ++k) {
+    const double hour =
+        config_.utc_start_hour + static_cast<double>(k) * config_.period_hours;
+
+    // --- Observe per-tenant demand and predict windows. ---
+    std::vector<game::ProviderConfig> providers;
+    std::vector<double> observed_total(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& tenant = tenants_[i];
+      Vector demand(tenant.demand.num_access_networks(), 0.0);
+      for (std::size_t v = 0; v < demand.size(); ++v) {
+        demand[v] = config_.noisy_demand
+                        ? tenant.demand.sample_rate(v, hour, config_.period_hours, rng)
+                        : tenant.demand.mean_rate(v, hour + config_.period_hours / 2.0);
+        observed_total[i] += demand[v];
+      }
+      tenant.predictor->observe(demand);
+
+      game::ProviderConfig provider;
+      provider.model = tenant.model;
+      provider.initial_state = states[i];
+      provider.demand = tenant.predictor->forecast(config_.horizon);
+      // Prices: RTO day-ahead curves are public, so the true future per-
+      // period prices are used for the window.
+      for (std::size_t t = 1; t <= config_.horizon; ++t) {
+        Vector price = prices_.server_prices(hour + (static_cast<double>(t) + 0.5) *
+                                                        config_.period_hours);
+        linalg::scale(config_.period_hours, price);
+        provider.price.push_back(std::move(price));
+      }
+      providers.push_back(std::move(provider));
+    }
+
+    // --- Negotiate (Algorithm 2) and apply the first step. ---
+    game::CompetitionGame game(std::move(providers), capacity_, config_.game);
+    const game::GameResult result =
+        game.run(config_.warm_start_quotas ? quotas : std::nullopt);
+    summary.game_iterations.push_back(result.iterations);
+    summary.game_converged.push_back(result.converged);
+    if (config_.warm_start_quotas) quotas = result.quotas;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& solution = result.solutions[i];
+      TenantPeriodMetrics metrics;
+      metrics.demand = observed_total[i];
+      if (!solution.x.empty()) {
+        const Vector& u0 = solution.u.front();
+        double cost = 0.0, servers = 0.0;
+        for (std::size_t p = 0; p < pair_index_[i].num_pairs(); ++p) {
+          const std::size_t l = pair_index_[i].datacenter_of(p);
+          states[i][p] = std::max(0.0, states[i][p] + u0[p]);
+          servers += tenants_[i].model.server_size * states[i][p];
+          cost += tenants_[i].model.reconfig_cost[l] * u0[p] * u0[p];
+        }
+        // Rental at the next period's price.
+        Vector price = prices_.server_prices(hour + 1.5 * config_.period_hours);
+        linalg::scale(config_.period_hours, price);
+        for (std::size_t p = 0; p < pair_index_[i].num_pairs(); ++p) {
+          cost += price[pair_index_[i].datacenter_of(p)] * states[i][p];
+        }
+        metrics.cost = cost;
+        metrics.servers = servers;
+        if (!solution.unserved.empty()) {
+          for (double value : solution.unserved.front()) metrics.unserved += value;
+        }
+      }
+      summary.tenant_total_costs[i] += metrics.cost;
+      summary.total_cost += metrics.cost;
+      summary.total_unserved += metrics.unserved;
+      summary.tenants[i].push_back(metrics);
+    }
+  }
+  return summary;
+}
+
+}  // namespace gp::sim

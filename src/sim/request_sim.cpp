@@ -1,0 +1,157 @@
+#include "sim/request_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gp::sim {
+
+namespace {
+
+/// Trims warm-up samples and summarizes response times (seconds).
+QueueSimResult summarize(std::vector<double>& responses, double busy_time, int servers,
+                         double duration_s, double warmup_fraction) {
+  QueueSimResult result;
+  const auto skip = static_cast<std::size_t>(warmup_fraction *
+                                             static_cast<double>(responses.size()));
+  if (responses.size() <= skip) return result;
+  std::vector<double> measured(responses.begin() + static_cast<std::ptrdiff_t>(skip),
+                               responses.end());
+  result.completed = measured.size();
+  result.mean_response = mean(measured);
+  result.p95_response = percentile(measured, 95.0);
+  result.utilization = busy_time / (static_cast<double>(servers) * duration_s);
+  return result;
+}
+
+}  // namespace
+
+QueueSimResult simulate_split_mm1(double lambda, double mu, int servers, double duration_s,
+                                  Rng& rng, double warmup_fraction) {
+  require(lambda >= 0.0, "simulate_split_mm1: negative arrival rate");
+  require(mu > 0.0, "simulate_split_mm1: mu must be > 0");
+  require(servers >= 1, "simulate_split_mm1: need at least one server");
+  require(duration_s > 0.0, "simulate_split_mm1: duration must be > 0");
+  require(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+          "simulate_split_mm1: warmup fraction in [0, 1)");
+
+  // A uniform split of a Poisson process is a Poisson process per server,
+  // and the servers are independent: simulate each with the exact Lindley
+  // recursion W_{n+1} = max(0, W_n + S_n - A_n).
+  const double per_server_rate = lambda / static_cast<double>(servers);
+  std::vector<double> responses;
+  double busy_time = 0.0;
+  for (int s = 0; s < servers; ++s) {
+    if (per_server_rate <= 0.0) break;
+    double t = rng.exponential(per_server_rate);
+    double wait = 0.0;
+    while (t < duration_s) {
+      const double service = rng.exponential(mu);
+      responses.push_back(wait + service);
+      busy_time += service;
+      const double gap = rng.exponential(per_server_rate);
+      wait = std::max(0.0, wait + service - gap);
+      t += gap;
+    }
+  }
+  return summarize(responses, busy_time, servers, duration_s, warmup_fraction);
+}
+
+QueueSimResult simulate_pooled_mmc(double lambda, double mu, int servers, double duration_s,
+                                   Rng& rng, double warmup_fraction) {
+  require(lambda >= 0.0, "simulate_pooled_mmc: negative arrival rate");
+  require(mu > 0.0, "simulate_pooled_mmc: mu must be > 0");
+  require(servers >= 1, "simulate_pooled_mmc: need at least one server");
+  require(duration_s > 0.0, "simulate_pooled_mmc: duration must be > 0");
+
+  // FIFO M/M/c: each arrival starts service at max(arrival, earliest free
+  // server); a min-heap over server-free times is the whole state.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int s = 0; s < servers; ++s) free_at.push(0.0);
+  std::vector<double> responses;
+  double busy_time = 0.0;
+  double t = lambda > 0.0 ? rng.exponential(lambda) : duration_s;
+  while (t < duration_s) {
+    const double earliest = free_at.top();
+    free_at.pop();
+    const double start = std::max(t, earliest);
+    const double service = rng.exponential(mu);
+    free_at.push(start + service);
+    responses.push_back(start - t + service);
+    busy_time += service;
+    t += rng.exponential(lambda);
+  }
+  return summarize(responses, busy_time, servers, duration_s, warmup_fraction);
+}
+
+EmpiricalSlaReport simulate_assignment(const dspp::DsppModel& model,
+                                       const dspp::PairIndex& pairs,
+                                       const linalg::Vector& allocation,
+                                       const dspp::Assignment& assignment,
+                                       double duration_s, Rng& rng) {
+  require(allocation.size() == pairs.num_pairs(), "simulate_assignment: allocation size");
+  require(assignment.rate.size() == pairs.num_pairs(), "simulate_assignment: rate size");
+  require(duration_s > 0.0, "simulate_assignment: duration must be > 0");
+
+  EmpiricalSlaReport report;
+  double weighted_latency = 0.0;
+  double weighted_requests = 0.0;
+  double violating = 0.0;
+  for (std::size_t p = 0; p < pairs.num_pairs(); ++p) {
+    const double rate = assignment.rate[p];
+    if (rate <= 0.0) continue;
+    const auto servers = static_cast<int>(std::ceil(allocation[p] - 1e-9));
+    if (servers < 1) continue;
+    const std::size_t l = pairs.datacenter_of(p);
+    const std::size_t v = pairs.access_network_of(p);
+    const double network_ms = model.network.latency_ms(l, v);
+    const double bound_ms = model.max_latency_ms_for(l, v);
+
+    // Simulate the pair's split-M/M/1 group and measure against its bound.
+    const double per_server = rate / static_cast<double>(servers);
+    if (per_server >= model.sla.mu) {
+      // Unstable: everything violates.
+      report.simulated_requests += static_cast<std::size_t>(rate * duration_s);
+      violating += rate * duration_s;
+      weighted_requests += rate * duration_s;
+      continue;
+    }
+    // Re-simulate with response samples to count violations precisely.
+    const double queue_budget_ms = bound_ms - network_ms;
+    std::size_t pair_requests = 0, pair_violations = 0;
+    std::vector<double> responses_ms;
+    for (int s = 0; s < servers; ++s) {
+      double t = rng.exponential(per_server);
+      double wait = 0.0;
+      while (t < duration_s) {
+        const double service = rng.exponential(model.sla.mu);
+        const double response_ms = (wait + service) * 1000.0;
+        responses_ms.push_back(response_ms);
+        ++pair_requests;
+        if (response_ms > queue_budget_ms) ++pair_violations;
+        const double gap = rng.exponential(per_server);
+        wait = std::max(0.0, wait + service - gap);
+        t += gap;
+      }
+    }
+    if (responses_ms.empty()) continue;
+    const double pair_mean_ms = network_ms + mean(responses_ms);
+    const double pair_p95_ms = network_ms + percentile(responses_ms, 95.0);
+    report.worst_pair_p95_ms = std::max(report.worst_pair_p95_ms, pair_p95_ms);
+    weighted_latency += pair_mean_ms * static_cast<double>(pair_requests);
+    weighted_requests += static_cast<double>(pair_requests);
+    violating += static_cast<double>(pair_violations);
+    report.simulated_requests += pair_requests;
+  }
+  if (weighted_requests > 0.0) {
+    report.mean_latency_ms = weighted_latency / weighted_requests;
+    report.violating_fraction = violating / weighted_requests;
+  }
+  return report;
+}
+
+}  // namespace gp::sim

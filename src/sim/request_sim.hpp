@@ -1,0 +1,63 @@
+// Request-level (discrete-event) queueing simulation.
+//
+// Everything the controller plans with is an ANALYTIC queueing model — the
+// per-server M/M/1 split of Section IV-B and the ln(1/(1-phi)) percentile
+// factor. This module simulates actual Poisson request streams against
+// FIFO servers so those formulas can be validated empirically:
+//   * simulate_split_mm1   the paper's model: x independent M/M/1 servers,
+//     each fed an equal Bernoulli split of the arrival stream;
+//   * simulate_pooled_mmc  the M/M/c alternative: one FIFO queue drained by
+//     x servers (resource pooling);
+//   * simulate_assignment  end-to-end: takes a placement and the eq-13
+//     routing and reports the empirical latency distribution per the whole
+//     deployment, the request-level counterpart of dspp::evaluate_sla.
+//
+// The single-queue simulations use exact recursions (Lindley for M/M/1, a
+// server-heap for M/M/c) rather than a general event calendar — simpler,
+// faster, and no approximation.
+#pragma once
+
+#include <queue>
+
+#include "common/rng.hpp"
+#include "dspp/assignment.hpp"
+
+namespace gp::sim {
+
+/// Empirical statistics of one simulated queueing system.
+struct QueueSimResult {
+  std::size_t completed = 0;     ///< requests measured (after warm-up)
+  double mean_response = 0.0;    ///< seconds (queueing + service)
+  double p95_response = 0.0;     ///< 95th percentile, seconds
+  double utilization = 0.0;      ///< busy time / (servers * duration)
+};
+
+/// The paper's model: `servers` independent M/M/1 FIFO queues, each fed a
+/// Poisson(lambda / servers) stream (requests pick a server uniformly).
+/// duration_s of arrivals are generated; the first warmup_fraction of
+/// completed requests are discarded.
+QueueSimResult simulate_split_mm1(double lambda, double mu, int servers, double duration_s,
+                                  Rng& rng, double warmup_fraction = 0.1);
+
+/// Pooled alternative: one FIFO queue drained by `servers` exponential
+/// servers (M/M/c).
+QueueSimResult simulate_pooled_mmc(double lambda, double mu, int servers, double duration_s,
+                                   Rng& rng, double warmup_fraction = 0.1);
+
+/// Empirical end-to-end latency of a deployment: for every loaded (l, v)
+/// pair, simulates the per-server split at its assigned rate (allocation
+/// rounded up to whole servers) and adds the network latency.
+struct EmpiricalSlaReport {
+  double mean_latency_ms = 0.0;       ///< demand-weighted across pairs
+  double worst_pair_p95_ms = 0.0;     ///< max per-pair p95 end-to-end
+  double violating_fraction = 0.0;    ///< fraction of requests above the pair's bound
+  std::size_t simulated_requests = 0;
+};
+
+EmpiricalSlaReport simulate_assignment(const dspp::DsppModel& model,
+                                       const dspp::PairIndex& pairs,
+                                       const linalg::Vector& allocation,
+                                       const dspp::Assignment& assignment,
+                                       double duration_s, Rng& rng);
+
+}  // namespace gp::sim

@@ -1,0 +1,85 @@
+#include "topology/geo.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace gp::topology {
+
+std::string to_string(Region region) {
+  switch (region) {
+    case Region::kCalifornia: return "CAISO";
+    case Region::kTexas: return "ERCOT";
+    case Region::kSoutheast: return "SOCO";
+    case Region::kMidwest: return "MISO";
+    case Region::kEast: return "PJM";
+  }
+  return "unknown";
+}
+
+const std::vector<City>& us_cities24() {
+  // Populations are metro-area estimates (millions scaled to persons);
+  // offsets are standard time. Region assignment follows the dominant
+  // wholesale market of the state.
+  static const std::vector<City> cities = {
+      {"New York", "NY", 40.71, -74.01, 19567410, -5, Region::kEast},
+      {"Los Angeles", "CA", 34.05, -118.24, 12828837, -8, Region::kCalifornia},
+      {"Chicago", "IL", 41.88, -87.63, 9461105, -6, Region::kMidwest},
+      {"Dallas", "TX", 32.78, -96.80, 6426214, -6, Region::kTexas},
+      {"Houston", "TX", 29.76, -95.37, 5920416, -6, Region::kTexas},
+      {"Philadelphia", "PA", 39.95, -75.17, 5965343, -5, Region::kEast},
+      {"Washington", "DC", 38.91, -77.04, 5582170, -5, Region::kEast},
+      {"Miami", "FL", 25.76, -80.19, 5564635, -5, Region::kSoutheast},
+      {"Atlanta", "GA", 33.75, -84.39, 5268860, -5, Region::kSoutheast},
+      {"Boston", "MA", 42.36, -71.06, 4552402, -5, Region::kEast},
+      {"San Francisco", "CA", 37.77, -122.42, 4335391, -8, Region::kCalifornia},
+      {"Detroit", "MI", 42.33, -83.05, 4296250, -5, Region::kMidwest},
+      {"Phoenix", "AZ", 33.45, -112.07, 4192887, -7, Region::kCalifornia},
+      {"Seattle", "WA", 47.61, -122.33, 3439809, -8, Region::kCalifornia},
+      {"Minneapolis", "MN", 44.98, -93.27, 3348859, -6, Region::kMidwest},
+      {"San Diego", "CA", 32.72, -117.16, 3095313, -8, Region::kCalifornia},
+      {"St. Louis", "MO", 38.63, -90.20, 2812896, -6, Region::kMidwest},
+      {"Tampa", "FL", 27.95, -82.46, 2783243, -5, Region::kSoutheast},
+      {"Denver", "CO", 39.74, -104.99, 2543482, -7, Region::kMidwest},
+      {"Baltimore", "MD", 39.29, -76.61, 2710489, -5, Region::kEast},
+      {"Pittsburgh", "PA", 40.44, -79.99, 2356285, -5, Region::kEast},
+      {"Portland", "OR", 45.52, -122.68, 2226009, -8, Region::kCalifornia},
+      {"Charlotte", "NC", 35.23, -80.84, 1758038, -5, Region::kSoutheast},
+      {"San Antonio", "TX", 29.42, -98.49, 2142508, -6, Region::kTexas},
+  };
+  return cities;
+}
+
+std::vector<DataCenterSite> default_datacenter_sites(std::size_t count) {
+  require(count >= 1 && count <= 5, "default_datacenter_sites: count must be in [1, 5]");
+  static const std::vector<DataCenterSite> sites = {
+      {"dc-sanjose", {"San Jose", "CA", 37.34, -121.89, 0, -8, Region::kCalifornia}},
+      {"dc-houston", {"Houston", "TX", 29.76, -95.37, 0, -6, Region::kTexas}},
+      {"dc-atlanta", {"Atlanta", "GA", 33.75, -84.39, 0, -5, Region::kSoutheast}},
+      {"dc-chicago", {"Chicago", "IL", 41.88, -87.63, 0, -6, Region::kMidwest}},
+      {"dc-ashburn", {"Ashburn", "VA", 39.04, -77.49, 0, -5, Region::kEast}},
+  };
+  return {sites.begin(), sites.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+double haversine_km(const City& a, const City& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  const double to_rad = std::numbers::pi / 180.0;
+  const double lat1 = a.latitude * to_rad;
+  const double lat2 = b.latitude * to_rad;
+  const double dlat = (b.latitude - a.latitude) * to_rad;
+  const double dlon = (b.longitude - a.longitude) * to_rad;
+  const double s = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2.0) * std::sin(dlon / 2.0);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double propagation_latency_ms(const City& a, const City& b) {
+  // Light in fibre travels ~200 km/ms; real paths are ~1.5x the great
+  // circle. Add 1 ms fixed processing overhead.
+  const double km = haversine_km(a, b);
+  return 1.0 + 1.5 * km / 200.0;
+}
+
+}  // namespace gp::topology

@@ -1,0 +1,59 @@
+// Geographic reference data: the 24 US access-network cities and the
+// data-center sites used by the paper's evaluation (Section VII), with
+// populations, coordinates, time zones, and the regional electricity market
+// (RTO) each location belongs to.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gp::topology {
+
+/// Regional electricity market a location draws power from. Each region's
+/// wholesale price moves independently (the premise of the paper's Fig. 3).
+enum class Region {
+  kCalifornia,  // CAISO
+  kTexas,       // ERCOT
+  kSoutheast,   // SOCO (Georgia)
+  kMidwest,     // PJM/MISO (Illinois)
+  kEast,        // PJM East (Virginia)
+};
+
+std::string to_string(Region region);
+
+/// A customer population center hosting an access network.
+struct City {
+  std::string name;
+  std::string state;       ///< two-letter code
+  double latitude = 0.0;   ///< degrees
+  double longitude = 0.0;  ///< degrees (negative = west)
+  double population = 0.0; ///< metro population, used to scale demand
+  int utc_offset_hours = 0;///< standard-time offset from UTC (e.g. -5 for EST)
+  Region region = Region::kEast;
+};
+
+/// A data-center location a service provider can lease servers in.
+struct DataCenterSite {
+  std::string name;   ///< human-readable, e.g. "dc-sanjose"
+  City location;      ///< geographic placement (population unused)
+};
+
+/// The 24 major-US-city access networks used in the experiments.
+/// Deterministic order; populations are 2010-era metro estimates.
+const std::vector<City>& us_cities24();
+
+/// The paper's data-center sites. The paper states five data centers and
+/// names four (San Jose CA, Houston/Dallas TX, Atlanta GA, Chicago IL); we
+/// include Ashburn VA as the fifth. `count` trims the list (4 reproduces
+/// the named set, which the figure benches use).
+std::vector<DataCenterSite> default_datacenter_sites(std::size_t count = 4);
+
+/// Great-circle distance in kilometres (haversine).
+double haversine_km(const City& a, const City& b);
+
+/// One-way network propagation latency estimate in milliseconds for a
+/// great-circle fibre path: distance / (0.66 c) plus a fixed per-path
+/// processing overhead.
+double propagation_latency_ms(const City& a, const City& b);
+
+}  // namespace gp::topology

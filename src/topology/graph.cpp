@@ -1,0 +1,64 @@
+#include "topology/graph.hpp"
+
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace gp::topology {
+
+Graph::Graph(std::int32_t num_nodes) {
+  require(num_nodes >= 0, "Graph: negative node count");
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void Graph::add_edge(NodeId a, NodeId b, double weight) {
+  require(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(), "add_edge: node out of range");
+  require(a != b, "add_edge: self-loops are not allowed");
+  require(weight >= 0.0, "add_edge: negative weight");
+  adjacency_[static_cast<std::size_t>(a)].push_back({b, weight});
+  adjacency_[static_cast<std::size_t>(b)].push_back({a, weight});
+  ++num_edges_;
+}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return num_nodes() - 1;
+}
+
+std::span<const Graph::Neighbor> Graph::neighbors(NodeId node) const {
+  require(node >= 0 && node < num_nodes(), "neighbors: node out of range");
+  return adjacency_[static_cast<std::size_t>(node)];
+}
+
+std::vector<double> Graph::dijkstra(NodeId source) const {
+  require(source >= 0 && source < num_nodes(), "dijkstra: source out of range");
+  std::vector<double> dist(adjacency_.size(), kUnreachable);
+  using Entry = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(node)]) continue;  // stale entry
+    for (const auto& [next, weight] : adjacency_[static_cast<std::size_t>(node)]) {
+      const double candidate = d + weight;
+      if (candidate < dist[static_cast<std::size_t>(next)]) {
+        dist[static_cast<std::size_t>(next)] = candidate;
+        heap.push({candidate, next});
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  const auto dist = dijkstra(0);
+  for (double d : dist) {
+    if (d == kUnreachable) return false;
+  }
+  return true;
+}
+
+}  // namespace gp::topology

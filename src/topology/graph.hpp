@@ -1,0 +1,51 @@
+// Undirected weighted graph with Dijkstra shortest paths; the substrate for
+// the transit-stub topology generator and the latency-matrix computation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace gp::topology {
+
+/// Node identifier within a Graph.
+using NodeId = std::int32_t;
+
+/// Undirected graph with non-negative edge weights (latencies in ms).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::int32_t num_nodes);
+
+  std::int32_t num_nodes() const { return static_cast<std::int32_t>(adjacency_.size()); }
+  std::int64_t num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge; parallel edges are allowed (Dijkstra uses the
+  /// cheapest). Weight must be >= 0.
+  void add_edge(NodeId a, NodeId b, double weight);
+
+  /// Appends a new isolated node; returns its id.
+  NodeId add_node();
+
+  struct Neighbor {
+    NodeId node;
+    double weight;
+  };
+  std::span<const Neighbor> neighbors(NodeId node) const;
+
+  /// Single-source shortest path distances (ms). Unreachable nodes get
+  /// +infinity.
+  std::vector<double> dijkstra(NodeId source) const;
+
+  /// True when every node is reachable from node 0 (or the graph is empty).
+  bool connected() const;
+
+  static constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::int64_t num_edges_ = 0;
+};
+
+}  // namespace gp::topology

@@ -1,0 +1,148 @@
+#include "topology/isp_map.hpp"
+
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gp::topology {
+
+IspMapResult load_isp_map(std::istream& in) {
+  IspMapResult result;
+  std::map<std::string, NodeId> ids;
+  std::vector<std::string> names;
+  struct Edge {
+    NodeId a, b;
+    double latency;
+  };
+  std::vector<Edge> edges;
+
+  auto intern = [&](const std::string& name) {
+    const auto [it, inserted] = ids.emplace(name, static_cast<NodeId>(names.size()));
+    if (inserted) names.push_back(name);
+    return it->second;
+  };
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string a, b;
+    double latency = 0.0;
+    if (!(fields >> a)) continue;  // blank/comment line
+    if (!(fields >> b >> latency)) {
+      result.error = "line " + std::to_string(line_number) + ": expected '<a> <b> <latency>'";
+      return result;
+    }
+    std::string extra;
+    if (fields >> extra) {
+      result.error = "line " + std::to_string(line_number) + ": trailing tokens";
+      return result;
+    }
+    if (a == b) {
+      result.error = "line " + std::to_string(line_number) + ": self-loop '" + a + "'";
+      return result;
+    }
+    if (latency < 0.0) {
+      result.error = "line " + std::to_string(line_number) + ": negative latency";
+      return result;
+    }
+    edges.push_back({intern(a), intern(b), latency});
+  }
+  if (names.empty()) {
+    result.error = "no edges found";
+    return result;
+  }
+  result.map.graph = Graph(static_cast<std::int32_t>(names.size()));
+  for (const auto& edge : edges) result.map.graph.add_edge(edge.a, edge.b, edge.latency);
+  result.map.node_names = std::move(names);
+  if (!result.map.graph.connected()) {
+    result.error = "backbone is not connected";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+TransitStubTopology augment_with_access_networks(const IspMap& backbone,
+                                                 int stub_domains_per_pop,
+                                                 int stub_nodes_per_domain, Rng& rng,
+                                                 double stub_transit_latency_ms,
+                                                 double intra_stub_latency_ms,
+                                                 double extra_edge_probability) {
+  require(stub_domains_per_pop >= 1, "augment: stub_domains_per_pop must be >= 1");
+  require(stub_nodes_per_domain >= 1, "augment: stub_nodes_per_domain must be >= 1");
+  require(backbone.graph.num_nodes() >= 1, "augment: empty backbone");
+
+  TransitStubTopology topo;
+  topo.graph = backbone.graph;
+  const std::int32_t pops = backbone.graph.num_nodes();
+  topo.kind.assign(static_cast<std::size_t>(pops), NodeKind::kTransit);
+  topo.domain.assign(static_cast<std::size_t>(pops), 0);  // one backbone domain
+  for (NodeId pop = 0; pop < pops; ++pop) topo.transit_nodes.push_back(pop);
+
+  std::int32_t next_domain = 1;
+  for (NodeId pop = 0; pop < pops; ++pop) {
+    for (int sd = 0; sd < stub_domains_per_pop; ++sd) {
+      std::vector<NodeId> domain_nodes;
+      for (int i = 0; i < stub_nodes_per_domain; ++i) {
+        const NodeId node = topo.graph.add_node();
+        topo.kind.push_back(NodeKind::kStub);
+        topo.domain.push_back(next_domain);
+        topo.stub_nodes.push_back(node);
+        domain_nodes.push_back(node);
+      }
+      // Random spanning tree + chords inside the stub domain.
+      for (std::size_t i = 1; i < domain_nodes.size(); ++i) {
+        const auto j =
+            static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+        topo.graph.add_edge(domain_nodes[i], domain_nodes[j], intra_stub_latency_ms);
+      }
+      for (std::size_t i = 0; i + 1 < domain_nodes.size(); ++i) {
+        for (std::size_t j = i + 2; j < domain_nodes.size(); ++j) {
+          if (rng.uniform() < extra_edge_probability) {
+            topo.graph.add_edge(domain_nodes[i], domain_nodes[j], intra_stub_latency_ms);
+          }
+        }
+      }
+      const NodeId gateway = domain_nodes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(domain_nodes.size()) - 1))];
+      topo.graph.add_edge(gateway, pop, stub_transit_latency_ms);
+      topo.stub_domains.push_back(std::move(domain_nodes));
+      ++next_domain;
+    }
+  }
+  ensure(topo.graph.connected(), "augment: augmented topology must be connected");
+  return topo;
+}
+
+std::string example_backbone_text() {
+  // 14 US PoPs with approximate one-way backbone latencies (ms); the format
+  // is exactly what load_isp_map parses.
+  return R"(# synthetic tier-1 US backbone, Rocketfuel weights format
+# pop-a  pop-b  latency_ms
+sea  sjc  9
+sjc  lax  4
+sea  den  13
+sjc  den  12
+lax  phx  4
+phx  dal  10
+den  kcy  6
+kcy  chi  5
+dal  kcy  6
+dal  hou  3
+hou  atl  9
+chi  nyc  9
+chi  atl  8
+atl  mia  8
+atl  wdc  7
+wdc  nyc  3
+nyc  bos  3
+)";
+}
+
+}  // namespace gp::topology

@@ -1,0 +1,65 @@
+// Loader for ISP backbone maps in the Rocketfuel "weights" format, plus the
+// paper's augmentation step.
+//
+// The paper: "we have used a real Internet topology graph from the
+// Rocketfuel project, which contains link latency information. However, as
+// the data set only contains topologies for several tier-1 ISPs, we have
+// augmented the topology graph by introducing intermediary ISP and access
+// networks, similar to the procedure for generating transit-stub networks
+// in the GT-ITM network topology generator."
+//
+// The Rocketfuel latency dataset is distributed as plain-text edge lists:
+// one edge per line, `<node-a> <node-b> <latency>` with node names as
+// free-form tokens (PoP names like "nyc" or numeric ids) and latency in
+// milliseconds; '#' starts a comment. load_isp_map parses exactly that.
+// augment_with_access_networks then treats the loaded backbone as the
+// transit core and attaches stub (access-network) domains to its PoPs with
+// the same 5 ms / 2 ms latency classes the generator uses, reproducing the
+// paper's procedure on top of a real (or bundled synthetic) backbone.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/transit_stub.hpp"
+
+namespace gp::topology {
+
+/// A parsed ISP backbone.
+struct IspMap {
+  Graph graph;                         ///< one node per PoP
+  std::vector<std::string> node_names; ///< index -> PoP name
+};
+
+/// Parsing outcome; malformed input is reported, not thrown (data files are
+/// external inputs, not programming errors).
+struct IspMapResult {
+  bool ok = false;
+  IspMap map;
+  std::string error;  ///< first problem found, with a line number
+};
+
+/// Parses the Rocketfuel weights format (see file comment). Duplicate edges
+/// are kept (shortest wins in Dijkstra); self-loops and negative latencies
+/// are rejected.
+IspMapResult load_isp_map(std::istream& in);
+
+/// Attaches `stub_domains_per_pop` access-network domains (of
+/// `stub_nodes_per_domain` nodes each) to every backbone PoP, wiring them
+/// with the GT-ITM latency classes. The result's transit_nodes are the
+/// backbone PoPs; stub metadata matches generate_transit_stub's.
+TransitStubTopology augment_with_access_networks(const IspMap& backbone,
+                                                 int stub_domains_per_pop,
+                                                 int stub_nodes_per_domain, Rng& rng,
+                                                 double stub_transit_latency_ms = 5.0,
+                                                 double intra_stub_latency_ms = 2.0,
+                                                 double extra_edge_probability = 0.3);
+
+/// A bundled 14-PoP synthetic backbone (US tier-1-like PoP names, realistic
+/// inter-city latencies) in the exact on-disk format, for examples/tests
+/// and as documentation of the format itself.
+std::string example_backbone_text();
+
+}  // namespace gp::topology

@@ -1,0 +1,100 @@
+#include "topology/transit_stub.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gp::topology {
+
+namespace {
+
+/// Adds a random connected subgraph over `nodes`: a random spanning tree
+/// plus extra chords with the given probability. All edges get `latency`.
+void wire_domain(Graph& graph, std::span<const NodeId> nodes, double latency,
+                 double extra_edge_probability, Rng& rng) {
+  if (nodes.size() <= 1) return;
+  // Random spanning tree: connect node i to a uniformly random predecessor.
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    graph.add_edge(nodes[i], nodes[j], latency);
+  }
+  // Extra chords.
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    for (std::size_t j = i + 2; j < nodes.size(); ++j) {  // skip tree-adjacent pair heuristic
+      if (rng.uniform() < extra_edge_probability) graph.add_edge(nodes[i], nodes[j], latency);
+    }
+  }
+}
+
+}  // namespace
+
+TransitStubTopology generate_transit_stub(const TransitStubParams& params, Rng& rng) {
+  require(params.transit_domains > 0, "generate_transit_stub: transit_domains must be > 0");
+  require(params.transit_nodes_per_domain > 0,
+          "generate_transit_stub: transit_nodes_per_domain must be > 0");
+  require(params.stub_domains_per_transit_node >= 0,
+          "generate_transit_stub: stub_domains_per_transit_node must be >= 0");
+  require(params.stub_nodes_per_domain > 0,
+          "generate_transit_stub: stub_nodes_per_domain must be > 0");
+  require(params.extra_edge_probability >= 0.0 && params.extra_edge_probability <= 1.0,
+          "generate_transit_stub: extra_edge_probability must be in [0, 1]");
+
+  TransitStubTopology topo;
+  std::int32_t next_domain = 0;
+
+  // --- Transit core. ---
+  std::vector<std::vector<NodeId>> transit_domains;
+  for (int td = 0; td < params.transit_domains; ++td) {
+    std::vector<NodeId> domain_nodes;
+    for (int i = 0; i < params.transit_nodes_per_domain; ++i) {
+      const NodeId node = topo.graph.add_node();
+      topo.kind.push_back(NodeKind::kTransit);
+      topo.domain.push_back(next_domain);
+      topo.transit_nodes.push_back(node);
+      domain_nodes.push_back(node);
+    }
+    wire_domain(topo.graph, domain_nodes, params.intra_transit_latency_ms,
+                params.extra_edge_probability, rng);
+    transit_domains.push_back(std::move(domain_nodes));
+    ++next_domain;
+  }
+  // Inter-domain links: ring over domains plus random chords, connecting
+  // random representatives. Inter-transit links share the 20 ms class.
+  for (std::size_t td = 0; td < transit_domains.size(); ++td) {
+    const auto& from = transit_domains[td];
+    const auto& to = transit_domains[(td + 1) % transit_domains.size()];
+    if (&from == &to) continue;
+    const NodeId a = from[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(from.size()) - 1))];
+    const NodeId b = to[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(to.size()) - 1))];
+    topo.graph.add_edge(a, b, params.intra_transit_latency_ms);
+  }
+
+  // --- Stub domains. ---
+  for (const NodeId transit : topo.transit_nodes) {
+    for (int sd = 0; sd < params.stub_domains_per_transit_node; ++sd) {
+      std::vector<NodeId> domain_nodes;
+      for (int i = 0; i < params.stub_nodes_per_domain; ++i) {
+        const NodeId node = topo.graph.add_node();
+        topo.kind.push_back(NodeKind::kStub);
+        topo.domain.push_back(next_domain);
+        topo.stub_nodes.push_back(node);
+        domain_nodes.push_back(node);
+      }
+      wire_domain(topo.graph, domain_nodes, params.intra_stub_latency_ms,
+                  params.extra_edge_probability, rng);
+      // Attach the stub domain to its sponsoring transit router.
+      const NodeId gateway = domain_nodes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(domain_nodes.size()) - 1))];
+      topo.graph.add_edge(gateway, transit, params.stub_transit_latency_ms);
+      topo.stub_domains.push_back(std::move(domain_nodes));
+      ++next_domain;
+    }
+  }
+
+  ensure(topo.graph.connected(), "generate_transit_stub: generated graph must be connected");
+  return topo;
+}
+
+}  // namespace gp::topology

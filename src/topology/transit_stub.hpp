@@ -1,0 +1,56 @@
+// GT-ITM-style transit-stub topology generator.
+//
+// The paper augments Rocketfuel ISP graphs "by introducing intermediary ISP
+// and access networks, similar to the procedure for generating transit-stub
+// networks in the GT-ITM network topology generator", with link latencies of
+// 20 ms (intra-transit), 5 ms (stub-transit) and 2 ms (intra-stub). The
+// Rocketfuel dataset is not shipped with this library, so the generator
+// below produces the full transit-stub hierarchy directly with the same
+// latency constants (a documented substitution; see DESIGN.md).
+//
+// Structure: a ring+chords core of transit domains, each a connected random
+// graph of transit routers; every transit router sponsors several stub
+// domains (access networks), each a connected random graph attached to its
+// transit router by a stub-transit link. Connectivity is guaranteed by
+// construction (random spanning tree per domain plus extra chords).
+#pragma once
+
+#include "common/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace gp::topology {
+
+/// Role of a node in the transit-stub hierarchy.
+enum class NodeKind { kTransit, kStub };
+
+/// Generator parameters; defaults give ~200-node topologies comparable to
+/// an augmented Rocketfuel PoP map.
+struct TransitStubParams {
+  int transit_domains = 4;
+  int transit_nodes_per_domain = 4;
+  int stub_domains_per_transit_node = 3;
+  int stub_nodes_per_domain = 4;
+  double extra_edge_probability = 0.3;  ///< chords beyond the spanning tree
+  double intra_transit_latency_ms = 20.0;
+  double stub_transit_latency_ms = 5.0;
+  double intra_stub_latency_ms = 2.0;
+};
+
+/// A generated topology plus its node metadata.
+struct TransitStubTopology {
+  Graph graph;
+  std::vector<NodeKind> kind;        ///< per node
+  std::vector<std::int32_t> domain;  ///< per node: domain index (transit and stub
+                                     ///  domains numbered separately)
+  std::vector<NodeId> transit_nodes; ///< all transit routers
+  std::vector<NodeId> stub_nodes;    ///< all stub (access) routers
+
+  /// Stub nodes grouped by stub domain, in domain order.
+  std::vector<std::vector<NodeId>> stub_domains;
+};
+
+/// Generates a connected transit-stub topology. Throws PreconditionError on
+/// non-positive parameters.
+TransitStubTopology generate_transit_stub(const TransitStubParams& params, Rng& rng);
+
+}  // namespace gp::topology

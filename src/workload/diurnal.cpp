@@ -1,0 +1,46 @@
+#include "workload/diurnal.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::workload {
+
+namespace {
+
+/// Smoothstep in [0, 1] as x goes from 0 to 1.
+double smoothstep(double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return x * x * (3.0 - 2.0 * x);
+}
+
+}  // namespace
+
+DiurnalProfile::DiurnalProfile(double low, double high, double busy_start_hour,
+                               double busy_end_hour, double ramp_hours)
+    : low_(low), high_(high), busy_start_(busy_start_hour), busy_end_(busy_end_hour),
+      ramp_(ramp_hours) {
+  require(low >= 0.0 && high >= low, "DiurnalProfile: need 0 <= low <= high");
+  require(busy_start_hour >= 0.0 && busy_end_hour <= 24.0 && busy_start_hour < busy_end_hour,
+          "DiurnalProfile: busy window must satisfy 0 <= start < end <= 24");
+  require(ramp_hours > 0.0, "DiurnalProfile: ramp must be > 0");
+}
+
+double DiurnalProfile::multiplier(double local_hour_of_day) const {
+  double h = std::fmod(local_hour_of_day, 24.0);
+  if (h < 0.0) h += 24.0;
+  // Rise around busy_start_, fall around busy_end_.
+  const double rise = smoothstep((h - (busy_start_ - ramp_ / 2.0)) / ramp_);
+  const double fall = smoothstep((h - (busy_end_ - ramp_ / 2.0)) / ramp_);
+  const double busy_level = rise * (1.0 - fall);
+  return low_ + (high_ - low_) * busy_level;
+}
+
+double local_hour(double utc_hour, int utc_offset_hours) {
+  double h = std::fmod(utc_hour + static_cast<double>(utc_offset_hours), 24.0);
+  if (h < 0.0) h += 24.0;
+  return h;
+}
+
+}  // namespace gp::workload

@@ -1,0 +1,40 @@
+// Time-of-day demand profile.
+//
+// The paper generates requests "from a non-homogenous Poisson process that
+// considers both the population of each cities as well as the time of day.
+// Generally speaking, requests from the same location follow an on-off
+// stochastic process that has high arrival rate during working hours
+// (8am-5pm) and low arrival rate at night." DiurnalProfile implements that
+// on-off pattern with smooth ramps so the controller sees realistic
+// transitions rather than discontinuities.
+#pragma once
+
+namespace gp::workload {
+
+/// Smoothed on-off daily rate profile, evaluated in LOCAL time.
+class DiurnalProfile {
+ public:
+  /// high/low: multipliers during busy/quiet hours; busy window defaults to
+  /// the paper's 8:00-17:00; ramp: transition width in hours.
+  DiurnalProfile(double low = 0.25, double high = 1.0, double busy_start_hour = 8.0,
+                 double busy_end_hour = 17.0, double ramp_hours = 1.5);
+
+  /// Rate multiplier at the given local hour-of-day (wraps modulo 24).
+  double multiplier(double local_hour) const;
+
+  double low() const { return low_; }
+  double high() const { return high_; }
+
+ private:
+  double low_;
+  double high_;
+  double busy_start_;
+  double busy_end_;
+  double ramp_;
+};
+
+/// Converts a UTC hour to local hour-of-day for a given offset, wrapped to
+/// [0, 24).
+double local_hour(double utc_hour, int utc_offset_hours);
+
+}  // namespace gp::workload

@@ -1,0 +1,57 @@
+#include "workload/spikes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::workload {
+
+std::vector<FlashCrowd> generate_spikes(std::size_t num_access_networks, double days,
+                                        const SpikeParams& params, Rng& rng) {
+  require(num_access_networks >= 1, "generate_spikes: need at least one access network");
+  require(days > 0.0, "generate_spikes: days must be > 0");
+  require(params.spikes_per_day >= 0.0, "generate_spikes: negative spike rate");
+  require(params.magnitude_median > 1.0, "generate_spikes: magnitude median must be > 1");
+  require(params.duration_min_hours > 0.0 &&
+              params.duration_max_hours >= params.duration_min_hours,
+          "generate_spikes: bad duration range");
+  require(params.max_networks_hit >= 1, "generate_spikes: max_networks_hit must be >= 1");
+
+  std::vector<FlashCrowd> events;
+  if (params.spikes_per_day == 0.0) return events;
+  // Poisson process over the horizon: exponential inter-arrival gaps.
+  const double rate_per_hour = params.spikes_per_day / 24.0;
+  double t = rng.exponential(rate_per_hour);
+  const double horizon_hours = days * 24.0;
+  while (t < horizon_hours) {
+    const double duration =
+        rng.uniform(params.duration_min_hours, params.duration_max_hours);
+    // Lognormal magnitude around the median, floored at 1 (a spike never
+    // REDUCES demand).
+    const double magnitude = std::max(
+        1.01, params.magnitude_median * std::exp(params.magnitude_sigma * rng.normal()));
+    // The event hits a small random subset of locations.
+    const auto hit_count = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(
+               std::min(params.max_networks_hit, num_access_networks))));
+    std::vector<std::size_t> networks(num_access_networks);
+    for (std::size_t v = 0; v < num_access_networks; ++v) networks[v] = v;
+    rng.shuffle(networks);
+    for (std::size_t i = 0; i < hit_count; ++i) {
+      events.push_back({networks[i], t, duration, magnitude});
+    }
+    t += rng.exponential(rate_per_hour);
+  }
+  return events;
+}
+
+void add_random_spikes(DemandModel& demand, double days, const SpikeParams& params,
+                       Rng& rng) {
+  for (const auto& event :
+       generate_spikes(demand.num_access_networks(), days, params, rng)) {
+    demand.add_flash_crowd(event);
+  }
+}
+
+}  // namespace gp::workload

@@ -1,0 +1,33 @@
+// Random workload-spike generation, after the characterization the paper
+// cites for unexpected demand ("Characterizing, modeling, and generating
+// workload spikes for stateful services", Bodik et al., SOCC 2010): spikes
+// have a random onset, a magnitude that is small most of the time with a
+// heavy upper tail, a bounded duration, and hit a small subset of
+// locations. SpikeGenerator samples such events as FlashCrowd instances for
+// the demand model, giving robustness tests a principled surprise process.
+#pragma once
+
+#include "workload/demand.hpp"
+
+namespace gp::workload {
+
+/// Parameters of the spike process.
+struct SpikeParams {
+  double spikes_per_day = 0.5;        ///< Poisson arrival rate of events
+  double magnitude_median = 2.5;      ///< multiplier; lognormal around this
+  double magnitude_sigma = 0.6;       ///< lognormal shape (heavy upper tail)
+  double duration_min_hours = 0.5;
+  double duration_max_hours = 4.0;
+  std::size_t max_networks_hit = 2;   ///< locations affected per event
+};
+
+/// Samples spike events over `days` days across `num_access_networks`
+/// locations and returns them as FlashCrowd entries (start hours measured
+/// from 0). Deterministic for a given Rng state.
+std::vector<FlashCrowd> generate_spikes(std::size_t num_access_networks, double days,
+                                        const SpikeParams& params, Rng& rng);
+
+/// Convenience: samples spikes and installs them into the demand model.
+void add_random_spikes(DemandModel& demand, double days, const SpikeParams& params, Rng& rng);
+
+}  // namespace gp::workload

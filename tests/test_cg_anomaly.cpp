@@ -1,0 +1,229 @@
+// Tests for the conjugate-gradient solver and the flash-crowd anomaly
+// detector (including the guard's effect inside a simulated flash crowd).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "control/anomaly.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "sim/engine.hpp"
+
+namespace gp {
+namespace {
+
+using linalg::SparseMatrix;
+using linalg::Triplet;
+using linalg::Vector;
+
+/// Symmetric positive-definite test matrix: tridiagonal Laplacian + shift.
+SparseMatrix spd_tridiagonal(std::int32_t n, double diagonal = 4.0) {
+  std::vector<Triplet> triplets;
+  for (std::int32_t i = 0; i < n; ++i) {
+    triplets.push_back({i, i, diagonal});
+    if (i + 1 < n) {
+      triplets.push_back({i, i + 1, -1.0});
+      triplets.push_back({i + 1, i, -1.0});
+    }
+  }
+  return SparseMatrix::from_triplets(n, n, triplets);
+}
+
+TEST(ConjugateGradient, SolvesSpdSystem) {
+  const auto a = spd_tridiagonal(50);
+  Rng rng(3);
+  Vector b(50);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  Vector x(50, 0.0);
+  const auto result = linalg::conjugate_gradient(a, b, x);
+  ASSERT_TRUE(result.converged);
+  const Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-7);
+}
+
+TEST(ConjugateGradient, MatchesDirectSolver) {
+  const auto a = spd_tridiagonal(40);
+  Rng rng(5);
+  Vector b(40);
+  for (double& v : b) v = rng.uniform(-2.0, 2.0);
+  Vector x(40, 0.0);
+  ASSERT_TRUE(linalg::conjugate_gradient(a, b, x).converged);
+  linalg::SparseLdlt direct;
+  ASSERT_EQ(direct.factor(a.upper_triangle()), linalg::SparseLdlt::Status::kOk);
+  const Vector reference = direct.solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x[i], reference[i], 1e-7);
+}
+
+TEST(ConjugateGradient, JacobiPreconditionerHelpsOnSkewedDiagonal) {
+  // Wildly varying diagonal: Jacobi should cut iterations substantially.
+  const std::int32_t n = 120;
+  std::vector<Triplet> triplets;
+  Rng rng(7);
+  for (std::int32_t i = 0; i < n; ++i) {
+    triplets.push_back({i, i, std::pow(10.0, rng.uniform(0.0, 4.0))});
+    if (i + 1 < n) {
+      triplets.push_back({i, i + 1, 0.3});
+      triplets.push_back({i + 1, i, 0.3});
+    }
+  }
+  const auto a = SparseMatrix::from_triplets(n, n, triplets);
+  Vector b(n, 1.0);
+  linalg::CgSettings with_jacobi;
+  linalg::CgSettings without = with_jacobi;
+  without.jacobi_preconditioner = false;
+  Vector x1(n, 0.0), x2(n, 0.0);
+  const auto preconditioned = linalg::conjugate_gradient(a, b, x1, with_jacobi);
+  const auto plain = linalg::conjugate_gradient(a, b, x2, without);
+  ASSERT_TRUE(preconditioned.converged);
+  EXPECT_LT(preconditioned.iterations, plain.converged ? plain.iterations : 1000);
+}
+
+TEST(ConjugateGradient, WarmStartFinishesFaster) {
+  const auto a = spd_tridiagonal(60);
+  Vector b(60, 1.0);
+  Vector cold(60, 0.0);
+  const auto cold_result = linalg::conjugate_gradient(a, b, cold);
+  ASSERT_TRUE(cold_result.converged);
+  Vector warm = cold;  // exact solution as the start
+  const auto warm_result = linalg::conjugate_gradient(a, b, warm);
+  ASSERT_TRUE(warm_result.converged);
+  EXPECT_LE(warm_result.iterations, 2);
+}
+
+TEST(ConjugateGradient, ReportsNonConvergenceOnIndefiniteMatrix) {
+  // Indefinite: [[1, 2], [2, 1]].
+  const auto a = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.0}, {1, 1, 1.0}});
+  Vector b{1.0, -1.0};
+  Vector x(2, 0.0);
+  const auto result = linalg::conjugate_gradient(a, b, x);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(ConjugateGradient, ZeroRhsGivesZeroSolution) {
+  const auto a = spd_tridiagonal(10);
+  Vector b(10, 0.0);
+  Vector x(10, 5.0);
+  const auto result = linalg::conjugate_gradient(a, b, x);
+  EXPECT_TRUE(result.converged);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ConjugateGradient, ValidatesInputs) {
+  const auto a = spd_tridiagonal(4);
+  Vector b(3, 1.0);
+  Vector x(4, 0.0);
+  EXPECT_THROW(linalg::conjugate_gradient(a, b, x), PreconditionError);
+}
+
+// --- anomaly detector ---
+
+TEST(AnomalyDetector, FlagsSpikeAfterWarmup) {
+  control::AnomalyDetector detector(0.25, 4.0, 4);
+  Rng rng(11);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_FALSE(detector.observe({100.0 + rng.normal(0.0, 2.0)})) << "baseline at " << k;
+  }
+  EXPECT_TRUE(detector.observe({500.0}));
+  EXPECT_TRUE(detector.anomalous());
+  EXPECT_TRUE(detector.anomalous_dimensions()[0]);
+}
+
+TEST(AnomalyDetector, QuietDuringWarmup) {
+  control::AnomalyDetector detector(0.25, 4.0, 8);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_FALSE(detector.observe({k == 4 ? 1000.0 : 100.0}));
+  }
+}
+
+TEST(AnomalyDetector, TracksDriftWithoutFlagging) {
+  // A slow ramp (5% per period) is normal growth, not an anomaly.
+  control::AnomalyDetector detector;
+  double level = 100.0;
+  bool flagged = false;
+  for (int k = 0; k < 40; ++k) {
+    flagged = flagged || detector.observe({level});
+    level *= 1.05;
+  }
+  EXPECT_FALSE(flagged);
+}
+
+TEST(AnomalyDetector, AdoptsSustainedSurgeEventually) {
+  control::AnomalyDetector detector(0.3, 4.0, 4);
+  for (int k = 0; k < 10; ++k) detector.observe({100.0});
+  EXPECT_TRUE(detector.observe({400.0}));
+  int flagged_periods = 1;
+  for (int k = 0; k < 40; ++k) {
+    if (detector.observe({400.0})) ++flagged_periods;
+  }
+  EXPECT_LT(flagged_periods, 30);  // the new level becomes normal
+  EXPECT_FALSE(detector.anomalous());
+}
+
+TEST(AnomalyDetector, PerDimensionFlags) {
+  control::AnomalyDetector detector(0.25, 4.0, 4);
+  for (int k = 0; k < 8; ++k) detector.observe({50.0, 200.0});
+  EXPECT_TRUE(detector.observe({300.0, 200.0}));
+  EXPECT_TRUE(detector.anomalous_dimensions()[0]);
+  EXPECT_FALSE(detector.anomalous_dimensions()[1]);
+}
+
+TEST(AnomalyDetector, ValidatesConstruction) {
+  EXPECT_THROW(control::AnomalyDetector(0.0), PreconditionError);
+  EXPECT_THROW(control::AnomalyDetector(1.0), PreconditionError);
+  EXPECT_THROW(control::AnomalyDetector(0.2, -1.0), PreconditionError);
+}
+
+TEST(AnomalyGuard, ImprovesComplianceUnderFlashCrowd) {
+  // A guarded policy inflates planned demand while the detector fires; the
+  // guarded run must beat the unguarded one on compliance during a crowd.
+  const auto sites = topology::default_datacenter_sites(2);
+  const std::vector<topology::City> cities(topology::us_cities24().begin(),
+                                           topology::us_cities24().begin() + 3);
+  dspp::DsppModel model;
+  model.network = topology::NetworkModel::from_geography(sites, cities);
+  model.sla.mu = 100.0;
+  model.sla.max_latency_ms = 120.0;
+  model.reconfig_cost.assign(2, 0.001);
+  model.capacity.assign(2, 2000.0);
+  auto demand = workload::DemandModel::from_cities(cities, 1.5e-5,
+                                                   workload::DiurnalProfile(0.8, 1.0));
+  demand.add_flash_crowd({0, 8.0, 5.0, 4.0});
+  const workload::ServerPriceModel prices(sites, workload::VmType::kMedium,
+                                          workload::ElectricityPriceModel());
+  sim::SimulationConfig config;
+  config.periods = 20;
+  config.noisy_demand = true;
+  config.seed = 31;
+
+  auto run = [&](bool guarded) {
+    control::MpcSettings settings;
+    settings.horizon = 3;
+    control::MpcController controller(model, settings,
+                                      std::make_unique<control::LastValuePredictor>(),
+                                      std::make_unique<control::LastValuePredictor>());
+    control::AnomalyDetector detector(0.3, 3.0, 4);
+    sim::SimulationEngine engine(model, demand, prices, config);
+    sim::PlacementPolicy policy = [&](const Vector& state, const Vector& observed,
+                                      const Vector& price) {
+      Vector planned = observed;
+      if (detector.observe(observed) && guarded) {
+        for (std::size_t v = 0; v < planned.size(); ++v) {
+          if (detector.anomalous_dimensions()[v]) planned[v] *= 1.5;  // emergency cushion
+        }
+      }
+      const auto result = controller.step(state, planned, price);
+      return sim::PolicyOutcome{result.solved, result.control, result.next_state};
+    };
+    return engine.run(policy);
+  };
+
+  const auto unguarded = run(false);
+  const auto guarded = run(true);
+  EXPECT_GT(guarded.mean_compliance, unguarded.mean_compliance);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,192 @@
+// Tests for the integer-allocation extension (the paper's future work):
+// round-up with capacity repair, and the exact branch-and-bound placement,
+// cross-validated against each other and against analytic optima.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dspp/integer.hpp"
+#include "dspp/provisioning.hpp"
+#include "qp/admm_solver.hpp"
+#include "qp/ipm_solver.hpp"
+
+namespace gp::dspp {
+namespace {
+
+using linalg::Vector;
+
+DsppModel two_dc_model(double capacity0 = 1000.0, double capacity1 = 1000.0) {
+  DsppModel model;
+  model.network = topology::NetworkModel({"dc0", "dc1"}, {"an0", "an1"},
+                                         {{10.0, 40.0}, {35.0, 12.0}});
+  model.sla.mu = 100.0;
+  model.sla.max_latency_ms = 100.0;
+  model.reconfig_cost = {0.1, 0.1};
+  model.capacity = {capacity0, capacity1};
+  return model;
+}
+
+TEST(RoundUp, CeilsFractionalAllocation) {
+  const DsppModel model = two_dc_model();
+  const PairIndex pairs(model);
+  Vector x(pairs.num_pairs(), 0.0);
+  x[0] = 2.3;
+  x[1] = 4.0;  // already integral: must stay
+  const Vector demand(pairs.num_access_networks(), 0.0);
+  const Vector price{0.1, 0.1};
+  const auto result = round_up_allocation(model, pairs, x, demand, price);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.allocation[0], 3.0);
+  EXPECT_DOUBLE_EQ(result.allocation[1], 4.0);
+  EXPECT_GE(result.objective, result.continuous_objective);
+  EXPECT_GE(result.gap(), 0.0);
+}
+
+TEST(RoundUp, PreservesDemandFeasibility) {
+  const DsppModel model = two_dc_model();
+  const PairIndex pairs(model);
+  const Vector demand{700.0, 430.0};
+  const Vector price{0.08, 0.05};
+  qp::AdmmSolver solver;
+  const Vector continuous = min_cost_placement(model, pairs, demand, price, solver);
+  const auto result = round_up_allocation(model, pairs, continuous, demand, price);
+  ASSERT_TRUE(result.feasible);
+  // Integral and demand-feasible.
+  for (std::size_t v = 0; v < pairs.num_access_networks(); ++v) {
+    double served = 0.0;
+    for (const std::size_t p : pairs.pairs_of_access_network(v)) {
+      EXPECT_NEAR(result.allocation[p], std::round(result.allocation[p]), 1e-9);
+      served += result.allocation[p] / pairs.coefficient(p);
+    }
+    EXPECT_GE(served, demand[v] - 1e-6);
+  }
+}
+
+TEST(RoundUp, RepairsCapacityOverrun) {
+  // Capacity exactly equal to the continuous optimum: ceiling overflows it,
+  // and the repair must floor elsewhere (shifting to the other DC's pairs).
+  DsppModel model = two_dc_model();
+  const PairIndex pairs(model);
+  const Vector demand{700.0, 430.0};
+  const Vector price{0.08, 0.05};
+  qp::AdmmSolver solver;
+  const Vector continuous = min_cost_placement(model, pairs, demand, price, solver);
+  // Tighten each capacity to ceil of continuous usage: rounding up all pairs
+  // in a DC can exceed it by up to (#pairs - 1).
+  for (std::size_t l = 0; l < 2; ++l) {
+    double used = 0.0;
+    for (const std::size_t p : pairs.pairs_of_datacenter(l)) used += continuous[p];
+    model.capacity[l] = std::ceil(used) + 0.5;  // just above the fractional sum
+  }
+  const PairIndex tight_pairs(model);
+  const auto result = round_up_allocation(model, tight_pairs, continuous, demand, price);
+  if (result.feasible) {
+    for (std::size_t l = 0; l < 2; ++l) {
+      double used = 0.0;
+      for (const std::size_t p : tight_pairs.pairs_of_datacenter(l)) {
+        used += result.allocation[p];
+      }
+      EXPECT_LE(used, model.capacity[l] + 1e-9);
+    }
+  }
+  // Either repaired within capacity or correctly reported infeasible —
+  // never a silent violation (checked above).
+}
+
+TEST(RoundUp, ValidatesInputs) {
+  const DsppModel model = two_dc_model();
+  const PairIndex pairs(model);
+  const Vector bad_alloc(pairs.num_pairs() + 1, 0.0);
+  EXPECT_THROW(round_up_allocation(model, pairs, bad_alloc, {0.0, 0.0}, {0.1, 0.1}),
+               PreconditionError);
+  Vector negative(pairs.num_pairs(), 0.0);
+  negative[0] = -1.0;
+  EXPECT_THROW(round_up_allocation(model, pairs, negative, {0.0, 0.0}, {0.1, 0.1}),
+               PreconditionError);
+}
+
+TEST(BranchAndBound, MatchesAnalyticOptimumSingleDc) {
+  // One DC, one AN: min p*x s.t. x/a >= D, x integer => x = ceil(a D).
+  DsppModel model;
+  model.network = topology::NetworkModel({"dc0"}, {"an0"}, {{10.0}});
+  model.sla.mu = 100.0;
+  model.sla.max_latency_ms = 60.0;  // a = 1/80
+  model.reconfig_cost = {0.0};
+  model.capacity = {100.0};
+  const PairIndex pairs(model);
+  qp::AdmmSolver solver;
+  const auto result =
+      solve_integer_placement(model, pairs, {420.0}, {0.07}, solver);  // aD = 5.25
+  ASSERT_EQ(result.status, IntegerPlacementResult::Status::kOptimal);
+  EXPECT_DOUBLE_EQ(result.allocation[0], 6.0);
+  EXPECT_NEAR(result.objective, 0.42, 1e-9);
+  EXPECT_LE(result.lower_bound, result.objective + 1e-9);
+}
+
+TEST(BranchAndBound, DetectsInfeasibleCapacity) {
+  DsppModel model;
+  model.network = topology::NetworkModel({"dc0"}, {"an0"}, {{10.0}});
+  model.sla.mu = 100.0;
+  model.sla.max_latency_ms = 60.0;
+  model.reconfig_cost = {0.0};
+  model.capacity = {3.0};  // needs ceil(5.25) = 6 servers
+  const PairIndex pairs(model);
+  qp::AdmmSolver solver;
+  const auto result = solve_integer_placement(model, pairs, {420.0}, {0.07}, solver);
+  EXPECT_EQ(result.status, IntegerPlacementResult::Status::kInfeasible);
+}
+
+TEST(BranchAndBound, BeatsOrMatchesRoundUpOnRandomInstances) {
+  Rng rng(4242);
+  qp::AdmmSolver solver;
+  // Relaxations inside branch-and-bound want high accuracy on tiny LPs:
+  // exactly the dense IPM's sweet spot.
+  qp::IpmSolver relaxation_solver;
+  int optimal_count = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const DsppModel model = two_dc_model(40.0, 40.0);
+    const PairIndex pairs(model);
+    const Vector demand{rng.uniform(200.0, 900.0), rng.uniform(200.0, 900.0)};
+    const Vector price{rng.uniform(0.03, 0.12), rng.uniform(0.03, 0.12)};
+    const Vector continuous = min_cost_placement(model, pairs, demand, price, solver);
+    const auto rounded = round_up_allocation(model, pairs, continuous, demand, price);
+    const auto exact = solve_integer_placement(model, pairs, demand, price, relaxation_solver);
+    if (exact.status != IntegerPlacementResult::Status::kOptimal) continue;
+    ++optimal_count;
+    // Exact optimum can never be worse than the heuristic, and both bound
+    // the continuous relaxation from above.
+    if (rounded.feasible) {
+      EXPECT_LE(exact.objective, rounded.objective + 1e-6) << "trial " << trial;
+    }
+    EXPECT_GE(exact.objective, rounded.continuous_objective - 1e-5) << "trial " << trial;
+    // Integrality + feasibility of the exact solution.
+    for (std::size_t v = 0; v < pairs.num_access_networks(); ++v) {
+      double served = 0.0;
+      for (const std::size_t p : pairs.pairs_of_access_network(v)) {
+        EXPECT_NEAR(exact.allocation[p], std::round(exact.allocation[p]), 1e-6);
+        served += exact.allocation[p] / pairs.coefficient(p);
+      }
+      EXPECT_GE(served, demand[v] - 1e-5);
+    }
+  }
+  EXPECT_GE(optimal_count, 4);  // B&B should close most small instances
+}
+
+TEST(BranchAndBound, RoundUpGapIsSmallForLargeAllocations) {
+  // The paper's relaxation argument: for services needing tens of servers
+  // the rounding gap is negligible. Measure it.
+  const DsppModel model = two_dc_model();
+  const PairIndex pairs(model);
+  qp::AdmmSolver solver;
+  const Vector demand{5000.0, 3000.0};  // tens of servers per pair
+  const Vector price{0.08, 0.05};
+  const Vector continuous = min_cost_placement(model, pairs, demand, price, solver);
+  const auto rounded = round_up_allocation(model, pairs, continuous, demand, price);
+  ASSERT_TRUE(rounded.feasible);
+  EXPECT_LT(rounded.gap(), 0.05);  // < 5% for ~20+ server allocations
+}
+
+}  // namespace
+}  // namespace gp::dspp

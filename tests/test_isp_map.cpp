@@ -1,0 +1,136 @@
+// Tests for the Rocketfuel-format ISP map loader and the GT-ITM-style
+// access-network augmentation (the paper's topology pipeline).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "topology/isp_map.hpp"
+#include "topology/network.hpp"
+
+namespace gp::topology {
+namespace {
+
+IspMap load_example() {
+  std::istringstream in(example_backbone_text());
+  const auto result = load_isp_map(in);
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.map;
+}
+
+TEST(IspMapLoader, ParsesExampleBackbone) {
+  const IspMap map = load_example();
+  EXPECT_EQ(map.node_names.size(), 14u);
+  EXPECT_EQ(map.graph.num_nodes(), 14);
+  EXPECT_EQ(map.graph.num_edges(), 17);
+  EXPECT_TRUE(map.graph.connected());
+}
+
+TEST(IspMapLoader, LatenciesAreShortestPaths) {
+  const IspMap map = load_example();
+  // Find sea and bos.
+  NodeId sea = -1, bos = -1, sjc = -1;
+  for (std::size_t i = 0; i < map.node_names.size(); ++i) {
+    if (map.node_names[i] == "sea") sea = static_cast<NodeId>(i);
+    if (map.node_names[i] == "bos") bos = static_cast<NodeId>(i);
+    if (map.node_names[i] == "sjc") sjc = static_cast<NodeId>(i);
+  }
+  ASSERT_GE(sea, 0);
+  ASSERT_GE(bos, 0);
+  const auto dist = map.graph.dijkstra(sea);
+  // sea -> sjc direct edge is 9 ms.
+  EXPECT_DOUBLE_EQ(dist[static_cast<std::size_t>(sjc)], 9.0);
+  // Cross-country multi-hop path exists and is plausibly bounded.
+  EXPECT_GT(dist[static_cast<std::size_t>(bos)], 20.0);
+  EXPECT_LT(dist[static_cast<std::size_t>(bos)], 80.0);
+}
+
+TEST(IspMapLoader, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\na b 3\n  # indented comment is a parse error? no: "
+                        "tokens\n");
+  // The third line "# indented..." starts with spaces then '#': the '#'
+  // truncation leaves spaces only -> skipped.
+  const auto result = load_isp_map(in);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.map.graph.num_nodes(), 2);
+}
+
+TEST(IspMapLoader, RejectsMalformedLines) {
+  {
+    std::istringstream in("a b\n");  // missing latency
+    const auto result = load_isp_map(in);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("line 1"), std::string::npos);
+  }
+  {
+    std::istringstream in("a b 3 extra\n");
+    EXPECT_FALSE(load_isp_map(in).ok);
+  }
+  {
+    std::istringstream in("a a 3\n");  // self loop
+    EXPECT_FALSE(load_isp_map(in).ok);
+  }
+  {
+    std::istringstream in("a b -1\n");  // negative latency
+    EXPECT_FALSE(load_isp_map(in).ok);
+  }
+  {
+    std::istringstream in("# only comments\n");
+    const auto result = load_isp_map(in);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error, "no edges found");
+  }
+  {
+    std::istringstream in("a b 3\nc d 4\n");  // two components
+    const auto result = load_isp_map(in);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("not connected"), std::string::npos);
+  }
+}
+
+TEST(Augmentation, AttachesStubDomainsToEveryPop) {
+  const IspMap map = load_example();
+  Rng rng(3);
+  const auto topo = augment_with_access_networks(map, 2, 3, rng);
+  EXPECT_EQ(topo.transit_nodes.size(), 14u);
+  EXPECT_EQ(topo.stub_domains.size(), 28u);
+  EXPECT_EQ(topo.stub_nodes.size(), 84u);
+  EXPECT_EQ(topo.graph.num_nodes(), 14 + 84);
+  EXPECT_TRUE(topo.graph.connected());
+  // Latency classes: stub-transit edges are 5 ms, intra-stub 2 ms.
+  for (const NodeId stub : topo.stub_nodes) {
+    for (const auto& [other, weight] : topo.graph.neighbors(stub)) {
+      if (topo.kind[static_cast<std::size_t>(other)] == NodeKind::kTransit) {
+        EXPECT_DOUBLE_EQ(weight, 5.0);
+      } else {
+        EXPECT_DOUBLE_EQ(weight, 2.0);
+      }
+    }
+  }
+}
+
+TEST(Augmentation, FeedsNetworkModel) {
+  const IspMap map = load_example();
+  Rng rng(5);
+  const auto topo = augment_with_access_networks(map, 2, 3, rng);
+  const auto network = NetworkModel::from_transit_stub(topo, 4, 20, rng);
+  EXPECT_EQ(network.num_datacenters(), 4u);
+  EXPECT_EQ(network.num_access_networks(), 20u);
+  for (std::size_t l = 0; l < 4; ++l) {
+    for (std::size_t v = 0; v < 20; ++v) {
+      EXPECT_GE(network.latency_ms(l, v), 10.0);  // >= DC access + stub-transit
+      EXPECT_LE(network.latency_ms(l, v), 120.0);
+    }
+  }
+}
+
+TEST(Augmentation, ValidatesParameters) {
+  const IspMap map = load_example();
+  Rng rng(1);
+  EXPECT_THROW(augment_with_access_networks(map, 0, 3, rng), PreconditionError);
+  EXPECT_THROW(augment_with_access_networks(map, 2, 0, rng), PreconditionError);
+  EXPECT_THROW(augment_with_access_networks(IspMap{}, 1, 1, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gp::topology

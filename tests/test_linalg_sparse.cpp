@@ -1,0 +1,300 @@
+// Tests for sparse linear algebra: CSC construction and kernels, orderings,
+// and the sparse LDL^T factorization (including quasi-definite KKT systems,
+// the exact shape the ADMM solver factors).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/dense_factor.hpp"
+#include "linalg/ordering.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "linalg/sparse_matrix.hpp"
+
+namespace gp::linalg {
+namespace {
+
+SparseMatrix random_sparse(std::int32_t rows, std::int32_t cols, double density, Rng& rng) {
+  std::vector<Triplet> triplets;
+  for (std::int32_t r = 0; r < rows; ++r)
+    for (std::int32_t c = 0; c < cols; ++c)
+      if (rng.uniform() < density) triplets.push_back({r, c, rng.uniform(-1.0, 1.0)});
+  return SparseMatrix::from_triplets(rows, cols, triplets);
+}
+
+/// Builds a random symmetric quasi-definite KKT matrix
+/// [[P + I, A^T], [A, -I]] and returns its upper triangle.
+SparseMatrix random_kkt_upper(std::int32_t n, std::int32_t m, Rng& rng, double density = 0.3) {
+  std::vector<Triplet> triplets;
+  for (std::int32_t i = 0; i < n; ++i) triplets.push_back({i, i, 1.0 + rng.uniform()});
+  for (std::int32_t i = 0; i < m; ++i) triplets.push_back({n + i, n + i, -1.0 - rng.uniform()});
+  for (std::int32_t r = 0; r < m; ++r)
+    for (std::int32_t c = 0; c < n; ++c)
+      if (rng.uniform() < density) triplets.push_back({c, n + r, rng.uniform(-1.0, 1.0)});
+  return SparseMatrix::from_triplets(n + m, n + m, triplets);
+}
+
+/// Expands an upper triangle to the full symmetric dense matrix.
+DenseMatrix full_from_upper(const SparseMatrix& upper) {
+  DenseMatrix d = upper.to_dense();
+  for (std::size_t r = 0; r < d.rows(); ++r)
+    for (std::size_t c = r + 1; c < d.cols(); ++c) d(c, r) = d(r, c);
+  return d;
+}
+
+TEST(SparseMatrix, FromTripletsSumsDuplicates) {
+  const std::vector<Triplet> triplets{{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 5.0}};
+  const auto a = SparseMatrix::from_triplets(2, 2, triplets);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.coefficient(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.coefficient(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.coefficient(0, 1), 0.0);
+}
+
+TEST(SparseMatrix, FromTripletsRejectsOutOfRange) {
+  const std::vector<Triplet> bad{{2, 0, 1.0}};
+  EXPECT_THROW(SparseMatrix::from_triplets(2, 2, bad), PreconditionError);
+}
+
+TEST(SparseMatrix, EmptyColumnsHaveValidPointers) {
+  const std::vector<Triplet> triplets{{0, 3, 1.0}};
+  const auto a = SparseMatrix::from_triplets(2, 5, triplets);
+  EXPECT_EQ(a.nnz(), 1);
+  const auto ptr = a.col_ptr();
+  for (std::size_t c = 1; c < ptr.size(); ++c) EXPECT_GE(ptr[c], ptr[c - 1]);
+  EXPECT_DOUBLE_EQ(a.coefficient(0, 3), 1.0);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  Rng rng(3);
+  const auto a = random_sparse(6, 9, 0.4, rng);
+  Vector x(9);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const Vector sparse_y = a.multiply(x);
+  const Vector dense_y = a.to_dense().multiply(x);
+  for (std::size_t i = 0; i < sparse_y.size(); ++i) EXPECT_NEAR(sparse_y[i], dense_y[i], 1e-14);
+}
+
+TEST(SparseMatrix, TransposedMultiplyMatchesDense) {
+  Rng rng(4);
+  const auto a = random_sparse(6, 9, 0.4, rng);
+  Vector x(6);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const Vector sparse_y = a.multiply_transposed(x);
+  const Vector dense_y = a.to_dense().multiply_transposed(x);
+  for (std::size_t i = 0; i < sparse_y.size(); ++i) EXPECT_NEAR(sparse_y[i], dense_y[i], 1e-14);
+}
+
+TEST(SparseMatrix, TransposeRoundTrip) {
+  Rng rng(5);
+  const auto a = random_sparse(7, 5, 0.3, rng);
+  const auto att = a.transposed().transposed();
+  EXPECT_EQ(att.nnz(), a.nnz());
+  for (std::int32_t r = 0; r < 7; ++r)
+    for (std::int32_t c = 0; c < 5; ++c)
+      EXPECT_DOUBLE_EQ(a.coefficient(r, c), att.coefficient(r, c));
+}
+
+TEST(SparseMatrix, ProductMatchesDense) {
+  Rng rng(6);
+  const auto a = random_sparse(4, 6, 0.5, rng);
+  const auto b = random_sparse(6, 3, 0.5, rng);
+  const auto ab = a.multiply(b);
+  const DenseMatrix dense_ab = a.to_dense() * b.to_dense();
+  for (std::int32_t r = 0; r < 4; ++r)
+    for (std::int32_t c = 0; c < 3; ++c)
+      EXPECT_NEAR(ab.coefficient(r, c), dense_ab(static_cast<std::size_t>(r),
+                                                 static_cast<std::size_t>(c)),
+                  1e-14);
+}
+
+TEST(SparseMatrix, UpperTriangleKeepsDiagonal) {
+  Rng rng(7);
+  auto a = random_sparse(5, 5, 0.6, rng);
+  const auto upper = a.upper_triangle();
+  for (std::int32_t r = 0; r < 5; ++r)
+    for (std::int32_t c = 0; c < 5; ++c) {
+      if (r <= c) {
+        EXPECT_DOUBLE_EQ(upper.coefficient(r, c), a.coefficient(r, c));
+      } else {
+        EXPECT_DOUBLE_EQ(upper.coefficient(r, c), 0.0);
+      }
+    }
+}
+
+TEST(SparseMatrix, ScaleRowsCols) {
+  const std::vector<Triplet> triplets{{0, 0, 2.0}, {1, 1, 3.0}, {0, 1, 1.0}};
+  auto a = SparseMatrix::from_triplets(2, 2, triplets);
+  const Vector row_scale{2.0, 4.0};
+  const Vector col_scale{10.0, 100.0};
+  a.scale_rows_cols(row_scale, col_scale);
+  EXPECT_DOUBLE_EQ(a.coefficient(0, 0), 40.0);
+  EXPECT_DOUBLE_EQ(a.coefficient(0, 1), 200.0);
+  EXPECT_DOUBLE_EQ(a.coefficient(1, 1), 1200.0);
+}
+
+TEST(SparseMatrix, InfNorms) {
+  const std::vector<Triplet> triplets{{0, 0, -2.0}, {1, 0, 1.0}, {1, 2, 5.0}};
+  const auto a = SparseMatrix::from_triplets(2, 3, triplets);
+  const Vector col_norms = a.column_inf_norms();
+  EXPECT_DOUBLE_EQ(col_norms[0], 2.0);
+  EXPECT_DOUBLE_EQ(col_norms[1], 0.0);
+  EXPECT_DOUBLE_EQ(col_norms[2], 5.0);
+  const Vector row_norms = a.row_inf_norms();
+  EXPECT_DOUBLE_EQ(row_norms[0], 2.0);
+  EXPECT_DOUBLE_EQ(row_norms[1], 5.0);
+}
+
+TEST(Ordering, IdentityAndInverseRoundTrip) {
+  const auto id = identity_permutation(5);
+  for (std::int32_t i = 0; i < 5; ++i) EXPECT_EQ(id[static_cast<std::size_t>(i)], i);
+  Permutation perm{3, 1, 4, 0, 2};
+  const auto inv = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[i])], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(Ordering, MinimumDegreeIsAPermutation) {
+  Rng rng(8);
+  const auto upper = random_kkt_upper(10, 6, rng);
+  const auto perm = minimum_degree_ordering(upper);
+  ASSERT_EQ(perm.size(), 16u);
+  std::vector<bool> seen(16, false);
+  for (std::int32_t p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 16);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(Ordering, ArrowheadMatrixOrdersHubLast) {
+  // Arrowhead: dense first row/column. Min-degree must defer the hub (0),
+  // which keeps L fill-free; eliminating the hub first fills everything.
+  const std::int32_t n = 12;
+  std::vector<Triplet> triplets;
+  for (std::int32_t i = 0; i < n; ++i) triplets.push_back({i, i, 4.0});
+  for (std::int32_t i = 1; i < n; ++i) triplets.push_back({0, i, 1.0});
+  const auto upper = SparseMatrix::from_triplets(n, n, triplets);
+  const auto perm = minimum_degree_ordering(upper);
+  // The hub must be eliminated once only degree-1 vertices remain (it can
+  // tie with the final leaf, so allow the last two slots).
+  EXPECT_TRUE(perm.back() == 0 || perm[perm.size() - 2] == 0);
+  SparseLdlt ldlt;
+  ASSERT_EQ(ldlt.factor(upper, perm), SparseLdlt::Status::kOk);
+  // Fill-free: L has exactly the n-1 off-diagonal entries of the arrow.
+  EXPECT_EQ(ldlt.l_nnz(), n - 1);
+}
+
+TEST(Ordering, SymmetricPermuteUpperPreservesMatrix) {
+  Rng rng(9);
+  const auto upper = random_kkt_upper(6, 4, rng);
+  const Permutation perm = minimum_degree_ordering(upper);
+  const auto permuted = symmetric_permute_upper(upper, perm);
+  const DenseMatrix full = full_from_upper(upper);
+  const DenseMatrix permuted_full = full_from_upper(permuted);
+  const auto inv = invert_permutation(perm);
+  for (std::size_t r = 0; r < full.rows(); ++r)
+    for (std::size_t c = 0; c < full.cols(); ++c) {
+      EXPECT_NEAR(permuted_full(static_cast<std::size_t>(inv[r]),
+                                static_cast<std::size_t>(inv[c])),
+                  full(r, c), 1e-15);
+    }
+}
+
+TEST(Ordering, PermuteVectorsRoundTrip) {
+  const Permutation perm{2, 0, 1};
+  const Vector x{10.0, 20.0, 30.0};
+  const Vector forward = permute(x, perm);
+  EXPECT_DOUBLE_EQ(forward[0], 30.0);
+  const Vector back = permute_inverse(forward, perm);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(back[i], x[i]);
+}
+
+class SparseLdltSizeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SparseLdltSizeTest, SolvesRandomQuasiDefiniteKkt) {
+  const auto [n, m] = GetParam();
+  Rng rng(200 + static_cast<std::uint64_t>(n * 31 + m));
+  const auto upper = random_kkt_upper(n, m, rng);
+  SparseLdlt ldlt;
+  ASSERT_EQ(ldlt.factor(upper), SparseLdlt::Status::kOk);
+  Vector b(static_cast<std::size_t>(n + m));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector x = ldlt.solve(b);
+  const DenseMatrix full = full_from_upper(upper);
+  const Vector ax = full.multiply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SparseLdltSizeTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{5, 3}, std::pair{10, 10},
+                                           std::pair{40, 25}, std::pair{80, 60},
+                                           std::pair{150, 100}));
+
+TEST(SparseLdlt, InertiaMatchesQuasiDefiniteBlocks) {
+  Rng rng(10);
+  const std::int32_t n = 12, m = 8;
+  const auto upper = random_kkt_upper(n, m, rng);
+  SparseLdlt ldlt;
+  ASSERT_EQ(ldlt.factor(upper), SparseLdlt::Status::kOk);
+  int positives = 0, negatives = 0;
+  for (double d : ldlt.d()) (d > 0 ? positives : negatives)++;
+  EXPECT_EQ(positives, n);
+  EXPECT_EQ(negatives, m);
+}
+
+TEST(SparseLdlt, RefactorWithSamePatternMatchesFreshFactor) {
+  Rng rng(11);
+  auto upper = random_kkt_upper(10, 6, rng);
+  SparseLdlt ldlt;
+  ASSERT_EQ(ldlt.factor(upper), SparseLdlt::Status::kOk);
+  // Change values, keep the pattern.
+  for (double& v : upper.mutable_values()) v *= 1.5;
+  ASSERT_EQ(ldlt.refactor(upper), SparseLdlt::Status::kOk);
+  Vector b(16);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector x = ldlt.solve(b);
+  const Vector ax = full_from_upper(upper).multiply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(SparseLdlt, DetectsZeroPivot) {
+  // Symmetric singular matrix: [[1, 1], [1, 1]].
+  const std::vector<Triplet> triplets{{0, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}};
+  const auto upper = SparseMatrix::from_triplets(2, 2, triplets);
+  SparseLdlt ldlt;
+  EXPECT_EQ(ldlt.factor(upper, identity_permutation(2)), SparseLdlt::Status::kZeroPivot);
+}
+
+TEST(SparseLdlt, SolveBeforeFactorThrows) {
+  SparseLdlt ldlt;
+  Vector b{1.0};
+  EXPECT_THROW(ldlt.solve_in_place(b), PreconditionError);
+}
+
+TEST(SparseLdlt, AgreesWithDenseLdltOnDiagonal) {
+  // Tridiagonal SPD matrix solved both sparse and dense.
+  const std::int32_t n = 30;
+  std::vector<Triplet> triplets;
+  for (std::int32_t i = 0; i < n; ++i) {
+    triplets.push_back({i, i, 4.0});
+    if (i + 1 < n) triplets.push_back({i, i + 1, -1.0});
+  }
+  const auto upper = SparseMatrix::from_triplets(n, n, triplets);
+  SparseLdlt sparse;
+  ASSERT_EQ(sparse.factor(upper), SparseLdlt::Status::kOk);
+  Ldlt dense;
+  ASSERT_EQ(dense.factor(full_from_upper(upper)), FactorStatus::kOk);
+  Rng rng(12);
+  Vector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector xs = sparse.solve(b);
+  const Vector xd = dense.solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(xs[i], xd[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace gp::linalg

@@ -1,0 +1,129 @@
+// Tests for the M/M/c (Erlang) queueing extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/mmc.hpp"
+
+namespace gp::queueing {
+namespace {
+
+TEST(ErlangB, KnownValues) {
+  // B(c=0, a) = 1 by definition of the recurrence base.
+  EXPECT_DOUBLE_EQ(erlang_b(0, 5.0), 1.0);
+  // B(1, a) = a / (1 + a).
+  EXPECT_NEAR(erlang_b(1, 2.0), 2.0 / 3.0, 1e-12);
+  // Classic table value: B(5, 3) ~= 0.1101.
+  EXPECT_NEAR(erlang_b(5, 3.0), 0.1101, 5e-4);
+  // Zero load: no blocking with any servers.
+  EXPECT_DOUBLE_EQ(erlang_b(3, 0.0), 0.0);
+}
+
+TEST(ErlangB, DecreasesWithServers) {
+  double previous = 1.0;
+  for (std::int64_t c = 1; c <= 20; ++c) {
+    const double b = erlang_b(c, 8.0);
+    EXPECT_LT(b, previous);
+    previous = b;
+  }
+}
+
+TEST(ErlangC, KnownValuesAndBounds) {
+  // C(1, rho) = rho for the single-server queue.
+  EXPECT_NEAR(erlang_c(1, 0.7), 0.7, 1e-12);
+  // Always a probability; always >= Erlang B at the same point.
+  for (std::int64_t c = 1; c <= 10; ++c) {
+    const double a = 0.8 * static_cast<double>(c);
+    const double probability = erlang_c(c, a);
+    EXPECT_GE(probability, erlang_b(c, a));
+    EXPECT_GT(probability, 0.0);
+    EXPECT_LE(probability, 1.0);
+  }
+}
+
+TEST(ErlangC, RejectsUnstableLoad) {
+  EXPECT_THROW(erlang_c(2, 2.0), PreconditionError);
+  EXPECT_THROW(erlang_c(0, 0.5), PreconditionError);
+}
+
+TEST(Mmc, SingleServerMatchesMm1) {
+  // M/M/1 sojourn: 1 / (mu - lambda). M/M/c with c = 1 must agree.
+  const double mu = 10.0;
+  for (double lambda : {0.5, 3.0, 7.0, 9.5}) {
+    EXPECT_NEAR(mmc_mean_response_time(1, lambda, mu), mean_response_time(mu, lambda), 1e-12)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(Mmc, ResponseTimeDecreasesWithServers) {
+  const double mu = 10.0, lambda = 18.0;
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::int64_t c = 2; c <= 12; ++c) {
+    const double response = mmc_mean_response_time(c, lambda, mu);
+    EXPECT_LT(response, previous);
+    EXPECT_GT(response, 1.0 / mu);  // never below the bare service time
+    previous = response;
+  }
+}
+
+TEST(Mmc, ZeroLoadIsPureServiceTime) {
+  EXPECT_DOUBLE_EQ(mmc_mean_response_time(4, 0.0, 8.0), 1.0 / 8.0);
+}
+
+TEST(Mmc, StabilityBoundary) {
+  EXPECT_TRUE(mmc_stable(3, 29.9, 10.0));
+  EXPECT_FALSE(mmc_stable(3, 30.0, 10.0));
+  EXPECT_THROW(mmc_mean_response_time(3, 30.0, 10.0), PreconditionError);
+}
+
+TEST(RequiredServers, MmcMeetsBudgetMinimally) {
+  const double mu = 100.0, budget = 0.05;
+  for (double lambda : {50.0, 500.0, 5000.0}) {
+    const auto c = mmc_required_servers(lambda, mu, budget);
+    ASSERT_GT(c, 0);
+    EXPECT_LE(mmc_mean_response_time(c, lambda, mu), budget);
+    if (c > 1 && mmc_stable(c - 1, lambda, mu)) {
+      EXPECT_GT(mmc_mean_response_time(c - 1, lambda, mu), budget) << "not minimal";
+    }
+  }
+}
+
+TEST(RequiredServers, InfeasibleBudget) {
+  // Budget below the bare service time can never be met.
+  EXPECT_EQ(mmc_required_servers(100.0, 10.0, 0.05), -1);
+  EXPECT_EQ(mm1_split_required_servers(100.0, 10.0, 0.05), -1);
+}
+
+TEST(RequiredServers, SplitRuleMatchesSlaCoefficient) {
+  // ceil(a_lv * sigma) with zero network latency equals the split rule.
+  const double mu = 100.0, budget = 0.05, lambda = 432.0;
+  SlaParams params;
+  params.mu = mu;
+  params.network_latency = 0.0;
+  params.max_latency = budget;
+  const double a = sla_coefficient(params);
+  EXPECT_EQ(mm1_split_required_servers(lambda, mu, budget),
+            static_cast<std::int64_t>(std::ceil(a * lambda - 1e-12)));
+}
+
+TEST(RequiredServers, PoolingNeverNeedsMore) {
+  const double mu = 100.0, budget = 0.05;
+  for (double lambda = 10.0; lambda <= 10000.0; lambda *= 3.0) {
+    const auto pooled = mmc_required_servers(lambda, mu, budget);
+    const auto split = mm1_split_required_servers(lambda, mu, budget);
+    ASSERT_GT(pooled, 0);
+    ASSERT_GT(split, 0);
+    EXPECT_LE(pooled, split) << "lambda=" << lambda;
+  }
+}
+
+TEST(RequiredServers, ZeroDemandZeroServers) {
+  EXPECT_EQ(mm1_split_required_servers(0.0, 100.0, 0.05), 0);
+  // Pooled: needs at least the empty-system service-time check; c = 1 works.
+  EXPECT_EQ(mmc_required_servers(0.0, 100.0, 0.05), 1);
+}
+
+}  // namespace
+}  // namespace gp::queueing

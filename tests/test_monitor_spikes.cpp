@@ -1,0 +1,143 @@
+// Tests for the monitoring-statistics module (the paper's Fig. 2 monitor)
+// and the Bodik-style random spike generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/monitor.hpp"
+#include "workload/spikes.hpp"
+
+namespace gp {
+namespace {
+
+TEST(Monitor, TracksLevelAndWindowStatistics) {
+  sim::Monitor monitor(10, 0.3);
+  for (int k = 0; k < 20; ++k) monitor.observe({100.0, 50.0});
+  const auto stats0 = monitor.stats(0);
+  EXPECT_DOUBLE_EQ(stats0.last, 100.0);
+  EXPECT_NEAR(stats0.ewma, 100.0, 1e-9);
+  EXPECT_NEAR(stats0.window_mean, 100.0, 1e-9);
+  EXPECT_NEAR(stats0.window_p95, 100.0, 1e-9);
+  EXPECT_NEAR(stats0.trend_per_period, 0.0, 1e-9);
+  EXPECT_EQ(stats0.observations, 20u);
+  const auto total = monitor.total_stats();
+  EXPECT_NEAR(total.window_mean, 150.0, 1e-9);
+}
+
+TEST(Monitor, TrendDetectsLinearGrowth) {
+  sim::Monitor monitor(12, 0.2);
+  for (int k = 0; k < 12; ++k) monitor.observe({10.0 + 3.0 * k});
+  EXPECT_NEAR(monitor.stats(0).trend_per_period, 3.0, 1e-9);
+  sim::Monitor falling(12, 0.2);
+  for (int k = 0; k < 12; ++k) falling.observe({100.0 - 5.0 * k});
+  EXPECT_NEAR(falling.stats(0).trend_per_period, -5.0, 1e-9);
+}
+
+TEST(Monitor, WindowSlidesAndForgetsOldData) {
+  sim::Monitor monitor(4, 0.5);
+  for (double v : {1000.0, 1000.0, 1000.0, 2.0, 2.0, 2.0, 2.0}) monitor.observe({v});
+  // The window holds only the last 4 observations (all 2.0).
+  EXPECT_NEAR(monitor.stats(0).window_mean, 2.0, 1e-9);
+  EXPECT_NEAR(monitor.stats(0).window_max, 2.0, 1e-9);
+}
+
+TEST(Monitor, P95ReflectsTail) {
+  sim::Monitor monitor(40, 0.2);
+  for (int k = 0; k < 37; ++k) monitor.observe({10.0});
+  monitor.observe({90.0});
+  monitor.observe({95.0});
+  monitor.observe({100.0});
+  const auto stats = monitor.stats(0);
+  EXPECT_GT(stats.window_p95, 50.0);
+  EXPECT_LT(stats.window_mean, 20.0);
+}
+
+TEST(Monitor, ValidatesUse) {
+  EXPECT_THROW(sim::Monitor(1), PreconditionError);
+  EXPECT_THROW(sim::Monitor(10, 1.0), PreconditionError);
+  sim::Monitor monitor(4, 0.2);
+  monitor.observe({1.0, 2.0});
+  EXPECT_THROW(monitor.observe({1.0}), PreconditionError);
+  EXPECT_THROW(monitor.stats(5), PreconditionError);
+}
+
+TEST(Spikes, GeneratedEventsAreWellFormed) {
+  Rng rng(5);
+  workload::SpikeParams params;
+  params.spikes_per_day = 3.0;
+  const auto events = workload::generate_spikes(6, 10.0, params, rng);
+  ASSERT_GT(events.size(), 5u);  // ~30 events expected over 10 days
+  for (const auto& event : events) {
+    EXPECT_LT(event.access_network, 6u);
+    EXPECT_GE(event.start_hour, 0.0);
+    EXPECT_LT(event.start_hour, 240.0);
+    EXPECT_GE(event.duration_hours, params.duration_min_hours);
+    EXPECT_LE(event.duration_hours, params.duration_max_hours);
+    EXPECT_GT(event.multiplier, 1.0);
+  }
+}
+
+TEST(Spikes, RateControlsEventCount) {
+  Rng rng_low(7), rng_high(7);
+  workload::SpikeParams low;
+  low.spikes_per_day = 0.5;
+  workload::SpikeParams high = low;
+  high.spikes_per_day = 8.0;
+  const auto few = workload::generate_spikes(4, 20.0, low, rng_low);
+  const auto many = workload::generate_spikes(4, 20.0, high, rng_high);
+  EXPECT_LT(few.size(), many.size());
+  Rng rng_zero(7);
+  workload::SpikeParams off = low;
+  off.spikes_per_day = 0.0;
+  EXPECT_TRUE(workload::generate_spikes(4, 20.0, off, rng_zero).empty());
+}
+
+TEST(Spikes, MagnitudesHaveHeavyUpperTail) {
+  Rng rng(11);
+  workload::SpikeParams params;
+  params.spikes_per_day = 20.0;
+  const auto events = workload::generate_spikes(3, 50.0, params, rng);
+  ASSERT_GT(events.size(), 300u);
+  double max_multiplier = 0.0;
+  double median_count = 0.0;
+  for (const auto& event : events) {
+    max_multiplier = std::max(max_multiplier, event.multiplier);
+    if (event.multiplier < params.magnitude_median) median_count += 1.0;
+  }
+  // Roughly half below the median; some events far above it.
+  EXPECT_NEAR(median_count / static_cast<double>(events.size()), 0.5, 0.12);
+  EXPECT_GT(max_multiplier, 2.0 * params.magnitude_median);
+}
+
+TEST(Spikes, InstallIntoDemandModelRaisesRates) {
+  workload::DemandModel demand(
+      {{100.0, 0, workload::DiurnalProfile(1.0, 1.0)},
+       {100.0, 0, workload::DiurnalProfile(1.0, 1.0)}});
+  Rng rng(13);
+  workload::SpikeParams params;
+  params.spikes_per_day = 12.0;
+  workload::add_random_spikes(demand, 2.0, params, rng);
+  // At least one hour across the horizon sees elevated demand somewhere.
+  bool elevated = false;
+  for (double hour = 0.0; hour < 48.0; hour += 0.25) {
+    for (std::size_t v = 0; v < 2; ++v) {
+      elevated = elevated || demand.mean_rate(v, hour) > 101.0;
+    }
+  }
+  EXPECT_TRUE(elevated);
+}
+
+TEST(Spikes, ValidatesParameters) {
+  Rng rng(1);
+  workload::SpikeParams params;
+  params.magnitude_median = 0.9;
+  EXPECT_THROW(workload::generate_spikes(2, 1.0, params, rng), PreconditionError);
+  params = {};
+  params.duration_min_hours = 2.0;
+  params.duration_max_hours = 1.0;
+  EXPECT_THROW(workload::generate_spikes(2, 1.0, params, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gp

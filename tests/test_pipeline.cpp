@@ -1,0 +1,77 @@
+// End-to-end pipeline test: the paper's full experimental workflow wired
+// together in one place — ISP backbone -> GT-ITM augmentation -> latency
+// matrix -> SLA pair index -> MPC simulation -> multi-provider competition
+// on the same network. Guards against drift between the modules' contracts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "game/competition.hpp"
+#include "sim/engine.hpp"
+#include "topology/isp_map.hpp"
+
+namespace gp {
+namespace {
+
+using linalg::Vector;
+
+TEST(Pipeline, BackboneToSimulationToGame) {
+  // --- Topology: bundled backbone, augmented, embedded. ---
+  std::istringstream backbone_text(topology::example_backbone_text());
+  const auto backbone = topology::load_isp_map(backbone_text);
+  ASSERT_TRUE(backbone.ok) << backbone.error;
+  Rng rng(2027);
+  const auto topo = topology::augment_with_access_networks(backbone.map, 2, 3, rng);
+  const auto network = topology::NetworkModel::from_transit_stub(topo, 3, 8, rng);
+
+  // --- Single-provider model + MPC over half a day. ---
+  dspp::DsppModel model;
+  model.network = network;
+  model.sla.mu = 100.0;
+  model.sla.max_latency_ms = 130.0;  // transit-stub latencies are chunky
+  model.reconfig_cost.assign(3, 0.01);
+  model.capacity.assign(3, 2000.0);
+  ASSERT_NO_THROW(dspp::PairIndex{model});
+
+  std::vector<workload::DemandSource> sources;
+  for (std::size_t v = 0; v < network.num_access_networks(); ++v) {
+    sources.push_back({60.0 + 10.0 * static_cast<double>(v), -5, workload::DiurnalProfile()});
+  }
+  const workload::DemandModel demand{std::move(sources)};
+  const workload::ServerPriceModel prices(topology::default_datacenter_sites(3),
+                                          workload::VmType::kMedium,
+                                          workload::ElectricityPriceModel());
+  sim::SimulationConfig config;
+  config.periods = 12;
+  config.noisy_demand = true;
+  config.seed = 7;
+  control::MpcSettings settings;
+  settings.horizon = 3;
+  control::MpcController controller(model, settings,
+                                    std::make_unique<control::ArPredictor>(2, 24),
+                                    std::make_unique<control::LastValuePredictor>());
+  sim::SimulationEngine engine(model, demand, prices, config);
+  const auto summary = engine.run(sim::policy_from(controller));
+  EXPECT_EQ(summary.unsolved_periods, 0);
+  EXPECT_GT(summary.total_cost, 0.0);
+  EXPECT_GT(summary.mean_compliance, 0.5);
+
+  // --- Two providers compete on the SAME network. ---
+  game::RandomProviderParams params;
+  params.horizon = 2;
+  params.max_latency_min_ms = 120.0;
+  params.max_latency_max_ms = 200.0;
+  std::vector<game::ProviderConfig> providers;
+  for (int i = 0; i < 2; ++i) {
+    providers.push_back(game::make_random_provider(network, params, rng));
+  }
+  game::CompetitionGame game(std::move(providers), Vector{300.0, 300.0, 300.0});
+  const auto equilibrium = game.run();
+  EXPECT_TRUE(equilibrium.converged);
+  const auto welfare = game.solve_social_welfare();
+  ASSERT_TRUE(welfare.solved);
+  EXPECT_LT(game::efficiency_ratio(equilibrium, welfare), 1.5);
+}
+
+}  // namespace
+}  // namespace gp

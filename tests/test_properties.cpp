@@ -1,0 +1,238 @@
+// Property-based sweeps across random instances: structural invariants of
+// the window program, the competition game, and the solver stack that must
+// hold for EVERY valid input, checked over seeded families.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dspp/assignment.hpp"
+#include "dspp/window_program.hpp"
+#include "game/competition.hpp"
+#include "qp/admm_solver.hpp"
+#include "qp/ipm_solver.hpp"
+
+namespace gp {
+namespace {
+
+using linalg::Vector;
+
+/// Random bipartite network with every (l, v) pair usable.
+dspp::DsppModel random_model(Rng& rng, std::size_t num_l, std::size_t num_v) {
+  std::vector<std::vector<double>> latency(num_l, std::vector<double>(num_v, 0.0));
+  for (auto& row : latency) {
+    for (double& d : row) d = rng.uniform(5.0, 40.0);
+  }
+  std::vector<std::string> dcs, ans;
+  for (std::size_t l = 0; l < num_l; ++l) dcs.push_back("dc" + std::to_string(l));
+  for (std::size_t v = 0; v < num_v; ++v) ans.push_back("an" + std::to_string(v));
+  dspp::DsppModel model;
+  model.network = topology::NetworkModel(dcs, ans, latency);
+  model.sla.mu = rng.uniform(60.0, 150.0);
+  model.sla.max_latency_ms = rng.uniform(90.0, 200.0);
+  model.reconfig_cost.assign(num_l, 0.0);
+  for (double& c : model.reconfig_cost) c = rng.uniform(0.0, 0.5);
+  model.capacity.assign(num_l, rng.uniform(500.0, 5000.0));
+  return model;
+}
+
+dspp::WindowInputs random_inputs(Rng& rng, const dspp::PairIndex& pairs, std::size_t horizon) {
+  dspp::WindowInputs inputs;
+  inputs.initial_state.assign(pairs.num_pairs(), 0.0);
+  for (double& x : inputs.initial_state) x = rng.uniform(0.0, 5.0);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    Vector demand(pairs.num_access_networks());
+    for (double& d : demand) d = rng.uniform(20.0, 400.0);
+    inputs.demand.push_back(std::move(demand));
+    Vector price(pairs.num_datacenters());
+    for (double& p : price) p = rng.uniform(0.01, 0.2);
+    inputs.price.push_back(std::move(price));
+  }
+  return inputs;
+}
+
+class WindowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WindowProperty, SolutionSatisfiesEveryModelConstraint) {
+  Rng rng(GetParam());
+  const auto num_l = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  const auto num_v = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  const auto horizon = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  const dspp::DsppModel model = random_model(rng, num_l, num_v);
+  const dspp::PairIndex pairs(model);
+  const dspp::WindowInputs inputs = random_inputs(rng, pairs, horizon);
+  const dspp::WindowProgram program(model, pairs, inputs);
+  qp::AdmmSolver solver;
+  const dspp::WindowSolution solution = program.solve(solver);
+  ASSERT_TRUE(solution.ok()) << qp::to_string(solution.status);
+
+  const double tol = 5e-2;  // first-order solver accuracy on unscaled data
+  Vector previous = inputs.initial_state;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    // State equation and sign constraints.
+    for (std::size_t p = 0; p < pairs.num_pairs(); ++p) {
+      EXPECT_NEAR(solution.x[t][p], previous[p] + solution.u[t][p], tol);
+      EXPECT_GE(solution.x[t][p], -1e-9);
+    }
+    previous = solution.x[t];
+    // Demand rows.
+    for (std::size_t v = 0; v < num_v; ++v) {
+      double served = 0.0;
+      for (const std::size_t p : pairs.pairs_of_access_network(v)) {
+        served += solution.x[t][p] / pairs.coefficient(p);
+      }
+      EXPECT_GE(served, inputs.demand[t][v] - tol) << "t=" << t << " v=" << v;
+    }
+    // Capacity rows and non-negative duals.
+    for (std::size_t l = 0; l < num_l; ++l) {
+      double used = 0.0;
+      for (const std::size_t p : pairs.pairs_of_datacenter(l)) {
+        used += model.server_size * solution.x[t][p];
+      }
+      EXPECT_LE(used, model.capacity[l] + tol);
+      EXPECT_GE(solution.capacity_duals[t][l], 0.0);
+    }
+  }
+}
+
+TEST_P(WindowProperty, CostIsMonotoneInDemand) {
+  Rng rng(GetParam() + 1000);
+  const dspp::DsppModel model = random_model(rng, 2, 3);
+  const dspp::PairIndex pairs(model);
+  dspp::WindowInputs inputs = random_inputs(rng, pairs, 3);
+  const dspp::WindowProgram base(model, pairs, inputs);
+  for (auto& demand : inputs.demand) {
+    for (double& d : demand) d *= 1.5;
+  }
+  const dspp::WindowProgram scaled(model, pairs, inputs);
+  qp::AdmmSolver solver;
+  const auto base_solution = base.solve(solver);
+  const auto scaled_solution = scaled.solve(solver);
+  ASSERT_TRUE(base_solution.ok());
+  ASSERT_TRUE(scaled_solution.ok());
+  EXPECT_GE(scaled_solution.objective, base_solution.objective - 1e-6);
+}
+
+TEST_P(WindowProperty, AssignmentConservesDemandAndMeetsSla) {
+  Rng rng(GetParam() + 2000);
+  const dspp::DsppModel model = random_model(rng, 3, 4);
+  const dspp::PairIndex pairs(model);
+  const dspp::WindowInputs inputs = random_inputs(rng, pairs, 1);
+  const dspp::WindowProgram program(model, pairs, inputs);
+  qp::AdmmSolver solver;
+  const auto solution = program.solve(solver);
+  ASSERT_TRUE(solution.ok());
+  const auto assignment = dspp::assign_demand(pairs, solution.x[0], inputs.demand[0]);
+  // Conservation: routed + unserved = demand, per access network.
+  for (std::size_t v = 0; v < pairs.num_access_networks(); ++v) {
+    double routed = 0.0;
+    for (const std::size_t p : pairs.pairs_of_access_network(v)) {
+      routed += assignment.rate[p];
+    }
+    EXPECT_NEAR(routed + assignment.unserved[v], inputs.demand[0][v], 1e-9);
+  }
+  // SLA: eq. (13) guarantees compliance when eq. (12) holds.
+  const auto report = dspp::evaluate_sla(model, pairs, solution.x[0], assignment);
+  EXPECT_GT(report.compliance(), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowProperty, ::testing::Range<std::uint64_t>(1, 11));
+
+class GameProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GameProperty, EquilibriumInvariants) {
+  Rng rng(GetParam());
+  const topology::NetworkModel network({"dc0", "dc1"}, {"an0", "an1", "an2"},
+                                       {{12.0, 22.0, 35.0}, {30.0, 18.0, 12.0}});
+  game::RandomProviderParams params;
+  params.horizon = 1 + static_cast<std::size_t>(GetParam() % 4);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 5));
+  std::vector<game::ProviderConfig> providers;
+  for (std::size_t i = 0; i < n; ++i) {
+    providers.push_back(game::make_random_provider(network, params, rng));
+  }
+  const Vector capacity{rng.uniform(100.0, 600.0), rng.uniform(100.0, 600.0)};
+  game::GameSettings settings;
+  settings.epsilon = 0.01;
+  settings.max_iterations = 1000;
+  game::CompetitionGame game(std::move(providers), capacity, settings);
+  const auto result = game.run();
+
+  // Quotas partition capacity per data center.
+  ASSERT_EQ(result.quotas.size(), n);
+  for (std::size_t l = 0; l < capacity.size(); ++l) {
+    double total = 0.0;
+    for (const auto& quota : result.quotas) {
+      EXPECT_GT(quota[l], 0.0);
+      total += quota[l];
+    }
+    EXPECT_NEAR(total, capacity[l], 1e-6 * capacity[l] + 1e-6);
+  }
+  // Costs are finite, positive, and recorded per iteration.
+  EXPECT_GT(result.total_cost, 0.0);
+  EXPECT_EQ(static_cast<int>(result.cost_history.size()), result.iterations);
+  // Efficiency against the social optimum: near 1, never meaningfully
+  // better than 1 (the NE cannot beat the optimum).
+  const auto welfare = game.solve_social_welfare();
+  if (welfare.solved && welfare.total_cost > 1e-9 && result.converged) {
+    const double ratio = game::efficiency_ratio(result, welfare);
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.6) << "far from social optimum";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GameProperty, ::testing::Range<std::uint64_t>(1, 9));
+
+class SolverProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverProperty, AdmmKktResidualsAreSmallOnRandomQps) {
+  Rng rng(GetParam() * 7919);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 30));
+  const auto m = static_cast<std::size_t>(rng.uniform_int(1, 25));
+  // Strictly convex random QP with guaranteed-feasible bounds.
+  std::vector<linalg::Triplet> p_triplets;
+  for (std::size_t i = 0; i < n; ++i) {
+    p_triplets.push_back({static_cast<std::int32_t>(i), static_cast<std::int32_t>(i),
+                          rng.uniform(0.5, 3.0)});
+  }
+  qp::QpProblem problem;
+  problem.p = linalg::SparseMatrix::from_triplets(static_cast<std::int32_t>(n),
+                                                  static_cast<std::int32_t>(n), p_triplets);
+  problem.q.assign(n, 0.0);
+  for (double& v : problem.q) v = rng.uniform(-2.0, 2.0);
+  std::vector<linalg::Triplet> a_triplets;
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (rng.uniform() < 0.4) {
+        a_triplets.push_back({static_cast<std::int32_t>(r), static_cast<std::int32_t>(c),
+                              rng.uniform(-1.0, 1.0)});
+      }
+    }
+  }
+  problem.a = linalg::SparseMatrix::from_triplets(static_cast<std::int32_t>(m),
+                                                  static_cast<std::int32_t>(n), a_triplets);
+  Vector x0(n);
+  for (double& v : x0) v = rng.uniform(-1.0, 1.0);
+  const Vector ax0 = problem.a.multiply(x0);
+  problem.lower.assign(m, 0.0);
+  problem.upper.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    problem.lower[r] = ax0[r] - rng.uniform(0.05, 2.0);
+    problem.upper[r] = ax0[r] + rng.uniform(0.05, 2.0);
+  }
+  qp::AdmmSolver solver;
+  const qp::QpResult result = solver.solve(problem);
+  ASSERT_TRUE(result.ok()) << qp::to_string(result.status);
+  // Primal feasibility and stationarity in unscaled terms.
+  EXPECT_LE(problem.constraint_violation(result.x), 1e-3);
+  const Vector px = problem.p.multiply(result.x);
+  const Vector aty = problem.a.multiply_transposed(result.y);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(px[j] + problem.q[j] + aty[j], 0.0, 1e-3) << "stationarity at " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace gp

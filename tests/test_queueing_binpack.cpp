@@ -1,0 +1,180 @@
+// Tests for the M/M/1 / SLA module and FFD bin packing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "binpack/ffd.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gp {
+namespace {
+
+using queueing::SlaParams;
+
+TEST(Mm1, UtilizationAndStability) {
+  EXPECT_DOUBLE_EQ(queueing::utilization(10.0, 5.0), 0.5);
+  EXPECT_TRUE(queueing::stable(10.0, 9.99));
+  EXPECT_FALSE(queueing::stable(10.0, 10.0));
+  EXPECT_THROW(queueing::utilization(0.0, 1.0), PreconditionError);
+}
+
+TEST(Mm1, MeanResponseTimeFormula) {
+  EXPECT_DOUBLE_EQ(queueing::mean_response_time(10.0, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(queueing::mean_response_time(10.0, 8.0), 0.5);
+  EXPECT_THROW(queueing::mean_response_time(10.0, 10.0), PreconditionError);
+}
+
+TEST(Mm1, PercentileFactorMatchesPaper) {
+  EXPECT_DOUBLE_EQ(queueing::percentile_factor(0.0), 1.0);
+  // ln(1 / 0.05) ~= 3, the paper's phi = 95% example.
+  EXPECT_NEAR(queueing::percentile_factor(0.95), 2.9957, 1e-3);
+  EXPECT_THROW(queueing::percentile_factor(1.0), PreconditionError);
+  EXPECT_THROW(queueing::percentile_factor(-0.1), PreconditionError);
+}
+
+TEST(Sla, CoefficientMatchesEquation10) {
+  // a = r / (mu - 1/(dbar - d)); mu=10, dbar-d=0.5 -> a = 1/8.
+  SlaParams params;
+  params.mu = 10.0;
+  params.network_latency = 0.5;
+  params.max_latency = 1.0;
+  EXPECT_NEAR(queueing::sla_coefficient(params), 1.0 / 8.0, 1e-12);
+  EXPECT_TRUE(queueing::sla_feasible(params));
+}
+
+TEST(Sla, ReservationRatioScalesCoefficient) {
+  SlaParams params;
+  params.mu = 10.0;
+  params.network_latency = 0.5;
+  params.max_latency = 1.0;
+  params.reservation_ratio = 1.5;
+  EXPECT_NEAR(queueing::sla_coefficient(params), 1.5 / 8.0, 1e-12);
+}
+
+TEST(Sla, InfeasibleWhenNetworkLatencyDominates) {
+  SlaParams params;
+  params.mu = 10.0;
+  params.network_latency = 1.0;
+  params.max_latency = 1.0;  // zero queueing budget
+  EXPECT_EQ(queueing::sla_coefficient(params), std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(queueing::sla_feasible(params));
+  params.max_latency = 1.05;  // budget 0.05 -> needs mu > 20: infeasible
+  EXPECT_FALSE(queueing::sla_feasible(params));
+  params.max_latency = 1.2;   // budget 0.2 -> needs mu > 5: feasible
+  EXPECT_TRUE(queueing::sla_feasible(params));
+}
+
+TEST(Sla, PercentileTightensCoefficient) {
+  SlaParams mean_sla;
+  mean_sla.mu = 20.0;
+  mean_sla.network_latency = 0.0;
+  mean_sla.max_latency = 0.5;
+  SlaParams p95 = mean_sla;
+  p95.percentile = 0.95;
+  EXPECT_GT(queueing::sla_coefficient(p95), queueing::sla_coefficient(mean_sla));
+}
+
+TEST(Sla, SatisfiedAllocationMeetsLatencyBound) {
+  // Allocate exactly a*sigma servers; the resulting per-server load must
+  // produce a mean delay within the SLA (the chain (8) -> (11) inverted).
+  SlaParams params;
+  params.mu = 10.0;
+  params.network_latency = 0.2;
+  params.max_latency = 0.6;
+  const double a = queueing::sla_coefficient(params);
+  const double sigma = 120.0;     // total demand
+  const double x = a * sigma;     // minimal allocation
+  const double lambda = sigma / x;
+  const double delay = params.network_latency + queueing::mean_response_time(params.mu, lambda);
+  EXPECT_NEAR(delay, params.max_latency, 1e-9);
+}
+
+TEST(Ffd, PacksKnownInstanceOptimally) {
+  // Items {6,5,4,3,2,1}, capacity 7: optimum is 3 bins (6+1, 5+2, 4+3).
+  const auto result = binpack::first_fit_decreasing({6, 5, 4, 3, 2, 1}, 7.0);
+  EXPECT_EQ(result.bins_used, 3u);
+  for (double load : result.bin_loads) EXPECT_DOUBLE_EQ(load, 7.0);
+  EXPECT_NEAR(result.waste_fraction, 0.0, 1e-12);
+}
+
+TEST(Ffd, AssignmentIsConsistent) {
+  const std::vector<double> sizes{3, 3, 3, 2, 2};
+  const auto result = binpack::first_fit_decreasing(sizes, 5.0);
+  ASSERT_EQ(result.assignment.size(), sizes.size());
+  std::vector<double> loads(result.bins_used, 0.0);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ASSERT_LT(result.assignment[i], result.bins_used);
+    loads[result.assignment[i]] += sizes[i];
+  }
+  for (std::size_t b = 0; b < result.bins_used; ++b) {
+    EXPECT_NEAR(loads[b], result.bin_loads[b], 1e-12);
+    EXPECT_LE(loads[b], 5.0 + 1e-9);
+  }
+}
+
+TEST(Ffd, PowerOfTwoSizesPackWithoutWaste) {
+  // The GoGrid claim from Section VI: doubling VM flavors that fill whole
+  // machines leave no waste under FFD.
+  Rng rng(9);
+  std::vector<double> sizes;
+  double total = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double s = std::pow(2.0, rng.uniform_int(0, 3));  // 1, 2, 4, 8
+    sizes.push_back(s);
+    total += s;
+  }
+  // Top up to a multiple of the capacity so a perfect packing exists.
+  const double capacity = 16.0;
+  while (std::fmod(total, capacity) != 0.0) {
+    const double missing = capacity - std::fmod(total, capacity);
+    const double s = std::min(missing, 1.0);
+    sizes.push_back(s);
+    total += s;
+  }
+  ASSERT_TRUE(binpack::divisible_hierarchy(sizes, capacity));
+  const auto result = binpack::first_fit_decreasing(sizes, capacity);
+  EXPECT_EQ(result.bins_used, binpack::capacity_lower_bound(sizes, capacity));
+  EXPECT_NEAR(result.waste_fraction, 0.0, 1e-9);
+}
+
+TEST(Ffd, ArbitrarySizesCanWaste) {
+  // Sizes just over half capacity force one bin per item.
+  const auto result = binpack::first_fit_decreasing({0.51, 0.51, 0.51}, 1.0);
+  EXPECT_EQ(result.bins_used, 3u);
+  EXPECT_GT(result.waste_fraction, 0.4);
+}
+
+TEST(Ffd, RespectsApproximationGuarantee) {
+  // FFD uses at most 11/9 OPT + 1 bins; check against the capacity lower
+  // bound on random instances.
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> sizes;
+    const int n = static_cast<int>(rng.uniform_int(5, 60));
+    for (int i = 0; i < n; ++i) sizes.push_back(rng.uniform(0.05, 1.0));
+    const auto result = binpack::first_fit_decreasing(sizes, 1.0);
+    const auto lower = binpack::capacity_lower_bound(sizes, 1.0);
+    EXPECT_LE(result.bins_used,
+              static_cast<std::size_t>(std::ceil(11.0 / 9.0 * static_cast<double>(lower))) + 1);
+    EXPECT_GE(result.bins_used, lower);
+  }
+}
+
+TEST(Ffd, DivisibleHierarchyDetection) {
+  EXPECT_TRUE(binpack::divisible_hierarchy({1, 2, 4, 8}, 16.0));
+  EXPECT_TRUE(binpack::divisible_hierarchy({2, 2, 2}, 8.0));
+  EXPECT_FALSE(binpack::divisible_hierarchy({3, 4}, 12.0));   // 3 !| 4
+  EXPECT_FALSE(binpack::divisible_hierarchy({5}, 12.0));      // 5 !| 12
+}
+
+TEST(Ffd, PreconditionChecks) {
+  EXPECT_THROW(binpack::first_fit_decreasing({2.0}, 1.0), PreconditionError);
+  EXPECT_THROW(binpack::first_fit_decreasing({0.0}, 1.0), PreconditionError);
+  EXPECT_THROW(binpack::first_fit_decreasing({0.5}, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,240 @@
+// Tests for the topology substrate: geographic data, graph + Dijkstra,
+// transit-stub generation invariants, and the bipartite NetworkModel.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "topology/geo.hpp"
+#include "topology/network.hpp"
+#include "topology/transit_stub.hpp"
+
+namespace gp::topology {
+namespace {
+
+TEST(Geo, TwentyFourCitiesWithSaneData) {
+  const auto& cities = us_cities24();
+  ASSERT_EQ(cities.size(), 24u);
+  std::set<std::string> names;
+  for (const auto& city : cities) {
+    EXPECT_GT(city.population, 1e6) << city.name;
+    EXPECT_GE(city.latitude, 24.0) << city.name;   // contiguous US
+    EXPECT_LE(city.latitude, 49.0) << city.name;
+    EXPECT_LE(city.longitude, -66.0) << city.name;
+    EXPECT_GE(city.longitude, -125.0) << city.name;
+    EXPECT_LE(city.utc_offset_hours, -5);
+    EXPECT_GE(city.utc_offset_hours, -8);
+    names.insert(city.name);
+  }
+  EXPECT_EQ(names.size(), 24u) << "city names must be unique";
+}
+
+TEST(Geo, DefaultSitesMatchPaper) {
+  const auto sites4 = default_datacenter_sites(4);
+  ASSERT_EQ(sites4.size(), 4u);
+  EXPECT_EQ(sites4[0].location.region, Region::kCalifornia);
+  EXPECT_EQ(sites4[1].location.region, Region::kTexas);
+  EXPECT_EQ(sites4[2].location.region, Region::kSoutheast);
+  EXPECT_EQ(sites4[3].location.region, Region::kMidwest);
+  EXPECT_EQ(default_datacenter_sites(5).size(), 5u);
+  EXPECT_THROW(default_datacenter_sites(0), PreconditionError);
+  EXPECT_THROW(default_datacenter_sites(6), PreconditionError);
+}
+
+TEST(Geo, HaversineKnownDistances) {
+  const auto& cities = us_cities24();
+  const auto ny = std::find_if(cities.begin(), cities.end(),
+                               [](const City& c) { return c.name == "New York"; });
+  const auto la = std::find_if(cities.begin(), cities.end(),
+                               [](const City& c) { return c.name == "Los Angeles"; });
+  ASSERT_NE(ny, cities.end());
+  ASSERT_NE(la, cities.end());
+  // NYC-LA great circle is ~3940 km.
+  EXPECT_NEAR(haversine_km(*ny, *la), 3940.0, 60.0);
+  EXPECT_NEAR(haversine_km(*ny, *ny), 0.0, 1e-9);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(haversine_km(*ny, *la), haversine_km(*la, *ny));
+}
+
+TEST(Geo, PropagationLatencyGrowsWithDistance) {
+  const auto& cities = us_cities24();
+  const City& ny = cities[0];
+  double last = 0.0;
+  // Order a few cities by distance and check latency is monotone in it.
+  std::vector<const City*> others{&cities[5], &cities[2], &cities[3], &cities[1]};
+  std::sort(others.begin(), others.end(), [&](const City* a, const City* b) {
+    return haversine_km(ny, *a) < haversine_km(ny, *b);
+  });
+  for (const City* other : others) {
+    const double latency = propagation_latency_ms(ny, *other);
+    EXPECT_GT(latency, last);
+    last = latency;
+  }
+}
+
+TEST(Graph, DijkstraOnKnownGraph) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 3, 10.0);
+  g.add_edge(2, 3, 1.0);
+  const auto dist = g.dijkstra(0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 3.0);
+  EXPECT_DOUBLE_EQ(dist[3], 4.0);  // through 1-2-3, not the direct 10
+  EXPECT_EQ(dist[4], Graph::kUnreachable);
+}
+
+TEST(Graph, ParallelEdgesUseCheapest) {
+  Graph g(2);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(g.dijkstra(0)[1], 2.0);
+}
+
+TEST(Graph, ConnectedDetection) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2, 1.0);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(Graph(0).connected());
+}
+
+TEST(Graph, PreconditionChecks) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), PreconditionError);
+  EXPECT_THROW(g.dijkstra(7), PreconditionError);
+}
+
+class TransitStubSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransitStubSeedTest, GeneratedTopologyInvariants) {
+  Rng rng(GetParam());
+  TransitStubParams params;
+  const auto topo = generate_transit_stub(params, rng);
+
+  const auto expected_transit = static_cast<std::size_t>(params.transit_domains) *
+                                static_cast<std::size_t>(params.transit_nodes_per_domain);
+  EXPECT_EQ(topo.transit_nodes.size(), expected_transit);
+  const auto expected_stub_domains =
+      expected_transit * static_cast<std::size_t>(params.stub_domains_per_transit_node);
+  EXPECT_EQ(topo.stub_domains.size(), expected_stub_domains);
+  EXPECT_EQ(topo.stub_nodes.size(),
+            expected_stub_domains * static_cast<std::size_t>(params.stub_nodes_per_domain));
+  EXPECT_EQ(static_cast<std::size_t>(topo.graph.num_nodes()),
+            topo.transit_nodes.size() + topo.stub_nodes.size());
+  EXPECT_TRUE(topo.graph.connected());
+  // Node metadata is consistent.
+  for (const NodeId n : topo.transit_nodes) {
+    EXPECT_EQ(topo.kind[static_cast<std::size_t>(n)], NodeKind::kTransit);
+  }
+  for (const NodeId n : topo.stub_nodes) {
+    EXPECT_EQ(topo.kind[static_cast<std::size_t>(n)], NodeKind::kStub);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransitStubSeedTest, ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(TransitStub, DeterministicForSameSeed) {
+  TransitStubParams params;
+  Rng rng_a(77), rng_b(77);
+  const auto a = generate_transit_stub(params, rng_a);
+  const auto b = generate_transit_stub(params, rng_b);
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  const auto da = a.graph.dijkstra(0);
+  const auto db = b.graph.dijkstra(0);
+  for (std::size_t i = 0; i < da.size(); ++i) EXPECT_DOUBLE_EQ(da[i], db[i]);
+}
+
+TEST(TransitStub, LatencyClassesRespected) {
+  Rng rng(5);
+  TransitStubParams params;
+  const auto topo = generate_transit_stub(params, rng);
+  for (NodeId n = 0; n < topo.graph.num_nodes(); ++n) {
+    for (const auto& [other, weight] : topo.graph.neighbors(n)) {
+      const bool n_transit = topo.kind[static_cast<std::size_t>(n)] == NodeKind::kTransit;
+      const bool o_transit = topo.kind[static_cast<std::size_t>(other)] == NodeKind::kTransit;
+      if (n_transit && o_transit) {
+        EXPECT_DOUBLE_EQ(weight, params.intra_transit_latency_ms);
+      } else if (n_transit != o_transit) {
+        EXPECT_DOUBLE_EQ(weight, params.stub_transit_latency_ms);
+      } else {
+        EXPECT_DOUBLE_EQ(weight, params.intra_stub_latency_ms);
+      }
+    }
+  }
+}
+
+TEST(TransitStub, RejectsBadParameters) {
+  Rng rng(1);
+  TransitStubParams params;
+  params.transit_domains = 0;
+  EXPECT_THROW(generate_transit_stub(params, rng), PreconditionError);
+  params = TransitStubParams{};
+  params.extra_edge_probability = 1.5;
+  EXPECT_THROW(generate_transit_stub(params, rng), PreconditionError);
+}
+
+TEST(NetworkModel, ExplicitMatrixAccessors) {
+  NetworkModel net({"dc-a"}, {"an-0", "an-1"}, {{10.0, 20.0}});
+  EXPECT_EQ(net.num_datacenters(), 1u);
+  EXPECT_EQ(net.num_access_networks(), 2u);
+  EXPECT_DOUBLE_EQ(net.latency_ms(0, 1), 20.0);
+  EXPECT_EQ(net.dc_name(0), "dc-a");
+  EXPECT_EQ(net.an_name(1), "an-1");
+  EXPECT_THROW(net.latency_ms(1, 0), PreconditionError);
+}
+
+TEST(NetworkModel, RejectsRaggedOrNegativeMatrix) {
+  EXPECT_THROW(NetworkModel({"a"}, {"x", "y"}, {{1.0}}), PreconditionError);
+  EXPECT_THROW(NetworkModel({"a"}, {"x"}, {{-1.0}}), PreconditionError);
+}
+
+TEST(NetworkModel, FromTransitStubLatenciesAreSane) {
+  Rng rng(11);
+  const auto topo = generate_transit_stub(TransitStubParams{}, rng);
+  const auto net = NetworkModel::from_transit_stub(topo, 4, 24, rng);
+  EXPECT_EQ(net.num_datacenters(), 4u);
+  EXPECT_EQ(net.num_access_networks(), 24u);
+  for (std::size_t l = 0; l < 4; ++l) {
+    for (std::size_t v = 0; v < 24; ++v) {
+      const double d = net.latency_ms(l, v);
+      // At least DC access (5) + stub-transit (5); at most a handful of
+      // 20 ms transit hops plus stub hops.
+      EXPECT_GE(d, 10.0);
+      EXPECT_LE(d, 300.0);
+    }
+  }
+}
+
+TEST(NetworkModel, FromTransitStubValidatesCounts) {
+  Rng rng(12);
+  const auto topo = generate_transit_stub(TransitStubParams{}, rng);
+  EXPECT_THROW(NetworkModel::from_transit_stub(topo, 1000, 2, rng), PreconditionError);
+  EXPECT_THROW(NetworkModel::from_transit_stub(topo, 2, 10000, rng), PreconditionError);
+}
+
+TEST(NetworkModel, FromGeographyMatchesPropagationModel) {
+  const auto sites = default_datacenter_sites(4);
+  const auto& cities = us_cities24();
+  const auto net = NetworkModel::from_geography(sites, cities);
+  EXPECT_EQ(net.num_datacenters(), 4u);
+  EXPECT_EQ(net.num_access_networks(), 24u);
+  for (std::size_t l = 0; l < sites.size(); ++l) {
+    for (std::size_t v = 0; v < cities.size(); ++v) {
+      EXPECT_DOUBLE_EQ(net.latency_ms(l, v),
+                       propagation_latency_ms(sites[l].location, cities[v]));
+    }
+  }
+  // San Jose DC should be closer to Los Angeles than to New York.
+  EXPECT_LT(net.latency_ms(0, 1), net.latency_ms(0, 0));
+}
+
+}  // namespace
+}  // namespace gp::topology

@@ -1,0 +1,251 @@
+// geoplace command-line driver.
+//
+// Subcommands:
+//   simulate   run the MPC controller over the Section-VII environment and
+//              print per-period CSV metrics
+//   provision  print the cheapest SLA-feasible placement for one demand
+//              snapshot (per data center)
+//   game       run the resource-competition game on random providers and
+//              report equilibrium quality vs the social optimum
+//
+// Examples:
+//   geoplace_cli simulate --dcs 4 --cities 24 --periods 24 --predictor seasonal
+//   geoplace_cli provision --dcs 3 --cities 8 --hour 14
+//   geoplace_cli game --players 6 --capacity 150 --epsilon 0.02
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "game/competition.hpp"
+#include "dspp/provisioning.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace gp;
+
+/// Tiny --key value / --flag parser; unknown keys are fatal (typo safety).
+class Args {
+ public:
+  Args(int argc, char** argv, const std::map<std::string, std::string>& known) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (!known.count(key)) {
+        std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+        std::fprintf(stderr, "known options:\n");
+        for (const auto& [name, help] : known) {
+          std::fprintf(stderr, "  --%-14s %s\n", name.c_str(), help.c_str());
+        }
+        std::exit(2);
+      }
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // boolean flag
+      }
+    }
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::string text(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool flag(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+dspp::DsppModel build_model(std::size_t dcs, std::size_t cities_count, double sla_ms,
+                            double reconfig, double capacity) {
+  const auto sites = topology::default_datacenter_sites(dcs);
+  const auto& all = topology::us_cities24();
+  const std::vector<topology::City> cities(all.begin(),
+                                           all.begin() + static_cast<std::ptrdiff_t>(cities_count));
+  dspp::DsppModel model;
+  model.network = topology::NetworkModel::from_geography(sites, cities);
+  model.sla.mu = 100.0;
+  model.sla.max_latency_ms = sla_ms;
+  model.sla.reservation_ratio = 1.1;
+  model.reconfig_cost.assign(dcs, reconfig);
+  model.capacity.assign(dcs, capacity);
+  return model;
+}
+
+int cmd_simulate(const Args& args) {
+  const auto dcs = static_cast<std::size_t>(args.number("dcs", 4));
+  const auto cities_count = static_cast<std::size_t>(args.number("cities", 24));
+  const auto model = build_model(dcs, cities_count, args.number("sla-ms", 60.0),
+                                 args.number("reconfig", 0.005),
+                                 args.number("capacity", 2000.0));
+  const auto& all = topology::us_cities24();
+  const std::vector<topology::City> cities(all.begin(),
+                                           all.begin() + static_cast<std::ptrdiff_t>(cities_count));
+  const auto demand = workload::DemandModel::from_cities(
+      cities, args.number("rate-per-capita", 2e-5), workload::DiurnalProfile());
+  const workload::ServerPriceModel prices(topology::default_datacenter_sites(dcs),
+                                          workload::VmType::kMedium,
+                                          workload::ElectricityPriceModel());
+  sim::SimulationConfig config;
+  config.periods = static_cast<std::size_t>(args.number("periods", 24));
+  config.period_hours = args.number("period-hours", 1.0);
+  config.noisy_demand = args.flag("noisy");
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+
+  const std::string kind = args.text("predictor", "seasonal");
+  std::unique_ptr<control::SeriesPredictor> demand_predictor;
+  if (kind == "ar") {
+    demand_predictor = std::make_unique<control::ArPredictor>(2, 48);
+  } else if (kind == "last") {
+    demand_predictor = std::make_unique<control::LastValuePredictor>();
+  } else if (kind == "seasonal") {
+    demand_predictor = std::make_unique<control::SeasonalNaivePredictor>(
+        static_cast<std::size_t>(24.0 / config.period_hours));
+  } else {
+    std::fprintf(stderr, "unknown predictor '%s' (ar|seasonal|last)\n", kind.c_str());
+    return 2;
+  }
+  control::MpcSettings settings;
+  settings.horizon = static_cast<std::size_t>(args.number("horizon", 4));
+  control::MpcController controller(model, settings, std::move(demand_predictor),
+                                    std::make_unique<control::LastValuePredictor>());
+  sim::SimulationEngine engine(model, demand, prices, config);
+  const auto summary = engine.run(sim::policy_from(controller));
+  summary.write_csv(std::cout);
+  std::fprintf(stderr,
+               "total cost $%.4f (resource %.4f + reconfig %.4f), mean SLA %.2f%%, "
+               "churn %.1f, unsolved periods %d\n",
+               summary.total_cost, summary.total_resource_cost, summary.total_reconfig_cost,
+               100.0 * summary.mean_compliance, summary.total_churn,
+               summary.unsolved_periods);
+  return summary.unsolved_periods == 0 ? 0 : 1;
+}
+
+int cmd_provision(const Args& args) {
+  const auto dcs = static_cast<std::size_t>(args.number("dcs", 4));
+  const auto cities_count = static_cast<std::size_t>(args.number("cities", 24));
+  const auto model = build_model(dcs, cities_count, args.number("sla-ms", 60.0), 0.0,
+                                 args.number("capacity", 2000.0));
+  const auto& all = topology::us_cities24();
+  const std::vector<topology::City> cities(all.begin(),
+                                           all.begin() + static_cast<std::ptrdiff_t>(cities_count));
+  const auto demand_model = workload::DemandModel::from_cities(
+      cities, args.number("rate-per-capita", 2e-5), workload::DiurnalProfile());
+  const workload::ServerPriceModel prices(topology::default_datacenter_sites(dcs),
+                                          workload::VmType::kMedium,
+                                          workload::ElectricityPriceModel());
+  const double hour = args.number("hour", 12.0);
+  const dspp::PairIndex pairs(model);
+  qp::AdmmSolver solver;
+  const auto placement = dspp::min_cost_placement(
+      model, pairs, demand_model.mean_rates(hour), prices.server_prices(hour), solver);
+  std::printf("dc,site,servers,price_per_server_hour\n");
+  const auto sites = topology::default_datacenter_sites(dcs);
+  for (std::size_t l = 0; l < dcs; ++l) {
+    double servers = 0.0;
+    for (const std::size_t p : pairs.pairs_of_datacenter(l)) servers += placement[p];
+    std::printf("%zu,%s,%.2f,%.5f\n", l, sites[l].name.c_str(), servers,
+                prices.server_price(l, hour));
+  }
+  return 0;
+}
+
+int cmd_game(const Args& args) {
+  const auto players = static_cast<int>(args.number("players", 4));
+  const double capacity = args.number("capacity", 200.0);
+  Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  const topology::NetworkModel network({"dc-cheap", "dc-big"}, {"an0", "an1", "an2"},
+                                       {{15.0, 25.0, 35.0}, {100.0, 20.0, 15.0}});
+  game::RandomProviderParams params;
+  params.horizon = static_cast<std::size_t>(args.number("horizon", 3));
+  std::vector<game::ProviderConfig> providers;
+  for (int i = 0; i < players; ++i) {
+    providers.push_back(game::make_random_provider(network, params, rng));
+    for (auto& price : providers.back().price) price[0] = 0.4 * price[1];
+  }
+  game::GameSettings settings;
+  settings.epsilon = args.number("epsilon", 0.02);
+  game::CompetitionGame game(std::move(providers),
+                             linalg::Vector{capacity, 10.0 * capacity}, settings);
+  const auto equilibrium = game.run();
+  const auto welfare = game.solve_social_welfare();
+  std::printf("players,%d\nbottleneck_capacity,%.1f\niterations,%d\nconverged,%s\n",
+              players, capacity, equilibrium.iterations,
+              equilibrium.converged ? "yes" : "no");
+  std::printf("equilibrium_cost,%.4f\n", equilibrium.total_cost);
+  if (welfare.solved) {
+    std::printf("social_optimum_cost,%.4f\nefficiency_ratio,%.4f\n", welfare.total_cost,
+                game::efficiency_ratio(equilibrium, welfare));
+  }
+  std::printf("unserved,%.4f\n", equilibrium.total_unserved);
+  return equilibrium.converged ? 0 : 1;
+}
+
+void usage() {
+  std::puts("usage: geoplace_cli <simulate|provision|game> [--option value ...]");
+  std::puts("  simulate   MPC controller over the paper's environment, CSV to stdout");
+  std::puts("  provision  one-shot cheapest placement for a demand snapshot");
+  std::puts("  game       N-provider competition to Nash equilibrium");
+  std::puts("run a subcommand with an unknown option (e.g. --help) to list its options");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "simulate") {
+      return cmd_simulate(Args(argc, argv,
+                               {{"dcs", "data centers (1-5), default 4"},
+                                {"cities", "access networks (1-24), default 24"},
+                                {"periods", "control periods, default 24"},
+                                {"period-hours", "period length, default 1"},
+                                {"horizon", "MPC window W, default 4"},
+                                {"predictor", "ar|seasonal|last, default seasonal"},
+                                {"sla-ms", "latency bound, default 60"},
+                                {"reconfig", "c^l, default 0.005"},
+                                {"capacity", "C^l servers, default 2000"},
+                                {"rate-per-capita", "demand scale, default 2e-5"},
+                                {"noisy", "sample NHPP demand"},
+                                {"seed", "rng seed, default 1"}}));
+    }
+    if (command == "provision") {
+      return cmd_provision(Args(argc, argv,
+                                {{"dcs", "data centers (1-5), default 4"},
+                                 {"cities", "access networks (1-24), default 24"},
+                                 {"sla-ms", "latency bound, default 60"},
+                                 {"capacity", "C^l servers, default 2000"},
+                                 {"rate-per-capita", "demand scale, default 2e-5"},
+                                 {"hour", "UTC hour of the snapshot, default 12"}}));
+    }
+    if (command == "game") {
+      return cmd_game(Args(argc, argv,
+                           {{"players", "competing providers, default 4"},
+                            {"capacity", "bottleneck DC capacity, default 200"},
+                            {"horizon", "window W, default 3"},
+                            {"epsilon", "stability threshold, default 0.02"},
+                            {"seed", "rng seed, default 1"}}));
+    }
+    usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
