@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_controllers"
+  "../bench/ablation_controllers.pdb"
+  "CMakeFiles/ablation_controllers.dir/ablation_controllers.cpp.o"
+  "CMakeFiles/ablation_controllers.dir/ablation_controllers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

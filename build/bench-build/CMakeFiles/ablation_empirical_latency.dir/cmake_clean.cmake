@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_empirical_latency"
+  "../bench/ablation_empirical_latency.pdb"
+  "CMakeFiles/ablation_empirical_latency.dir/ablation_empirical_latency.cpp.o"
+  "CMakeFiles/ablation_empirical_latency.dir/ablation_empirical_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_empirical_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

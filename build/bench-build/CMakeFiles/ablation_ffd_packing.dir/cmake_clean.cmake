@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ffd_packing"
+  "../bench/ablation_ffd_packing.pdb"
+  "CMakeFiles/ablation_ffd_packing.dir/ablation_ffd_packing.cpp.o"
+  "CMakeFiles/ablation_ffd_packing.dir/ablation_ffd_packing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ffd_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_quota_rule"
+  "../bench/ablation_quota_rule.pdb"
+  "CMakeFiles/ablation_quota_rule.dir/ablation_quota_rule.cpp.o"
+  "CMakeFiles/ablation_quota_rule.dir/ablation_quota_rule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quota_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

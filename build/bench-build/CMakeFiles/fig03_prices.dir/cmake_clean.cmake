@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_prices"
+  "../bench/fig03_prices.pdb"
+  "CMakeFiles/fig03_prices.dir/fig03_prices.cpp.o"
+  "CMakeFiles/fig03_prices.dir/fig03_prices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

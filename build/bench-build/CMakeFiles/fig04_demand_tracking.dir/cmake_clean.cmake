@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_demand_tracking"
+  "../bench/fig04_demand_tracking.pdb"
+  "CMakeFiles/fig04_demand_tracking.dir/fig04_demand_tracking.cpp.o"
+  "CMakeFiles/fig04_demand_tracking.dir/fig04_demand_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_demand_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

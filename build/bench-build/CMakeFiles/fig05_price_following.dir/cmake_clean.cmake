@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_price_following"
+  "../bench/fig05_price_following.pdb"
+  "CMakeFiles/fig05_price_following.dir/fig05_price_following.cpp.o"
+  "CMakeFiles/fig05_price_following.dir/fig05_price_following.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_price_following.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

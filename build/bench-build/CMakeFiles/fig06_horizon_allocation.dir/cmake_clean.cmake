@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_horizon_allocation"
+  "../bench/fig06_horizon_allocation.pdb"
+  "CMakeFiles/fig06_horizon_allocation.dir/fig06_horizon_allocation.cpp.o"
+  "CMakeFiles/fig06_horizon_allocation.dir/fig06_horizon_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_horizon_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

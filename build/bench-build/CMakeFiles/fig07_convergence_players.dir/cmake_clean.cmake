@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_convergence_players"
+  "../bench/fig07_convergence_players.pdb"
+  "CMakeFiles/fig07_convergence_players.dir/fig07_convergence_players.cpp.o"
+  "CMakeFiles/fig07_convergence_players.dir/fig07_convergence_players.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_convergence_players.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_horizon_convergence"
+  "../bench/fig08_horizon_convergence.pdb"
+  "CMakeFiles/fig08_horizon_convergence.dir/fig08_horizon_convergence.cpp.o"
+  "CMakeFiles/fig08_horizon_convergence.dir/fig08_horizon_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_horizon_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

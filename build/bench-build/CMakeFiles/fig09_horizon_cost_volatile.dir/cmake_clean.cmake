@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_horizon_cost_volatile"
+  "../bench/fig09_horizon_cost_volatile.pdb"
+  "CMakeFiles/fig09_horizon_cost_volatile.dir/fig09_horizon_cost_volatile.cpp.o"
+  "CMakeFiles/fig09_horizon_cost_volatile.dir/fig09_horizon_cost_volatile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_horizon_cost_volatile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

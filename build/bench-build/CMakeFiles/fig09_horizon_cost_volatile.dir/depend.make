@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_horizon_cost_volatile.
+# This may be replaced when dependencies are built.

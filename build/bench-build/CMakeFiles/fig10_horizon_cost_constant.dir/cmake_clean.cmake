@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_horizon_cost_constant"
+  "../bench/fig10_horizon_cost_constant.pdb"
+  "CMakeFiles/fig10_horizon_cost_constant.dir/fig10_horizon_cost_constant.cpp.o"
+  "CMakeFiles/fig10_horizon_cost_constant.dir/fig10_horizon_cost_constant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_horizon_cost_constant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/game_quality_study"
+  "../bench/game_quality_study.pdb"
+  "CMakeFiles/game_quality_study.dir/game_quality_study.cpp.o"
+  "CMakeFiles/game_quality_study.dir/game_quality_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_quality_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for game_quality_study.
+# This may be replaced when dependencies are built.

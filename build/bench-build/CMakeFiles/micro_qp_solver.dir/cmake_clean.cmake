@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_qp_solver"
+  "../bench/micro_qp_solver.pdb"
+  "CMakeFiles/micro_qp_solver.dir/micro_qp_solver.cpp.o"
+  "CMakeFiles/micro_qp_solver.dir/micro_qp_solver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_qp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

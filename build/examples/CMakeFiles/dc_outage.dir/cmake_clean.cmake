@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_outage.dir/dc_outage.cpp.o"
+  "CMakeFiles/dc_outage.dir/dc_outage.cpp.o.d"
+  "dc_outage"
+  "dc_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_competition.dir/dynamic_competition.cpp.o"
+  "CMakeFiles/dynamic_competition.dir/dynamic_competition.cpp.o.d"
+  "dynamic_competition"
+  "dynamic_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multi_tenant_competition.cpp" "examples/CMakeFiles/multi_tenant_competition.dir/multi_tenant_competition.cpp.o" "gcc" "examples/CMakeFiles/multi_tenant_competition.dir/multi_tenant_competition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binpack/CMakeFiles/gp_binpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/gp_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/gp_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/dspp/CMakeFiles/gp_dspp.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/gp_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/gp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_competition.dir/multi_tenant_competition.cpp.o"
+  "CMakeFiles/multi_tenant_competition.dir/multi_tenant_competition.cpp.o.d"
+  "multi_tenant_competition"
+  "multi_tenant_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

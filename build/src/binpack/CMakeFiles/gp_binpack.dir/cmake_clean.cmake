@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_binpack.dir/ffd.cpp.o"
+  "CMakeFiles/gp_binpack.dir/ffd.cpp.o.d"
+  "libgp_binpack.a"
+  "libgp_binpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_binpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

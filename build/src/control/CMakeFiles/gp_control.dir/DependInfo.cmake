@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/anomaly.cpp" "src/control/CMakeFiles/gp_control.dir/anomaly.cpp.o" "gcc" "src/control/CMakeFiles/gp_control.dir/anomaly.cpp.o.d"
+  "/root/repo/src/control/autoscaler.cpp" "src/control/CMakeFiles/gp_control.dir/autoscaler.cpp.o" "gcc" "src/control/CMakeFiles/gp_control.dir/autoscaler.cpp.o.d"
+  "/root/repo/src/control/baselines.cpp" "src/control/CMakeFiles/gp_control.dir/baselines.cpp.o" "gcc" "src/control/CMakeFiles/gp_control.dir/baselines.cpp.o.d"
+  "/root/repo/src/control/mpc_controller.cpp" "src/control/CMakeFiles/gp_control.dir/mpc_controller.cpp.o" "gcc" "src/control/CMakeFiles/gp_control.dir/mpc_controller.cpp.o.d"
+  "/root/repo/src/control/predictor.cpp" "src/control/CMakeFiles/gp_control.dir/predictor.cpp.o" "gcc" "src/control/CMakeFiles/gp_control.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dspp/CMakeFiles/gp_dspp.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/gp_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/gp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gp_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

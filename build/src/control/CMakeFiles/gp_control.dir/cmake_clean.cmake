@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_control.dir/anomaly.cpp.o"
+  "CMakeFiles/gp_control.dir/anomaly.cpp.o.d"
+  "CMakeFiles/gp_control.dir/autoscaler.cpp.o"
+  "CMakeFiles/gp_control.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/gp_control.dir/baselines.cpp.o"
+  "CMakeFiles/gp_control.dir/baselines.cpp.o.d"
+  "CMakeFiles/gp_control.dir/mpc_controller.cpp.o"
+  "CMakeFiles/gp_control.dir/mpc_controller.cpp.o.d"
+  "CMakeFiles/gp_control.dir/predictor.cpp.o"
+  "CMakeFiles/gp_control.dir/predictor.cpp.o.d"
+  "libgp_control.a"
+  "libgp_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

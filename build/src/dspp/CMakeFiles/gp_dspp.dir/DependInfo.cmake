@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dspp/assignment.cpp" "src/dspp/CMakeFiles/gp_dspp.dir/assignment.cpp.o" "gcc" "src/dspp/CMakeFiles/gp_dspp.dir/assignment.cpp.o.d"
+  "/root/repo/src/dspp/integer.cpp" "src/dspp/CMakeFiles/gp_dspp.dir/integer.cpp.o" "gcc" "src/dspp/CMakeFiles/gp_dspp.dir/integer.cpp.o.d"
+  "/root/repo/src/dspp/model.cpp" "src/dspp/CMakeFiles/gp_dspp.dir/model.cpp.o" "gcc" "src/dspp/CMakeFiles/gp_dspp.dir/model.cpp.o.d"
+  "/root/repo/src/dspp/provisioning.cpp" "src/dspp/CMakeFiles/gp_dspp.dir/provisioning.cpp.o" "gcc" "src/dspp/CMakeFiles/gp_dspp.dir/provisioning.cpp.o.d"
+  "/root/repo/src/dspp/window_program.cpp" "src/dspp/CMakeFiles/gp_dspp.dir/window_program.cpp.o" "gcc" "src/dspp/CMakeFiles/gp_dspp.dir/window_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qp/CMakeFiles/gp_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/gp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_dspp.dir/assignment.cpp.o"
+  "CMakeFiles/gp_dspp.dir/assignment.cpp.o.d"
+  "CMakeFiles/gp_dspp.dir/integer.cpp.o"
+  "CMakeFiles/gp_dspp.dir/integer.cpp.o.d"
+  "CMakeFiles/gp_dspp.dir/model.cpp.o"
+  "CMakeFiles/gp_dspp.dir/model.cpp.o.d"
+  "CMakeFiles/gp_dspp.dir/provisioning.cpp.o"
+  "CMakeFiles/gp_dspp.dir/provisioning.cpp.o.d"
+  "CMakeFiles/gp_dspp.dir/window_program.cpp.o"
+  "CMakeFiles/gp_dspp.dir/window_program.cpp.o.d"
+  "libgp_dspp.a"
+  "libgp_dspp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_dspp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_game.dir/competition.cpp.o"
+  "CMakeFiles/gp_game.dir/competition.cpp.o.d"
+  "CMakeFiles/gp_game.dir/provider.cpp.o"
+  "CMakeFiles/gp_game.dir/provider.cpp.o.d"
+  "libgp_game.a"
+  "libgp_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cg.cpp" "src/linalg/CMakeFiles/gp_linalg.dir/cg.cpp.o" "gcc" "src/linalg/CMakeFiles/gp_linalg.dir/cg.cpp.o.d"
+  "/root/repo/src/linalg/dense_factor.cpp" "src/linalg/CMakeFiles/gp_linalg.dir/dense_factor.cpp.o" "gcc" "src/linalg/CMakeFiles/gp_linalg.dir/dense_factor.cpp.o.d"
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/linalg/CMakeFiles/gp_linalg.dir/dense_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/gp_linalg.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/ordering.cpp" "src/linalg/CMakeFiles/gp_linalg.dir/ordering.cpp.o" "gcc" "src/linalg/CMakeFiles/gp_linalg.dir/ordering.cpp.o.d"
+  "/root/repo/src/linalg/sparse_ldlt.cpp" "src/linalg/CMakeFiles/gp_linalg.dir/sparse_ldlt.cpp.o" "gcc" "src/linalg/CMakeFiles/gp_linalg.dir/sparse_ldlt.cpp.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cpp" "src/linalg/CMakeFiles/gp_linalg.dir/sparse_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/gp_linalg.dir/sparse_matrix.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/gp_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/gp_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

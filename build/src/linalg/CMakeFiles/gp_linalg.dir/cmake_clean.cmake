@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_linalg.dir/cg.cpp.o"
+  "CMakeFiles/gp_linalg.dir/cg.cpp.o.d"
+  "CMakeFiles/gp_linalg.dir/dense_factor.cpp.o"
+  "CMakeFiles/gp_linalg.dir/dense_factor.cpp.o.d"
+  "CMakeFiles/gp_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/gp_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/gp_linalg.dir/ordering.cpp.o"
+  "CMakeFiles/gp_linalg.dir/ordering.cpp.o.d"
+  "CMakeFiles/gp_linalg.dir/sparse_ldlt.cpp.o"
+  "CMakeFiles/gp_linalg.dir/sparse_ldlt.cpp.o.d"
+  "CMakeFiles/gp_linalg.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/gp_linalg.dir/sparse_matrix.cpp.o.d"
+  "CMakeFiles/gp_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/gp_linalg.dir/vector_ops.cpp.o.d"
+  "libgp_linalg.a"
+  "libgp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/admm_solver.cpp" "src/qp/CMakeFiles/gp_qp.dir/admm_solver.cpp.o" "gcc" "src/qp/CMakeFiles/gp_qp.dir/admm_solver.cpp.o.d"
+  "/root/repo/src/qp/ipm_solver.cpp" "src/qp/CMakeFiles/gp_qp.dir/ipm_solver.cpp.o" "gcc" "src/qp/CMakeFiles/gp_qp.dir/ipm_solver.cpp.o.d"
+  "/root/repo/src/qp/problem.cpp" "src/qp/CMakeFiles/gp_qp.dir/problem.cpp.o" "gcc" "src/qp/CMakeFiles/gp_qp.dir/problem.cpp.o.d"
+  "/root/repo/src/qp/scaling.cpp" "src/qp/CMakeFiles/gp_qp.dir/scaling.cpp.o" "gcc" "src/qp/CMakeFiles/gp_qp.dir/scaling.cpp.o.d"
+  "/root/repo/src/qp/solver.cpp" "src/qp/CMakeFiles/gp_qp.dir/solver.cpp.o" "gcc" "src/qp/CMakeFiles/gp_qp.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/gp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_qp.dir/admm_solver.cpp.o"
+  "CMakeFiles/gp_qp.dir/admm_solver.cpp.o.d"
+  "CMakeFiles/gp_qp.dir/ipm_solver.cpp.o"
+  "CMakeFiles/gp_qp.dir/ipm_solver.cpp.o.d"
+  "CMakeFiles/gp_qp.dir/problem.cpp.o"
+  "CMakeFiles/gp_qp.dir/problem.cpp.o.d"
+  "CMakeFiles/gp_qp.dir/scaling.cpp.o"
+  "CMakeFiles/gp_qp.dir/scaling.cpp.o.d"
+  "CMakeFiles/gp_qp.dir/solver.cpp.o"
+  "CMakeFiles/gp_qp.dir/solver.cpp.o.d"
+  "libgp_qp.a"
+  "libgp_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

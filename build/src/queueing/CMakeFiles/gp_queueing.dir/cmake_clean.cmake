@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_queueing.dir/mm1.cpp.o"
+  "CMakeFiles/gp_queueing.dir/mm1.cpp.o.d"
+  "CMakeFiles/gp_queueing.dir/mmc.cpp.o"
+  "CMakeFiles/gp_queueing.dir/mmc.cpp.o.d"
+  "libgp_queueing.a"
+  "libgp_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

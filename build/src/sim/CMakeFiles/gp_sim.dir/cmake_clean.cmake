@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_sim.dir/engine.cpp.o"
+  "CMakeFiles/gp_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/gp_sim.dir/monitor.cpp.o"
+  "CMakeFiles/gp_sim.dir/monitor.cpp.o.d"
+  "CMakeFiles/gp_sim.dir/multi_provider.cpp.o"
+  "CMakeFiles/gp_sim.dir/multi_provider.cpp.o.d"
+  "CMakeFiles/gp_sim.dir/request_sim.cpp.o"
+  "CMakeFiles/gp_sim.dir/request_sim.cpp.o.d"
+  "libgp_sim.a"
+  "libgp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/geo.cpp" "src/topology/CMakeFiles/gp_topology.dir/geo.cpp.o" "gcc" "src/topology/CMakeFiles/gp_topology.dir/geo.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/gp_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/gp_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/isp_map.cpp" "src/topology/CMakeFiles/gp_topology.dir/isp_map.cpp.o" "gcc" "src/topology/CMakeFiles/gp_topology.dir/isp_map.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/gp_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/gp_topology.dir/network.cpp.o.d"
+  "/root/repo/src/topology/transit_stub.cpp" "src/topology/CMakeFiles/gp_topology.dir/transit_stub.cpp.o" "gcc" "src/topology/CMakeFiles/gp_topology.dir/transit_stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

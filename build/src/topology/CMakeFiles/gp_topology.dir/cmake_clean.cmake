@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_topology.dir/geo.cpp.o"
+  "CMakeFiles/gp_topology.dir/geo.cpp.o.d"
+  "CMakeFiles/gp_topology.dir/graph.cpp.o"
+  "CMakeFiles/gp_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/gp_topology.dir/isp_map.cpp.o"
+  "CMakeFiles/gp_topology.dir/isp_map.cpp.o.d"
+  "CMakeFiles/gp_topology.dir/network.cpp.o"
+  "CMakeFiles/gp_topology.dir/network.cpp.o.d"
+  "CMakeFiles/gp_topology.dir/transit_stub.cpp.o"
+  "CMakeFiles/gp_topology.dir/transit_stub.cpp.o.d"
+  "libgp_topology.a"
+  "libgp_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

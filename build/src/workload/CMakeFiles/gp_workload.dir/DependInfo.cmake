@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/demand.cpp" "src/workload/CMakeFiles/gp_workload.dir/demand.cpp.o" "gcc" "src/workload/CMakeFiles/gp_workload.dir/demand.cpp.o.d"
+  "/root/repo/src/workload/diurnal.cpp" "src/workload/CMakeFiles/gp_workload.dir/diurnal.cpp.o" "gcc" "src/workload/CMakeFiles/gp_workload.dir/diurnal.cpp.o.d"
+  "/root/repo/src/workload/price.cpp" "src/workload/CMakeFiles/gp_workload.dir/price.cpp.o" "gcc" "src/workload/CMakeFiles/gp_workload.dir/price.cpp.o.d"
+  "/root/repo/src/workload/spikes.cpp" "src/workload/CMakeFiles/gp_workload.dir/spikes.cpp.o" "gcc" "src/workload/CMakeFiles/gp_workload.dir/spikes.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/gp_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/gp_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gp_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

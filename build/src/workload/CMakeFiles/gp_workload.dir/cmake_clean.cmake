@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_workload.dir/demand.cpp.o"
+  "CMakeFiles/gp_workload.dir/demand.cpp.o.d"
+  "CMakeFiles/gp_workload.dir/diurnal.cpp.o"
+  "CMakeFiles/gp_workload.dir/diurnal.cpp.o.d"
+  "CMakeFiles/gp_workload.dir/price.cpp.o"
+  "CMakeFiles/gp_workload.dir/price.cpp.o.d"
+  "CMakeFiles/gp_workload.dir/spikes.cpp.o"
+  "CMakeFiles/gp_workload.dir/spikes.cpp.o.d"
+  "CMakeFiles/gp_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/gp_workload.dir/trace_io.cpp.o.d"
+  "libgp_workload.a"
+  "libgp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cg_anomaly.dir/test_cg_anomaly.cpp.o"
+  "CMakeFiles/test_cg_anomaly.dir/test_cg_anomaly.cpp.o.d"
+  "test_cg_anomaly"
+  "test_cg_anomaly.pdb"
+  "test_cg_anomaly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cg_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dspp.dir/test_dspp.cpp.o"
+  "CMakeFiles/test_dspp.dir/test_dspp.cpp.o.d"
+  "test_dspp"
+  "test_dspp.pdb"
+  "test_dspp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dspp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isp_map.dir/test_isp_map.cpp.o"
+  "CMakeFiles/test_isp_map.dir/test_isp_map.cpp.o.d"
+  "test_isp_map"
+  "test_isp_map.pdb"
+  "test_isp_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isp_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

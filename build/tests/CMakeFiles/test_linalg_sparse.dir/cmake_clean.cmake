@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_sparse.dir/test_linalg_sparse.cpp.o"
+  "CMakeFiles/test_linalg_sparse.dir/test_linalg_sparse.cpp.o.d"
+  "test_linalg_sparse"
+  "test_linalg_sparse.pdb"
+  "test_linalg_sparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

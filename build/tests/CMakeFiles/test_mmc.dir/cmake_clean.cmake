@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmc.dir/test_mmc.cpp.o"
+  "CMakeFiles/test_mmc.dir/test_mmc.cpp.o.d"
+  "test_mmc"
+  "test_mmc.pdb"
+  "test_mmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

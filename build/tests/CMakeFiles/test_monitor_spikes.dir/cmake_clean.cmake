@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_spikes.dir/test_monitor_spikes.cpp.o"
+  "CMakeFiles/test_monitor_spikes.dir/test_monitor_spikes.cpp.o.d"
+  "test_monitor_spikes"
+  "test_monitor_spikes.pdb"
+  "test_monitor_spikes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_spikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

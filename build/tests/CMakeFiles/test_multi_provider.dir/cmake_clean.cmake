@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_provider.dir/test_multi_provider.cpp.o"
+  "CMakeFiles/test_multi_provider.dir/test_multi_provider.cpp.o.d"
+  "test_multi_provider"
+  "test_multi_provider.pdb"
+  "test_multi_provider[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_binpack.dir/test_queueing_binpack.cpp.o"
+  "CMakeFiles/test_queueing_binpack.dir/test_queueing_binpack.cpp.o.d"
+  "test_queueing_binpack"
+  "test_queueing_binpack.pdb"
+  "test_queueing_binpack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_binpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

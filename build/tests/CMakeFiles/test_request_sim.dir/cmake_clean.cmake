@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_request_sim.dir/test_request_sim.cpp.o"
+  "CMakeFiles/test_request_sim.dir/test_request_sim.cpp.o.d"
+  "test_request_sim"
+  "test_request_sim.pdb"
+  "test_request_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_request_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

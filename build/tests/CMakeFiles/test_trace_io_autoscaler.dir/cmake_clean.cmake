@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_io_autoscaler.dir/test_trace_io_autoscaler.cpp.o"
+  "CMakeFiles/test_trace_io_autoscaler.dir/test_trace_io_autoscaler.cpp.o.d"
+  "test_trace_io_autoscaler"
+  "test_trace_io_autoscaler.pdb"
+  "test_trace_io_autoscaler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_io_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

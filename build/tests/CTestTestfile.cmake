@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg_dense[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_qp[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_queueing_binpack[1]_include.cmake")
+include("/root/repo/build/tests/test_dspp[1]_include.cmake")
+include("/root/repo/build/tests/test_control[1]_include.cmake")
+include("/root/repo/build/tests/test_game[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integer[1]_include.cmake")
+include("/root/repo/build/tests/test_mmc[1]_include.cmake")
+include("/root/repo/build/tests/test_isp_map[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io_autoscaler[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_provider[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cg_anomaly[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_request_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor_spikes[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_extras[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Pipeline.BackboneToSimulationToGame]=]  /root/repo/build/tests/test_pipeline [==[--gtest_filter=Pipeline.BackboneToSimulationToGame]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Pipeline.BackboneToSimulationToGame]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_pipeline_TESTS Pipeline.BackboneToSimulationToGame)

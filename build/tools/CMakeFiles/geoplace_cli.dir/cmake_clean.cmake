@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoplace_cli.dir/geoplace_cli.cpp.o"
+  "CMakeFiles/geoplace_cli.dir/geoplace_cli.cpp.o.d"
+  "geoplace_cli"
+  "geoplace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoplace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

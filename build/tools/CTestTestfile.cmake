@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_simulate "/root/repo/build/tools/geoplace_cli" "simulate" "--dcs" "2" "--cities" "4" "--periods" "6")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_provision "/root/repo/build/tools/geoplace_cli" "provision" "--dcs" "3" "--cities" "6" "--hour" "14")
+set_tests_properties(cli_provision PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_game "/root/repo/build/tools/geoplace_cli" "game" "--players" "3" "--capacity" "300")
+set_tests_properties(cli_game PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
