@@ -1,0 +1,209 @@
+// Performance study of the parallel solve layer (BENCH_parallel.json).
+//
+// Two experiments:
+//  1. Game convergence: an 8-provider competition with a contested bottleneck
+//     run at 1/2/4/8 best-response lanes. Reports wall time, speedup over the
+//     single-lane run, Algorithm-2 iterations, and verifies the determinism
+//     contract: cost history and final quotas are BIT-identical at every
+//     thread count.
+//  2. A 96-step MPC run (4 data centers x 24 cities, horizon 5) with and
+//     without solver-state reuse. Reports wall time, total ADMM iterations,
+//     and the solver's setup-reuse counters (structure hits, numeric-only
+//     refactorizations, factorizations skipped outright).
+//
+// Wall-clock speedup is reported honestly: on a box with a single hardware
+// thread the lanes time-slice one core and the speedup hovers around 1.0;
+// the determinism check and the caching/warm-start wins are the meaningful
+// signal there. `cpus` in the JSON records what the machine offered.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "game/competition.hpp"
+#include "scenarios.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using gp::linalg::Vector;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// 8 providers fighting over a cheap bottleneck site (the Fig. 7 setup).
+std::vector<gp::game::ProviderConfig> game_providers() {
+  const gp::topology::NetworkModel network({"dc-cheap", "dc-big"}, {"an0", "an1", "an2"},
+                                           {{15.0, 25.0, 35.0}, {100.0, 20.0, 15.0}});
+  gp::Rng rng(2024);
+  gp::game::RandomProviderParams params;
+  params.horizon = 4;
+  params.max_latency_min_ms = 60.0;
+  params.max_latency_max_ms = 120.0;
+  params.demand_min = 150.0;
+  params.demand_max = 500.0;
+  std::vector<gp::game::ProviderConfig> providers;
+  for (int i = 0; i < 8; ++i) {
+    providers.push_back(gp::game::make_random_provider(network, params, rng));
+    for (auto& price : providers.back().price) price[0] = 0.4 * price[1];
+  }
+  return providers;
+}
+
+struct GameRun {
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  int iterations = 0;
+  gp::game::GameResult result;
+};
+
+GameRun run_game(std::size_t threads) {
+  gp::game::GameSettings settings;
+  settings.epsilon = 0.02;
+  settings.num_threads = threads;
+  gp::game::CompetitionGame game(game_providers(), Vector{200.0, 3000.0}, settings);
+  GameRun run;
+  run.threads = threads;
+  const auto start = Clock::now();
+  run.result = game.run();
+  run.wall_ms = ms_since(start);
+  run.iterations = run.result.iterations;
+  return run;
+}
+
+bool identical(const gp::game::GameResult& a, const gp::game::GameResult& b) {
+  if (a.cost_history != b.cost_history) return false;
+  if (a.quotas.size() != b.quotas.size()) return false;
+  for (std::size_t i = 0; i < a.quotas.size(); ++i) {
+    if (a.quotas[i] != b.quotas[i]) return false;
+  }
+  return true;
+}
+
+struct MpcRun {
+  double wall_ms = 0.0;
+  long long admm_iterations = 0;
+  int unsolved = 0;
+  double total_cost = 0.0;
+  gp::qp::AdmmCacheStats stats;
+};
+
+MpcRun run_mpc(bool reuse_solver_state) {
+  auto scenario = gp::bench::paper_scenario(4, 24);
+  gp::control::MpcSettings settings;
+  settings.horizon = 5;
+  settings.reuse_solver_state = reuse_solver_state;
+  gp::control::MpcController controller(scenario.model, settings,
+                                        gp::bench::make_predictor("last"),
+                                        gp::bench::make_predictor("last"));
+
+  constexpr std::size_t kSteps = 96;
+  auto demand_at = [&](std::size_t k) {
+    return scenario.demand.mean_rates(static_cast<double>(k) + 0.5);
+  };
+  auto price_at = [&](std::size_t k) {
+    return scenario.prices.server_prices(static_cast<double>(k) + 0.5);
+  };
+
+  Vector state = controller.provision_for(demand_at(0), price_at(0));
+  MpcRun run;
+  const auto start = Clock::now();
+  for (std::size_t k = 0; k < kSteps; ++k) {
+    const auto step = controller.step(state, demand_at(k), price_at(k));
+    run.admm_iterations += step.solver_iterations;
+    if (!step.solved) ++run.unsolved;
+    run.total_cost += step.window_objective;
+    state = step.next_state;
+  }
+  run.wall_ms = ms_since(start);
+  run.stats = controller.solver_cache_stats();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  // Widen the global pool regardless of what the machine reports, so the
+  // 2/4/8-lane runs genuinely exercise multi-threaded dispatch (the pool is
+  // sized once, on first use).
+  setenv("GEOPLACE_THREADS", "8", /*overwrite=*/0);
+  const unsigned cpus = std::thread::hardware_concurrency();
+
+  gp::bench::print_series_header(
+      "Parallel solve layer: 8-provider game wall time vs best-response lanes",
+      {"threads", "wall_ms", "speedup", "iterations", "bit_identical"});
+
+  std::vector<GameRun> runs;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) runs.push_back(run_game(threads));
+  bool all_identical = true;
+  for (const auto& run : runs) {
+    const bool same = identical(run.result, runs.front().result);
+    all_identical = all_identical && same;
+    gp::bench::print_row({static_cast<double>(run.threads), run.wall_ms,
+                          runs.front().wall_ms / run.wall_ms,
+                          static_cast<double>(run.iterations), same ? 1.0 : 0.0});
+  }
+
+  const MpcRun cold = run_mpc(false);
+  const MpcRun cached = run_mpc(true);
+  std::printf("\n# 96-step MPC (4 DCs x 24 cities, horizon 5)\n");
+  gp::bench::print_series_header("variant: wall_ms, admm_iterations, unsolved",
+                                 {"reuse", "wall_ms", "admm_iterations", "unsolved"});
+  gp::bench::print_row({0.0, cold.wall_ms, static_cast<double>(cold.admm_iterations),
+                        static_cast<double>(cold.unsolved)});
+  gp::bench::print_row({1.0, cached.wall_ms, static_cast<double>(cached.admm_iterations),
+                        static_cast<double>(cached.unsolved)});
+  std::printf("# cached-run solver setup: %lld solves, %lld structure hits, "
+              "%lld full factors, %lld refactors, %lld factorizations skipped\n",
+              cached.stats.solves, cached.stats.structure_hits,
+              cached.stats.full_factorizations, cached.stats.refactorizations,
+              cached.stats.factorizations_skipped);
+
+  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"cpus\": %u,\n  \"game\": {\n", cpus);
+    std::fprintf(json, "    \"providers\": 8,\n    \"bit_identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(json, "    \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(json,
+                   "      {\"threads\": %zu, \"wall_ms\": %.3f, \"speedup\": %.3f, "
+                   "\"iterations\": %d}%s\n",
+                   runs[i].threads, runs[i].wall_ms, runs.front().wall_ms / runs[i].wall_ms,
+                   runs[i].iterations, i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]\n  },\n  \"mpc\": {\n    \"steps\": 96,\n");
+    std::fprintf(json,
+                 "    \"cold\": {\"wall_ms\": %.3f, \"admm_iterations\": %lld, "
+                 "\"unsolved\": %d},\n",
+                 cold.wall_ms, cold.admm_iterations, cold.unsolved);
+    std::fprintf(json,
+                 "    \"cached\": {\"wall_ms\": %.3f, \"admm_iterations\": %lld, "
+                 "\"unsolved\": %d,\n",
+                 cached.wall_ms, cached.admm_iterations, cached.unsolved);
+    std::fprintf(json,
+                 "      \"structure_hits\": %lld, \"full_factorizations\": %lld, "
+                 "\"refactorizations\": %lld, \"factorizations_skipped\": %lld},\n",
+                 cached.stats.structure_hits, cached.stats.full_factorizations,
+                 cached.stats.refactorizations, cached.stats.factorizations_skipped);
+    std::fprintf(json, "    \"iteration_ratio\": %.3f,\n",
+                 cold.admm_iterations > 0
+                     ? static_cast<double>(cached.admm_iterations) /
+                           static_cast<double>(cold.admm_iterations)
+                     : 0.0);
+    std::fprintf(json, "    \"wall_ratio\": %.3f\n  }\n}\n",
+                 cold.wall_ms > 0.0 ? cached.wall_ms / cold.wall_ms : 0.0);
+    std::fclose(json);
+  }
+
+  // The run is healthy when determinism holds and solver-state reuse did not
+  // cost iterations (it should cut them) nor break any step.
+  const bool ok = all_identical && cached.unsolved == cold.unsolved &&
+                  cached.admm_iterations <= cold.admm_iterations;
+  std::printf("\n# determinism %s, cached iterations %lld vs cold %lld -- %s\n",
+              all_identical ? "holds" : "VIOLATED", cached.admm_iterations,
+              cold.admm_iterations, ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,153 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::run_one_task() {
+  std::function<void()> task;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t max_threads) {
+  require(begin <= end, "parallel_for: begin > end");
+  const std::size_t count = end - begin;
+  if (count == 0) return;
+
+  std::size_t lanes = max_threads == 0 ? max_lanes() : std::min(max_threads, max_lanes());
+  lanes = std::min(lanes, count);
+  if (lanes <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Shared completion state for this region. Lives on the caller's stack:
+  // the caller does not return before every chunk has finished. `pending` is
+  // only touched under `mutex`, and workers notify while HOLDING it — the
+  // caller can therefore observe pending == 0 (under the same mutex) only
+  // after the last worker has released it, which makes destroying the region
+  // on loop exit safe.
+  struct Region {
+    std::size_t pending;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+    explicit Region(std::size_t n) : pending(n) {}
+  } region(lanes - 1);
+
+  // Static contiguous partition: chunk j covers
+  // [begin + j*count/lanes, begin + (j+1)*count/lanes). Determinism relies
+  // on this split being a pure function of (begin, end, lanes).
+  auto run_chunk = [&fn, &region](std::size_t chunk_begin, std::size_t chunk_end) {
+    try {
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(region.mutex);
+      if (!region.error) region.error = std::current_exception();
+    }
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t j = 1; j < lanes; ++j) {
+      const std::size_t chunk_begin = begin + j * count / lanes;
+      const std::size_t chunk_end = begin + (j + 1) * count / lanes;
+      queue_.emplace_back([run_chunk, chunk_begin, chunk_end, &region] {
+        run_chunk(chunk_begin, chunk_end);
+        const std::lock_guard<std::mutex> lock(region.mutex);
+        --region.pending;
+        region.done.notify_one();
+      });
+    }
+  }
+  work_available_.notify_all();
+
+  // Caller executes chunk 0, then helps drain the queue while waiting —
+  // this keeps nested parallel_for calls deadlock-free (some queued task is
+  // always runnable by a thread that is otherwise blocked on its region).
+  run_chunk(begin, begin + count / lanes);
+  for (;;) {
+    {
+      const std::unique_lock<std::mutex> lock(region.mutex);
+      if (region.pending == 0) break;
+    }
+    if (run_one_task()) continue;
+    // Idle: sleep briefly on the region, then re-poll the queue (a nested
+    // parallel_for may have enqueued chunks only this thread can run).
+    std::unique_lock<std::mutex> lock(region.mutex);
+    region.done.wait_for(lock, std::chrono::milliseconds(1),
+                         [&region] { return region.pending == 0; });
+    if (region.pending == 0) break;
+  }
+
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+std::size_t ThreadPool::default_lanes() {
+  if (const char* env = std::getenv("GEOPLACE_THREADS")) {
+    char* parse_end = nullptr;
+    const long value = std::strtol(env, &parse_end, 10);
+    if (parse_end != env && *parse_end == '\0' && value > 0) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_lanes() - 1);
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn, std::size_t max_threads) {
+  ThreadPool::global().parallel_for(begin, end, fn, max_threads);
+}
+
+}  // namespace gp

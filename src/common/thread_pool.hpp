@@ -1,0 +1,85 @@
+// Fixed-size thread pool with a deterministic parallel_for.
+//
+// The pool exists for the library's two embarrassingly parallel hot loops:
+// the competition game's per-provider best responses (a Jacobi round — every
+// response depends only on the quotas fixed at the top of the iteration) and
+// block assembly of the social-welfare QP. Design constraints, in order:
+//
+//  1. Determinism. parallel_for uses a STATIC contiguous partition of the
+//     index range and callers write results by index, so the output of a
+//     seeded experiment is bit-identical at any thread count (results land
+//     by index, never by completion order).
+//  2. No oversubscription surprises. One process-wide pool (global()), sized
+//     once from the GEOPLACE_THREADS environment variable when set, else
+//     std::thread::hardware_concurrency(). Call sites can cap the lanes they
+//     use (a game with 3 providers asks for at most 3) without resizing the
+//     pool.
+//  3. Nesting safety. A caller waiting on its own parallel_for drains other
+//     queued chunks while it waits, so a parallel region entered from inside
+//     a worker cannot deadlock the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gp {
+
+/// Fixed pool of worker threads (see file comment). `num_workers` counts the
+/// BACKGROUND threads; parallel_for additionally runs on the calling thread,
+/// so a pool built with N-1 workers yields N-way parallelism.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of background worker threads.
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Maximum parallel lanes of this pool (workers + the calling thread).
+  std::size_t max_lanes() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [begin, end) and blocks until all calls have
+  /// returned. The range is split into at most `max_threads` contiguous
+  /// chunks (0 = use max_lanes()); the caller executes the first chunk
+  /// itself. Scheduling is static, so any per-index output is identical at
+  /// every thread count. The first exception thrown by fn is rethrown on the
+  /// calling thread after the whole range has been dispatched.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t max_threads = 0);
+
+  /// Lane count honoring GEOPLACE_THREADS: the environment variable when it
+  /// parses to a positive integer, else hardware_concurrency() (min 1).
+  static std::size_t default_lanes();
+
+  /// The process-wide pool, created on first use with default_lanes() - 1
+  /// workers. GEOPLACE_THREADS is read once, at creation.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  /// Pops and runs one queued chunk if any; returns false when idle.
+  bool run_one_task();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+/// parallel_for on the global pool — the call used across the library.
+/// `max_threads` caps the lanes (0 = all of the pool's lanes).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t max_threads = 0);
+
+}  // namespace gp

@@ -18,9 +18,12 @@ MpcController::MpcController(dspp::DsppModel model, MpcSettings settings,
       solver_([&settings] {
         // Consecutive windows share their sparsity pattern and differ only
         // in forecasts, so warm-starting from the previous solution is
-        // always safe here and typically cuts iterations severalfold.
+        // always safe here and typically cuts iterations severalfold; the
+        // structure cache turns the per-step setup into a refactorization
+        // (or skips it outright when the KKT data is unchanged).
         qp::AdmmSettings solver_settings = settings.solver;
-        solver_settings.auto_warm_start = true;
+        solver_settings.auto_warm_start = settings.reuse_solver_state;
+        solver_settings.cache_structure = settings.reuse_solver_state;
         return solver_settings;
       }()) {
   require(settings_.horizon >= 1, "MpcController: horizon must be >= 1");
@@ -54,8 +57,15 @@ MpcStepResult MpcController::step(const Vector& state, const Vector& demand,
   inputs.capacity_override = quota_;
   inputs.soft_demand_penalty = settings_.soft_demand_penalty;
 
-  const dspp::WindowProgram program(model_, pairs_, std::move(inputs));
-  const dspp::WindowSolution solution = program.solve(solver_);
+  // Fast path: the window shape is fixed for the controller's lifetime, so
+  // after the first step only the parameters (forecasts, initial state,
+  // quota) change — rewrite them in place instead of re-assembling the QP.
+  if (settings_.reuse_solver_state && program_) {
+    program_->update(model_, pairs_, inputs);
+  } else {
+    program_.emplace(model_, pairs_, std::move(inputs));
+  }
+  const dspp::WindowSolution solution = program_->solve(solver_);
 
   MpcStepResult result;
   result.status = solution.status;

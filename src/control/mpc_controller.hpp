@@ -19,6 +19,14 @@ namespace gp::control {
 struct MpcSettings {
   std::size_t horizon = 5;            ///< W, prediction window length
   double soft_demand_penalty = 0.0;   ///< > 0 adds unserved-demand slacks
+  /// Reuse solver state across control periods: the window program is kept
+  /// and parameter-updated in place, the solver warm-starts from the
+  /// previous solution, and the KKT structure cache (scaling, ordering,
+  /// symbolic analysis) is carried over — consecutive windows share their
+  /// sparsity pattern, so each MPC step becomes a parameter update plus a
+  /// warm-started, refactorization-only (often factorization-free) solve.
+  /// Disable only for benchmarking cold solves.
+  bool reuse_solver_state = true;
   qp::AdmmSettings solver;            ///< underlying QP solver settings
 };
 
@@ -58,6 +66,10 @@ class MpcController {
   const dspp::DsppModel& model() const { return model_; }
   const MpcSettings& settings() const { return settings_; }
 
+  /// Setup-reuse counters of the underlying ADMM solver (how many steps
+  /// reused the cached KKT structure / skipped factorization outright).
+  const qp::AdmmCacheStats& solver_cache_stats() const { return solver_.cache_stats(); }
+
   /// Minimal feasible allocation for a demand vector (cheapest placement
   /// with no reconfiguration cost) — useful for initializing x_0.
   linalg::Vector provision_for(const linalg::Vector& demand, const linalg::Vector& price);
@@ -70,6 +82,9 @@ class MpcController {
   std::unique_ptr<SeriesPredictor> price_predictor_;
   std::optional<linalg::Vector> quota_;
   qp::AdmmSolver solver_;
+  /// Persistent window program (reuse_solver_state): built on the first
+  /// step, parameter-updated on every later one.
+  std::optional<dspp::WindowProgram> program_;
 };
 
 }  // namespace gp::control

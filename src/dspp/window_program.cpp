@@ -20,16 +20,7 @@ linalg::Vector WindowSolution::capacity_price() const {
   return price;
 }
 
-WindowProgram::WindowProgram(const DsppModel& model, const PairIndex& pairs,
-                             WindowInputs inputs) {
-  model.validate();
-  num_pairs_ = pairs.num_pairs();
-  num_l_ = pairs.num_datacenters();
-  num_v_ = pairs.num_access_networks();
-  horizon_ = inputs.demand.size();
-  soft_ = inputs.soft_demand_penalty > 0.0;
-
-  require(horizon_ >= 1, "WindowProgram: empty demand forecast");
+void WindowProgram::validate_inputs(const WindowInputs& inputs) const {
   require(inputs.price.size() == horizon_, "WindowProgram: price horizon != demand horizon");
   require(inputs.initial_state.size() == num_pairs_,
           "WindowProgram: initial state size != pair count");
@@ -40,10 +31,20 @@ WindowProgram::WindowProgram(const DsppModel& model, const PairIndex& pairs,
   for (const auto& p : inputs.price) {
     require(p.size() == num_l_, "WindowProgram: price vector size != L");
   }
-  const Vector capacity = inputs.capacity_override.value_or(
-      Vector(model.capacity.begin(), model.capacity.end()));
-  require(capacity.size() == num_l_, "WindowProgram: capacity override size != L");
   require(inputs.soft_demand_penalty >= 0.0, "WindowProgram: negative demand penalty");
+}
+
+WindowProgram::WindowProgram(const DsppModel& model, const PairIndex& pairs,
+                             WindowInputs inputs) {
+  model.validate();
+  num_pairs_ = pairs.num_pairs();
+  num_l_ = pairs.num_datacenters();
+  num_v_ = pairs.num_access_networks();
+  horizon_ = inputs.demand.size();
+  soft_ = inputs.soft_demand_penalty > 0.0;
+
+  require(horizon_ >= 1, "WindowProgram: empty demand forecast");
+  validate_inputs(inputs);
 
   const std::size_t w = horizon_;
   const std::size_t p_count = num_pairs_;
@@ -70,47 +71,28 @@ WindowProgram::WindowProgram(const DsppModel& model, const PairIndex& pairs,
     return static_cast<std::int32_t>(slack_offset_ + t * num_v_ + v);
   };
 
-  // --- Objective. ---
-  problem_.q.assign(n, 0.0);
+  // --- Structure: P and A sparsity (values fixed by model/pairs). ---
   std::vector<Triplet> p_triplets;
   for (std::size_t t = 0; t < w; ++t) {
     for (std::size_t pair = 0; pair < p_count; ++pair) {
-      const std::size_t l = pairs.datacenter_of(pair);
-      problem_.q[static_cast<std::size_t>(x_var(t, pair))] = inputs.price[t][l];
-      const double c = model.reconfig_cost[l];
+      const double c = model.reconfig_cost[pairs.datacenter_of(pair)];
       if (c > 0.0) {
         // (1/2) z'Pz with P_uu = 2c gives the paper's c * u^2.
         p_triplets.push_back({u_var(t, pair), u_var(t, pair), 2.0 * c});
-      }
-    }
-    if (soft_) {
-      for (std::size_t v = 0; v < num_v_; ++v) {
-        problem_.q[static_cast<std::size_t>(slack_var(t, v))] = inputs.soft_demand_penalty;
       }
     }
   }
   problem_.p = linalg::SparseMatrix::from_triplets(static_cast<std::int32_t>(n),
                                                    static_cast<std::int32_t>(n), p_triplets);
 
-  // --- Constraints. ---
   std::vector<Triplet> a_triplets;
-  problem_.lower.assign(m, 0.0);
-  problem_.upper.assign(m, 0.0);
-
   // State equations.
   for (std::size_t t = 0; t < w; ++t) {
     for (std::size_t pair = 0; pair < p_count; ++pair) {
       const auto row = static_cast<std::int32_t>(t * p_count + pair);
       a_triplets.push_back({row, x_var(t, pair), 1.0});
       a_triplets.push_back({row, u_var(t, pair), -1.0});
-      if (t == 0) {
-        problem_.lower[row] = inputs.initial_state[pair];
-        problem_.upper[row] = inputs.initial_state[pair];
-      } else {
-        a_triplets.push_back({row, x_var(t - 1, pair), -1.0});
-        problem_.lower[row] = 0.0;
-        problem_.upper[row] = 0.0;
-      }
+      if (t > 0) a_triplets.push_back({row, x_var(t - 1, pair), -1.0});
     }
   }
   // Demand rows: sum_l x / a (+ slack) >= D.
@@ -121,8 +103,6 @@ WindowProgram::WindowProgram(const DsppModel& model, const PairIndex& pairs,
         a_triplets.push_back({row, x_var(t, pair), 1.0 / pairs.coefficient(pair)});
       }
       if (soft_) a_triplets.push_back({row, slack_var(t, v), 1.0});
-      problem_.lower[row] = inputs.demand[t][v];
-      problem_.upper[row] = qp::kInfinity;
     }
   }
   // Capacity rows: sum_v s * x <= C.
@@ -132,33 +112,108 @@ WindowProgram::WindowProgram(const DsppModel& model, const PairIndex& pairs,
       for (const std::size_t pair : pairs.pairs_of_datacenter(l)) {
         a_triplets.push_back({row, x_var(t, pair), model.server_size});
       }
-      problem_.lower[row] = -qp::kInfinity;
-      problem_.upper[row] = capacity[l];
     }
   }
   // Sign constraints on x.
   for (std::size_t t = 0; t < w; ++t) {
     for (std::size_t pair = 0; pair < p_count; ++pair) {
-      const auto row = static_cast<std::int32_t>(sign_row_offset + t * p_count + pair);
-      a_triplets.push_back({row, x_var(t, pair), 1.0});
-      problem_.lower[row] = 0.0;
-      problem_.upper[row] = qp::kInfinity;
+      a_triplets.push_back({static_cast<std::int32_t>(sign_row_offset + t * p_count + pair),
+                            x_var(t, pair), 1.0});
     }
   }
   // Sign constraints on slack.
   if (soft_) {
     for (std::size_t t = 0; t < w; ++t) {
       for (std::size_t v = 0; v < num_v_; ++v) {
-        const auto row = static_cast<std::int32_t>(slack_row_offset + t * num_v_ + v);
-        a_triplets.push_back({row, slack_var(t, v), 1.0});
-        problem_.lower[row] = 0.0;
-        problem_.upper[row] = qp::kInfinity;
+        a_triplets.push_back({static_cast<std::int32_t>(slack_row_offset + t * num_v_ + v),
+                              slack_var(t, v), 1.0});
       }
     }
   }
   problem_.a = linalg::SparseMatrix::from_triplets(static_cast<std::int32_t>(m),
                                                    static_cast<std::int32_t>(n), a_triplets);
+
+  // --- Parameters: q and the bounds. ---
+  problem_.q.assign(n, 0.0);
+  problem_.lower.assign(m, 0.0);
+  problem_.upper.assign(m, 0.0);
+  write_parameters(model, pairs, inputs);
   problem_.validate();
+}
+
+void WindowProgram::update(const DsppModel& model, const PairIndex& pairs,
+                           const WindowInputs& inputs) {
+  require(pairs.num_pairs() == num_pairs_ && pairs.num_datacenters() == num_l_ &&
+              pairs.num_access_networks() == num_v_,
+          "WindowProgram::update: pair index does not match the built program");
+  require(inputs.demand.size() == horizon_, "WindowProgram::update: horizon changed");
+  require((inputs.soft_demand_penalty > 0.0) == soft_,
+          "WindowProgram::update: soft/hard demand mode changed (rebuild required)");
+  validate_inputs(inputs);
+  write_parameters(model, pairs, inputs);
+}
+
+void WindowProgram::write_parameters(const DsppModel& model, const PairIndex& pairs,
+                                     const WindowInputs& inputs) {
+  const Vector capacity = inputs.capacity_override.value_or(
+      Vector(model.capacity.begin(), model.capacity.end()));
+  require(capacity.size() == num_l_, "WindowProgram: capacity override size != L");
+
+  const std::size_t w = horizon_;
+  const std::size_t p_count = num_pairs_;
+  const std::size_t sign_row_offset = capacity_row_offset_ + w * num_l_;
+  const std::size_t slack_row_offset = sign_row_offset + w * p_count;
+
+  // Objective: p_t on x, the penalty on slacks, nothing on u (the quadratic
+  // reconfiguration term lives in P, which is structural).
+  for (std::size_t t = 0; t < w; ++t) {
+    for (std::size_t pair = 0; pair < p_count; ++pair) {
+      problem_.q[x_offset_ + t * p_count + pair] =
+          inputs.price[t][pairs.datacenter_of(pair)];
+      problem_.q[u_offset_ + t * p_count + pair] = 0.0;
+    }
+    if (soft_) {
+      for (std::size_t v = 0; v < num_v_; ++v) {
+        problem_.q[slack_offset_ + t * num_v_ + v] = inputs.soft_demand_penalty;
+      }
+    }
+  }
+  // State equations: x_0 pins to the initial state, later rows to 0.
+  for (std::size_t t = 0; t < w; ++t) {
+    for (std::size_t pair = 0; pair < p_count; ++pair) {
+      const std::size_t row = t * p_count + pair;
+      const double rhs = t == 0 ? inputs.initial_state[pair] : 0.0;
+      problem_.lower[row] = rhs;
+      problem_.upper[row] = rhs;
+    }
+  }
+  // Demand rows.
+  for (std::size_t t = 0; t < w; ++t) {
+    for (std::size_t v = 0; v < num_v_; ++v) {
+      const std::size_t row = demand_row_offset_ + t * num_v_ + v;
+      problem_.lower[row] = inputs.demand[t][v];
+      problem_.upper[row] = qp::kInfinity;
+    }
+  }
+  // Capacity rows.
+  for (std::size_t t = 0; t < w; ++t) {
+    for (std::size_t l = 0; l < num_l_; ++l) {
+      const std::size_t row = capacity_row_offset_ + t * num_l_ + l;
+      problem_.lower[row] = -qp::kInfinity;
+      problem_.upper[row] = capacity[l];
+    }
+  }
+  // Sign rows on x (and slack): [0, inf).
+  for (std::size_t row = sign_row_offset; row < slack_row_offset; ++row) {
+    problem_.lower[row] = 0.0;
+    problem_.upper[row] = qp::kInfinity;
+  }
+  if (soft_) {
+    for (std::size_t row = slack_row_offset; row < slack_row_offset + w * num_v_; ++row) {
+      problem_.lower[row] = 0.0;
+      problem_.upper[row] = qp::kInfinity;
+    }
+  }
 }
 
 std::size_t WindowProgram::x_variable(std::size_t t, std::size_t pair) const {

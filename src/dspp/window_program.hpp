@@ -54,10 +54,23 @@ struct WindowSolution {
 };
 
 /// Builds the QP once; solve with any qp::QpSolver and map back.
+///
+/// Receding-horizon and best-response callers solve the SAME program shape
+/// every period with new data: update() rewrites only the parameters
+/// (q, lower, upper) in place, keeping the P/A sparsity structure — which
+/// lets a caching solver (AdmmSolver with cache_structure) skip scaling,
+/// ordering and symbolic analysis, and often the factorization itself.
 class WindowProgram {
  public:
   /// The PairIndex must have been built from the same model.
   WindowProgram(const DsppModel& model, const PairIndex& pairs, WindowInputs inputs);
+
+  /// Parameter-only update: rewrites q, lower and upper for new inputs
+  /// without re-assembling P or A. `model` and `pairs` must be the ones the
+  /// program was built from (same pairs, horizon, reconfiguration costs,
+  /// server size and soft/hard demand mode); new initial state, demand and
+  /// price forecasts, capacity quota and penalty values are applied.
+  void update(const DsppModel& model, const PairIndex& pairs, const WindowInputs& inputs);
 
   const qp::QpProblem& problem() const { return problem_; }
   std::size_t horizon() const { return horizon_; }
@@ -77,6 +90,13 @@ class WindowProgram {
   WindowSolution solve(qp::QpSolver& solver) const;
 
  private:
+  /// Shared parameter writer: fills q and the constraint bounds from the
+  /// inputs (everything except the P/A structure). Inputs must be validated.
+  void write_parameters(const DsppModel& model, const PairIndex& pairs,
+                        const WindowInputs& inputs);
+  /// Shape/value checks shared by the constructor and update().
+  void validate_inputs(const WindowInputs& inputs) const;
+
   std::size_t num_pairs_ = 0;
   std::size_t num_l_ = 0;
   std::size_t num_v_ = 0;

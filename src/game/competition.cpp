@@ -4,22 +4,31 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gp::game {
 
 using linalg::Triplet;
 using linalg::Vector;
 
+namespace {
+
+/// Best responses are polished to near-exact KKT points: the quota exchange
+/// is driven by the capacity duals.
+qp::AdmmSettings best_response_settings(const GameSettings& settings) {
+  qp::AdmmSettings solver_settings = settings.solver;
+  solver_settings.polish = true;
+  return solver_settings;
+}
+
+}  // namespace
+
 CompetitionGame::CompetitionGame(std::vector<ProviderConfig> providers, Vector capacity,
                                  GameSettings settings)
     : providers_(std::move(providers)), capacity_(std::move(capacity)), settings_(settings),
-      solver_([&settings] {
-        // The quota exchange is driven by the capacity duals, so the best
-        // responses are polished to near-exact KKT points.
-        qp::AdmmSettings solver_settings = settings.solver;
-        solver_settings.polish = true;
-        return solver_settings;
-      }()) {
+      solvers_(providers_.size(), qp::AdmmSolver(best_response_settings(settings))),
+      programs_(providers_.size()),
+      welfare_solver_(best_response_settings(settings)) {
   require(!providers_.empty(), "CompetitionGame: need at least one provider");
   require(settings_.epsilon > 0.0, "CompetitionGame: epsilon must be > 0");
   require(settings_.step_size > 0.0, "CompetitionGame: step size must be > 0");
@@ -49,8 +58,15 @@ dspp::WindowSolution CompetitionGame::best_response(std::size_t i, const Vector&
   inputs.price = provider.price;
   inputs.capacity_override = quota;
   inputs.soft_demand_penalty = settings_.soft_demand_penalty;
-  const dspp::WindowProgram program(provider.model, pair_index_[i], std::move(inputs));
-  return program.solve(solver_);
+  // Across game iterations only the quota changes, so after the first build
+  // each call is a parameter update; with the solver's structure cache the
+  // per-iteration setup cost (scaling, ordering, factorization) disappears.
+  if (programs_[i]) {
+    programs_[i]->update(provider.model, pair_index_[i], inputs);
+  } else {
+    programs_[i].emplace(provider.model, pair_index_[i], std::move(inputs));
+  }
+  return programs_[i]->solve(solvers_[i]);
 }
 
 GameResult CompetitionGame::run(std::optional<std::vector<Vector>> initial_quotas) {
@@ -83,11 +99,16 @@ GameResult CompetitionGame::run(std::optional<std::vector<Vector>> initial_quota
   int stable_streak = 0;
 
   for (int iteration = 0; iteration < settings_.max_iterations; ++iteration) {
-    // --- Best responses and duals. ---
+    // --- Best responses and duals: a Jacobi round. Every response depends
+    // only on the quotas fixed above, so the N solves run concurrently,
+    // each on its own solver/program; results land by provider index so the
+    // outcome is bit-identical at any thread count. ---
+    parallel_for(
+        0, n, [&](std::size_t i) { result.solutions[i] = best_response(i, quotas[i]); },
+        settings_.num_threads);
     double total_cost = 0.0;
     std::vector<Vector> duals(n);
     for (std::size_t i = 0; i < n; ++i) {
-      result.solutions[i] = best_response(i, quotas[i]);
       // A soft best response is always feasible; accept a max-iterations
       // iterate (the ADMM solution is a usable approximation and its duals
       // still point the quota update in the right direction), but a
@@ -180,18 +201,21 @@ SocialWelfareResult CompetitionGame::solve_social_welfare() {
   const std::size_t num_l = capacity_.size();
 
   // Per-provider window programs with effectively unconstrained private
-  // capacity; the shared capacity rows are appended jointly below.
-  std::vector<dspp::WindowProgram> programs;
-  programs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    dspp::WindowInputs inputs;
-    inputs.initial_state = providers_[i].initial_state;
-    inputs.demand = providers_[i].demand;
-    inputs.price = providers_[i].price;
-    inputs.capacity_override = Vector(num_l, 1e12);
-    inputs.soft_demand_penalty = settings_.soft_demand_penalty;
-    programs.emplace_back(providers_[i].model, pair_index_[i], std::move(inputs));
-  }
+  // capacity; the shared capacity rows are appended jointly below. The
+  // builds are independent, so they run concurrently.
+  std::vector<std::optional<dspp::WindowProgram>> programs(n);
+  parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        dspp::WindowInputs inputs;
+        inputs.initial_state = providers_[i].initial_state;
+        inputs.demand = providers_[i].demand;
+        inputs.price = providers_[i].price;
+        inputs.capacity_override = Vector(num_l, 1e12);
+        inputs.soft_demand_penalty = settings_.soft_demand_penalty;
+        programs[i].emplace(providers_[i].model, pair_index_[i], std::move(inputs));
+      },
+      settings_.num_threads);
 
   // --- Assemble the joint QP: block-diagonal stack + shared capacity rows.
   std::size_t total_vars = 0, total_rows = 0;
@@ -199,8 +223,8 @@ SocialWelfareResult CompetitionGame::solve_social_welfare() {
   for (std::size_t i = 0; i < n; ++i) {
     var_offset[i] = total_vars;
     row_offset[i] = total_rows;
-    total_vars += programs[i].problem().num_variables();
-    total_rows += programs[i].problem().num_constraints();
+    total_vars += programs[i]->problem().num_variables();
+    total_rows += programs[i]->problem().num_constraints();
   }
   const std::size_t shared_rows = horizon_ * num_l;
 
@@ -208,34 +232,50 @@ SocialWelfareResult CompetitionGame::solve_social_welfare() {
   joint.q.assign(total_vars, 0.0);
   joint.lower.assign(total_rows + shared_rows, 0.0);
   joint.upper.assign(total_rows + shared_rows, 0.0);
+  // Each provider's triplet block is produced into its own slot (and its
+  // q/bounds slices are disjoint), so the blocks assemble concurrently; the
+  // sequential concatenation below keeps the triplet order — and therefore
+  // the assembled matrices — independent of the thread count.
+  std::vector<std::vector<Triplet>> p_blocks(n), a_blocks(n);
+  parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        const auto& block = programs[i]->problem();
+        const auto voff = static_cast<std::int32_t>(var_offset[i]);
+        const auto roff = static_cast<std::int32_t>(row_offset[i]);
+        // P block.
+        const auto pc = block.p.col_ptr();
+        const auto pr = block.p.row_idx();
+        const auto pv = block.p.values();
+        p_blocks[i].reserve(static_cast<std::size_t>(block.p.nnz()));
+        for (std::int32_t c = 0; c < block.p.cols(); ++c) {
+          for (std::int32_t e = pc[c]; e < pc[c + 1]; ++e) {
+            p_blocks[i].push_back({pr[e] + voff, c + voff, pv[e]});
+          }
+        }
+        for (std::size_t j = 0; j < block.q.size(); ++j) {
+          joint.q[var_offset[i] + j] = block.q[j];
+        }
+        // A block.
+        const auto ac = block.a.col_ptr();
+        const auto ar = block.a.row_idx();
+        const auto av = block.a.values();
+        a_blocks[i].reserve(static_cast<std::size_t>(block.a.nnz()));
+        for (std::int32_t c = 0; c < block.a.cols(); ++c) {
+          for (std::int32_t e = ac[c]; e < ac[c + 1]; ++e) {
+            a_blocks[i].push_back({ar[e] + roff, c + voff, av[e]});
+          }
+        }
+        for (std::size_t r = 0; r < block.num_constraints(); ++r) {
+          joint.lower[row_offset[i] + r] = block.lower[r];
+          joint.upper[row_offset[i] + r] = block.upper[r];
+        }
+      },
+      settings_.num_threads);
   std::vector<Triplet> p_triplets, a_triplets;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& block = programs[i].problem();
-    const auto voff = static_cast<std::int32_t>(var_offset[i]);
-    const auto roff = static_cast<std::int32_t>(row_offset[i]);
-    // P block.
-    const auto pc = block.p.col_ptr();
-    const auto pr = block.p.row_idx();
-    const auto pv = block.p.values();
-    for (std::int32_t c = 0; c < block.p.cols(); ++c) {
-      for (std::int32_t e = pc[c]; e < pc[c + 1]; ++e) {
-        p_triplets.push_back({pr[e] + voff, c + voff, pv[e]});
-      }
-    }
-    for (std::size_t j = 0; j < block.q.size(); ++j) joint.q[var_offset[i] + j] = block.q[j];
-    // A block.
-    const auto ac = block.a.col_ptr();
-    const auto ar = block.a.row_idx();
-    const auto av = block.a.values();
-    for (std::int32_t c = 0; c < block.a.cols(); ++c) {
-      for (std::int32_t e = ac[c]; e < ac[c + 1]; ++e) {
-        a_triplets.push_back({ar[e] + roff, c + voff, av[e]});
-      }
-    }
-    for (std::size_t r = 0; r < block.num_constraints(); ++r) {
-      joint.lower[row_offset[i] + r] = block.lower[r];
-      joint.upper[row_offset[i] + r] = block.upper[r];
-    }
+    p_triplets.insert(p_triplets.end(), p_blocks[i].begin(), p_blocks[i].end());
+    a_triplets.insert(a_triplets.end(), a_blocks[i].begin(), a_blocks[i].end());
   }
   // Shared capacity rows: sum_i sum_{pairs in l} s^i x^i_{t, pair} <= C^l.
   for (std::size_t t = 0; t < horizon_; ++t) {
@@ -244,7 +284,7 @@ SocialWelfareResult CompetitionGame::solve_social_welfare() {
       for (std::size_t i = 0; i < n; ++i) {
         for (const std::size_t pair : pair_index_[i].pairs_of_datacenter(l)) {
           a_triplets.push_back(
-              {row, static_cast<std::int32_t>(var_offset[i] + programs[i].x_variable(t, pair)),
+              {row, static_cast<std::int32_t>(var_offset[i] + programs[i]->x_variable(t, pair)),
                providers_[i].model.server_size});
         }
       }
@@ -259,7 +299,7 @@ SocialWelfareResult CompetitionGame::solve_social_welfare() {
       static_cast<std::int32_t>(total_rows + shared_rows),
       static_cast<std::int32_t>(total_vars), a_triplets);
 
-  const qp::QpResult raw = solver_.solve(joint);
+  const qp::QpResult raw = welfare_solver_.solve(joint);
   SocialWelfareResult result;
   if (!raw.ok()) return result;
   result.solved = true;
@@ -268,7 +308,7 @@ SocialWelfareResult CompetitionGame::solve_social_welfare() {
   result.x.assign(n, {});
   for (std::size_t i = 0; i < n; ++i) {
     // Slice this provider's variables and re-evaluate its own objective.
-    const auto& block = programs[i].problem();
+    const auto& block = programs[i]->problem();
     Vector xi(block.num_variables());
     for (std::size_t j = 0; j < xi.size(); ++j) xi[j] = raw.x[var_offset[i] + j];
     result.provider_costs[i] = block.objective(xi);
@@ -276,7 +316,7 @@ SocialWelfareResult CompetitionGame::solve_social_welfare() {
     sliced.status = qp::SolveStatus::kOptimal;
     sliced.x = std::move(xi);
     sliced.objective = result.provider_costs[i];
-    result.x[i] = programs[i].extract(sliced).x;
+    result.x[i] = programs[i]->extract(sliced).x;
   }
   return result;
 }

@@ -20,6 +20,8 @@
 // stability of Definitions 3 (Theorem 1 predicts PoS = 1).
 #pragma once
 
+#include <optional>
+
 #include "game/provider.hpp"
 #include "qp/admm_solver.hpp"
 
@@ -55,6 +57,13 @@ struct GameSettings {
   int max_iterations = 500;
   double soft_demand_penalty = 5.0; ///< $ per unserved req/s (transient infeasibility)
   double min_quota_fraction = 1e-3; ///< quota floor as a fraction of C / N
+  /// Parallel lanes for the per-iteration best responses (a Jacobi round:
+  /// every response depends only on the quotas fixed at the top of the
+  /// iteration, so they are computed concurrently). 0 = the global thread
+  /// pool's width (GEOPLACE_THREADS / hardware concurrency). Results are
+  /// bit-identical at any setting — each provider has its own solver and
+  /// results land by provider index.
+  std::size_t num_threads = 0;
   qp::AdmmSettings solver;
 };
 
@@ -101,6 +110,10 @@ class CompetitionGame {
 
  private:
   /// Best response of provider i under its quota; returns the solution.
+  /// Thread-safe across DISTINCT i: each provider has its own persistent
+  /// program and solver, so Jacobi rounds run concurrently and each solver
+  /// keeps its own warm-start iterate and cached KKT structure across game
+  /// iterations.
   dspp::WindowSolution best_response(std::size_t i, const linalg::Vector& quota);
 
   std::vector<ProviderConfig> providers_;
@@ -108,7 +121,13 @@ class CompetitionGame {
   linalg::Vector capacity_;
   GameSettings settings_;
   std::size_t horizon_ = 0;
-  qp::AdmmSolver solver_;
+  /// One solver per provider: consecutive solves on a shared solver would
+  /// belong to different providers' problems, which both poisons warm
+  /// starts and defeats the structure cache.
+  std::vector<qp::AdmmSolver> solvers_;
+  /// Persistent best-response programs; quota changes are parameter updates.
+  std::vector<std::optional<dspp::WindowProgram>> programs_;
+  qp::AdmmSolver welfare_solver_;
 };
 
 /// Empirical efficiency ratio sum_i J^i(NE) / J(SWP) — the price of

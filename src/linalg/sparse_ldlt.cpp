@@ -1,5 +1,6 @@
 #include "linalg/sparse_ldlt.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -23,6 +24,8 @@ SparseLdlt::Status SparseLdlt::factor(const SparseMatrix& upper, Permutation per
   inv_perm_ = invert_permutation(perm_);
 
   const SparseMatrix permuted = symmetric_permute_upper(upper, perm_);
+  pattern_col_ptr_.assign(permuted.col_ptr().begin(), permuted.col_ptr().end());
+  pattern_row_idx_.assign(permuted.row_idx().begin(), permuted.row_idx().end());
 
   // --- Symbolic: elimination tree and exact column counts of L. ---
   parent_.assign(static_cast<std::size_t>(n_), -1);
@@ -54,10 +57,21 @@ SparseLdlt::Status SparseLdlt::factor(const SparseMatrix& upper, Permutation per
 }
 
 SparseLdlt::Status SparseLdlt::refactor(const SparseMatrix& upper) {
-  require(status_ != Status::kNotFactored || !l_col_ptr_.empty(),
-          "SparseLdlt::refactor before factor()");
+  if (l_col_ptr_.empty()) return Status::kNotFactored;
   require(upper.rows() == n_ && upper.cols() == n_, "SparseLdlt::refactor: shape mismatch");
-  return numeric_factor(symmetric_permute_upper(upper, perm_));
+  const SparseMatrix permuted = symmetric_permute_upper(upper, perm_);
+  // The symbolic analysis is only valid for the exact pattern it was run on;
+  // a changed pattern would silently corrupt L, so it is rejected here (the
+  // previous factorization stays usable).
+  const auto col_ptr = permuted.col_ptr();
+  const auto row_idx = permuted.row_idx();
+  if (!std::equal(col_ptr.begin(), col_ptr.end(), pattern_col_ptr_.begin(),
+                  pattern_col_ptr_.end()) ||
+      !std::equal(row_idx.begin(), row_idx.end(), pattern_row_idx_.begin(),
+                  pattern_row_idx_.end())) {
+    return Status::kPatternMismatch;
+  }
+  return numeric_factor(permuted);
 }
 
 SparseLdlt::Status SparseLdlt::numeric_factor(const SparseMatrix& permuted_upper) {

@@ -21,7 +21,7 @@ namespace gp::linalg {
 /// included) of the full symmetric matrix.
 class SparseLdlt {
  public:
-  enum class Status { kOk, kZeroPivot, kNotFactored };
+  enum class Status { kOk, kZeroPivot, kNotFactored, kPatternMismatch };
 
   /// Chooses a minimum-degree ordering, then factors.
   Status factor(const SparseMatrix& upper);
@@ -30,8 +30,11 @@ class SparseLdlt {
   Status factor(const SparseMatrix& upper, Permutation perm);
 
   /// Re-factors a matrix with the SAME sparsity pattern as the previous
-  /// successful factor() call, reusing the symbolic analysis. The pattern
-  /// (col_ptr/row_idx of the permuted upper triangle) must be unchanged.
+  /// successful factor() call, reusing the symbolic analysis (elimination
+  /// tree, column counts, ordering). The pattern (col_ptr/row_idx of the
+  /// permuted upper triangle) is CHECKED against the one that was factored;
+  /// a changed pattern returns kPatternMismatch and leaves the previous
+  /// factorization intact — callers must fall back to a fresh factor().
   Status refactor(const SparseMatrix& upper);
 
   /// Solves A x = b in place; requires a successful factor().
@@ -57,6 +60,10 @@ class SparseLdlt {
   // Symbolic data.
   std::vector<std::int32_t> parent_;
   std::vector<std::int32_t> l_col_ptr_;
+  // Pattern of the permuted upper triangle the symbolic analysis was run
+  // on; refactor() validates against it.
+  std::vector<std::int32_t> pattern_col_ptr_;
+  std::vector<std::int32_t> pattern_row_idx_;
   // Numeric data.
   std::vector<std::int32_t> l_row_idx_;
   std::vector<double> l_values_;

@@ -165,33 +165,125 @@ bool polish_solution(const QpProblem& problem, const AdmmSettings& settings, Vec
 }  // namespace
 
 QpResult AdmmSolver::solve(const QpProblem& original) {
+  ++cache_stats_.solves;
+  if (settings_.cache_structure && cache_matches(original)) {
+    // Preserve the pending warm start so a (rare) numerical failure of the
+    // cached setup can retry cold from the same starting point.
+    const Vector pending_x = warm_x_;
+    const Vector pending_y = warm_y_;
+    QpResult result = solve_with(original, /*use_cache=*/true);
+    if (result.status != SolveStatus::kNumericalError) return result;
+    // The cached setup failed numerically (e.g. the refactorization hit a
+    // zero pivot after a large parameter change): drop it and solve cold.
+    invalidate_cache();
+    warm_x_ = pending_x;
+    warm_y_ = pending_y;
+  }
+  return solve_with(original, /*use_cache=*/false);
+}
+
+bool AdmmSolver::cache_matches(const QpProblem& problem) const {
+  if (!has_cache_) return false;
+  if (problem.num_variables() != cached_scaling_.d.size() ||
+      problem.num_constraints() != cached_scaling_.e.size()) {
+    return false;
+  }
+  const auto same = [](std::span<const std::int32_t> a, const std::vector<std::int32_t>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  };
+  return same(problem.p.col_ptr(), cached_p_col_ptr_) &&
+         same(problem.p.row_idx(), cached_p_row_idx_) &&
+         same(problem.a.col_ptr(), cached_a_col_ptr_) &&
+         same(problem.a.row_idx(), cached_a_row_idx_);
+}
+
+void AdmmSolver::invalidate_cache() {
+  has_cache_ = false;
+  cached_p_col_ptr_.clear();
+  cached_p_row_idx_.clear();
+  cached_a_col_ptr_.clear();
+  cached_a_row_idx_.clear();
+  cached_p_values_.clear();
+  cached_a_values_.clear();
+  cached_rho_.clear();
+  cached_row_class_.clear();
+}
+
+QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
   original.validate();
   const std::size_t n = original.num_variables();
   const std::size_t m = original.num_constraints();
 
   QpProblem problem = original;  // scaled in place below
-  Scaling scaling = settings_.scale_problem
-                        ? ruiz_equilibrate(problem, settings_.scaling_iterations)
-                        : Scaling::identity(n, m);
+  Scaling scaling;
+  if (use_cache) {
+    // Structure hit: the cached equilibration stays a valid diagonal
+    // scaling for the new data (solutions are unscaled exactly), so the
+    // Ruiz sweeps are skipped.
+    ++cache_stats_.structure_hits;
+    scaling = cached_scaling_;
+    if (settings_.scale_problem) apply_scaling(scaling, problem);
+  } else if (settings_.scale_problem) {
+    scaling = ruiz_equilibrate(problem, settings_.scaling_iterations);
+    // Re-apply the FINAL scaling in one shot: the sweeps above scale
+    // incrementally, which differs from apply_scaling() by rounding ulps.
+    // Normalizing here makes the scaled data bitwise identical to what a
+    // later cache hit computes, so the values-unchanged factorization skip
+    // can fire on the very next solve.
+    problem = original;
+    apply_scaling(scaling, problem);
+  } else {
+    scaling = Scaling::identity(n, m);
+  }
 
-  // Per-row rho: stiffer on equality rows, zero-safe on free rows.
-  Vector rho(m);
+  // Per-row rho: stiffer on equality rows, zero-safe on free rows. When the
+  // row classification is unchanged, a cache hit carries the previous
+  // solve's (possibly adapted) rho forward so the factorization can be
+  // reused or numerically refreshed without restarting the adaptation.
+  std::vector<std::uint8_t> row_class(m);
   for (std::size_t i = 0; i < m; ++i) {
     const bool equality = problem.lower[i] == problem.upper[i];
     const bool unbounded = problem.lower[i] == -kInfinity && problem.upper[i] == kInfinity;
-    if (equality) {
-      rho[i] = settings_.rho * settings_.rho_equality_scale;
-    } else if (unbounded) {
-      rho[i] = settings_.rho * 1e-3;  // loose rows barely constrain
-    } else {
-      rho[i] = settings_.rho;
+    row_class[i] = equality ? 1 : (unbounded ? 2 : 0);
+  }
+  Vector rho(m);
+  const bool reuse_rho = use_cache && row_class == cached_row_class_;
+  if (reuse_rho) {
+    rho = cached_rho_;
+  } else {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (row_class[i] == 1) {
+        rho[i] = settings_.rho * settings_.rho_equality_scale;
+      } else if (row_class[i] == 2) {
+        rho[i] = settings_.rho * 1e-3;  // loose rows barely constrain
+      } else {
+        rho[i] = settings_.rho;
+      }
     }
   }
 
-  SparseLdlt kkt;
-  {
+  SparseLdlt& kkt = kkt_;
+  const bool values_unchanged = reuse_rho && kkt.status() == SparseLdlt::Status::kOk &&
+                                problem.p.values().size() == cached_p_values_.size() &&
+                                std::equal(problem.p.values().begin(), problem.p.values().end(),
+                                           cached_p_values_.begin()) &&
+                                problem.a.values().size() == cached_a_values_.size() &&
+                                std::equal(problem.a.values().begin(), problem.a.values().end(),
+                                           cached_a_values_.begin());
+  if (values_unchanged) {
+    // Same scaled (P, A) and rho as the cached factorization: a pure
+    // (q, lower, upper) parameter update. Reuse the factor outright.
+    ++cache_stats_.factorizations_skipped;
+  } else {
     const SparseMatrix kkt_upper = build_kkt_upper(problem.p, problem.a, settings_.sigma, rho);
-    if (kkt.factor(kkt_upper) != SparseLdlt::Status::kOk) {
+    const SparseLdlt::Status status =
+        use_cache ? kkt.refactor(kkt_upper) : kkt.factor(kkt_upper);
+    if (use_cache) {
+      ++cache_stats_.refactorizations;
+    } else {
+      ++cache_stats_.full_factorizations;
+    }
+    if (status != SparseLdlt::Status::kOk) {
       QpResult failed;
       failed.status = SolveStatus::kNumericalError;
       return failed;
@@ -339,6 +431,7 @@ QpResult AdmmSolver::solve(const QpProblem& original) {
         }
         const SparseMatrix kkt_upper =
             build_kkt_upper(problem.p, problem.a, settings_.sigma, rho);
+        ++cache_stats_.refactorizations;
         if (kkt.refactor(kkt_upper) != SparseLdlt::Status::kOk) {
           result.status = SolveStatus::kNumericalError;
           break;
@@ -365,6 +458,23 @@ QpResult AdmmSolver::solve(const QpProblem& original) {
       (result.status == SolveStatus::kOptimal || result.status == SolveStatus::kMaxIterations)) {
     warm_x_ = result.x;
     warm_y_ = result.y;
+  }
+
+  // Refresh the structure cache: patterns of the (unscaled) input, the
+  // scaled values backing kkt_'s current factorization, the equilibration,
+  // and the final (possibly adapted) rho.
+  if (settings_.cache_structure && kkt.status() == SparseLdlt::Status::kOk &&
+      result.status != SolveStatus::kNumericalError) {
+    has_cache_ = true;
+    cached_p_col_ptr_.assign(original.p.col_ptr().begin(), original.p.col_ptr().end());
+    cached_p_row_idx_.assign(original.p.row_idx().begin(), original.p.row_idx().end());
+    cached_a_col_ptr_.assign(original.a.col_ptr().begin(), original.a.col_ptr().end());
+    cached_a_row_idx_.assign(original.a.row_idx().begin(), original.a.row_idx().end());
+    cached_p_values_.assign(problem.p.values().begin(), problem.p.values().end());
+    cached_a_values_.assign(problem.a.values().begin(), problem.a.values().end());
+    cached_scaling_ = std::move(scaling);
+    cached_rho_ = std::move(rho);
+    cached_row_class_ = std::move(row_class);
   }
   return result;
 }

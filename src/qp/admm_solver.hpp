@@ -48,6 +48,24 @@ struct AdmmSettings {
   bool polish = false;
   double polish_regularization = 1e-9;
   int polish_refinement_steps = 3;
+  /// Cache the solver's structural work (Ruiz scaling, AMD ordering,
+  /// symbolic analysis of the KKT matrix) across solve() calls on the SAME
+  /// solver instance. When the next problem has the identical (P, A)
+  /// sparsity pattern — the receding-horizon and best-response case, where
+  /// only q/bounds (and possibly matrix values) change — setup reduces to a
+  /// numeric refactorization; when the KKT values are also unchanged, the
+  /// previous factorization is reused outright. A pattern change falls back
+  /// to the full setup transparently.
+  bool cache_structure = true;
+};
+
+/// Counters describing how much setup work the structure cache avoided.
+struct AdmmCacheStats {
+  long long solves = 0;
+  long long structure_hits = 0;        ///< solves that reused scaling + symbolic analysis
+  long long full_factorizations = 0;   ///< fresh ordering + symbolic + numeric factors
+  long long refactorizations = 0;      ///< numeric-only factors (incl. in-solve rho updates)
+  long long factorizations_skipped = 0;///< solves that reused the cached factor unchanged
 };
 
 /// Sparse first-order QP solver (see file comment).
@@ -65,12 +83,36 @@ class AdmmSolver final : public QpSolver {
   /// Drops any cached or pending warm-start state.
   void reset_warm_start();
 
+  /// Drops the cached scaling/ordering/factorization; the next solve runs
+  /// the full setup. (Also called internally when the pattern changes.)
+  void invalidate_cache();
+
   const AdmmSettings& settings() const { return settings_; }
 
+  /// Setup-reuse counters since construction (see AdmmCacheStats).
+  const AdmmCacheStats& cache_stats() const { return cache_stats_; }
+
  private:
+  QpResult solve_with(const QpProblem& original, bool use_cache);
+  bool cache_matches(const QpProblem& problem) const;
+
   AdmmSettings settings_;
   linalg::Vector warm_x_;  // unscaled; empty = none
   linalg::Vector warm_y_;
+
+  // --- Structure cache (see AdmmSettings::cache_structure). ---
+  bool has_cache_ = false;
+  // Sparsity patterns of the LAST problem solved (scaling preserves them).
+  std::vector<std::int32_t> cached_p_col_ptr_, cached_p_row_idx_;
+  std::vector<std::int32_t> cached_a_col_ptr_, cached_a_row_idx_;
+  // Scaled matrix values backing kkt_'s current factorization, for the
+  // values-unchanged fast path.
+  linalg::Vector cached_p_values_, cached_a_values_;
+  Scaling cached_scaling_;
+  linalg::Vector cached_rho_;               // per-row rho kkt_ was factored with
+  std::vector<std::uint8_t> cached_row_class_;  // 0 ineq / 1 equality / 2 unbounded
+  linalg::SparseLdlt kkt_;                  // persistent across solves
+  AdmmCacheStats cache_stats_;
 };
 
 }  // namespace gp::qp

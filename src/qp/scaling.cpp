@@ -71,4 +71,22 @@ Scaling ruiz_equilibrate(QpProblem& problem, int iterations) {
   return scaling;
 }
 
+void apply_scaling(const Scaling& scaling, QpProblem& problem) {
+  problem.validate();
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  require(scaling.d.size() == n && scaling.e.size() == m,
+          "apply_scaling: scaling dimensions do not match the problem");
+  require(scaling.cost_scale > 0.0, "apply_scaling: non-positive cost scale");
+
+  problem.p.scale_rows_cols(scaling.d, scaling.d);
+  for (auto& value : problem.p.mutable_values()) value *= scaling.cost_scale;
+  for (std::size_t j = 0; j < n; ++j) problem.q[j] *= scaling.cost_scale * scaling.d[j];
+  problem.a.scale_rows_cols(scaling.e, scaling.d);
+  for (std::size_t i = 0; i < m; ++i) {
+    problem.lower[i] *= scaling.e[i];
+    problem.upper[i] *= scaling.e[i];
+  }
+}
+
 }  // namespace gp::qp

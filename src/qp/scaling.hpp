@@ -29,4 +29,12 @@ struct Scaling {
 /// `iterations` Ruiz sweeps are performed (10 matches OSQP's default).
 Scaling ruiz_equilibrate(QpProblem& problem, int iterations = 10);
 
+/// Applies a previously computed scaling to an UNSCALED problem in place:
+/// P <- c D P D, q <- c D q, A <- E A D, bounds <- E bounds. This is the
+/// parameter-update fast path — when only (q, lower, upper) or matrix
+/// values changed, the cached equilibration is still a valid diagonal
+/// scaling (solutions are unscaled exactly), so the Ruiz sweeps need not be
+/// re-run. Shapes must match the scaling's dimensions.
+void apply_scaling(const Scaling& scaling, QpProblem& problem);
+
 }  // namespace gp::qp

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <ostream>
 
@@ -144,7 +145,12 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
     const Vector& demand = demand_trace[k];
     const Vector& price = price_trace[k];
 
+    const auto policy_start = std::chrono::steady_clock::now();
     const PolicyOutcome outcome = policy(state, demand, price);
+    summary.policy_wall_ms +=
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  policy_start)
+            .count();
     PeriodMetrics metrics;
     metrics.utc_hour = hour;
     metrics.demand = demand;

@@ -85,6 +85,7 @@ struct SimulationSummary {
   double mean_compliance = 1.0;
   double worst_compliance = 1.0;
   int unsolved_periods = 0;
+  double policy_wall_ms = 0.0;       ///< wall time spent inside the policy calls
 
   /// Dumps one row per period as CSV (header included).
   void write_csv(std::ostream& out) const;

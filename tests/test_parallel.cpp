@@ -1,0 +1,398 @@
+// Tests for the parallel solve layer: the deterministic thread pool, the
+// symbolic-reusing LDL^T refactorization, the ADMM structure cache, the
+// in-place WindowProgram parameter update, and — end to end — that the
+// competition game is bit-identical at any thread count and that warm
+// starting does not change the equilibrium it converges to.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "dspp/window_program.hpp"
+#include "game/competition.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "qp/admm_solver.hpp"
+
+namespace gp {
+namespace {
+
+// Widen the global pool before its first use: the CI box may expose a single
+// hardware thread, and these tests specifically exercise multi-lane runs.
+const bool kEnvReady = [] {
+  setenv("GEOPLACE_THREADS", "8", /*overwrite=*/0);
+  return true;
+}();
+
+using linalg::SparseLdlt;
+using linalg::SparseMatrix;
+using linalg::Triplet;
+using linalg::Vector;
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<int> visits(1000, 0);
+  pool.parallel_for(0, visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (int count : visits) EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(7, 9, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPool, ResultsBitIdenticalAcrossLaneCounts) {
+  ThreadPool pool(7);
+  auto compute = [&](std::size_t lanes) {
+    std::vector<double> out(513, 0.0);
+    pool.parallel_for(
+        0, out.size(),
+        [&](std::size_t i) {
+          double x = static_cast<double>(i) * 0.731 + 0.1;
+          for (int k = 0; k < 50; ++k) x = std::sin(x) + std::sqrt(x + 1.0);
+          out[i] = x;
+        },
+        lanes);
+    return out;
+  };
+  const auto one = compute(1);
+  for (std::size_t lanes : {2u, 3u, 8u}) {
+    const auto many = compute(lanes);
+    ASSERT_EQ(many.size(), one.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      EXPECT_EQ(many[i], one[i]) << "lanes=" << lanes << " i=" << i;  // bit-exact
+    }
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> counts(16);
+  pool.parallel_for(0, 4, [&](std::size_t outer) {
+    pool.parallel_for(0, 4, [&](std::size_t inner) { ++counts[outer * 4 + inner]; });
+  });
+  for (auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DefaultLanesHonorsEnvironment) {
+  setenv("GEOPLACE_THREADS", "5", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::default_lanes(), 5u);
+  setenv("GEOPLACE_THREADS", "not-a-number", /*overwrite=*/1);
+  EXPECT_GE(ThreadPool::default_lanes(), 1u);
+  setenv("GEOPLACE_THREADS", "8", /*overwrite=*/1);  // restore for later tests
+}
+
+TEST(ThreadPool, GlobalParallelForWorks) {
+  std::vector<int> visits(100, 0);
+  parallel_for(0, visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (int count : visits) EXPECT_EQ(count, 1);
+}
+
+// ------------------------------------------------------- SparseLdlt refactor
+
+// Upper triangle of a small quasi-definite matrix (SPD block, negative
+// block), the shape of the solver's KKT systems.
+SparseMatrix quasi_definite_upper(double a, double b, double c) {
+  return SparseMatrix::from_triplets(
+      5, 5,
+      {Triplet{0, 0, 4.0 + a}, Triplet{0, 2, 1.0}, Triplet{1, 1, 3.0 + b}, Triplet{1, 3, 2.0},
+       Triplet{2, 2, 5.0}, Triplet{2, 4, c}, Triplet{3, 3, -2.0}, Triplet{4, 4, -3.0}});
+}
+
+TEST(SparseLdltRefactor, MatchesFreshFactorAfterValueChange) {
+  SparseLdlt cached;
+  ASSERT_EQ(cached.factor(quasi_definite_upper(0.0, 0.0, 0.5)), SparseLdlt::Status::kOk);
+
+  const SparseMatrix perturbed = quasi_definite_upper(0.7, -0.3, 1.1);
+  ASSERT_EQ(cached.refactor(perturbed), SparseLdlt::Status::kOk);
+
+  SparseLdlt fresh;
+  ASSERT_EQ(fresh.factor(perturbed), SparseLdlt::Status::kOk);
+
+  const Vector rhs{1.0, -2.0, 3.0, 0.5, -1.5};
+  const Vector via_refactor = cached.solve(rhs);
+  const Vector via_fresh = fresh.solve(rhs);
+  ASSERT_EQ(via_refactor.size(), via_fresh.size());
+  for (std::size_t i = 0; i < via_fresh.size(); ++i) {
+    EXPECT_NEAR(via_refactor[i], via_fresh[i], 1e-12);
+  }
+}
+
+TEST(SparseLdltRefactor, RejectsChangedPattern) {
+  SparseLdlt ldlt;
+  const SparseMatrix original = quasi_definite_upper(0.0, 0.0, 0.5);
+  ASSERT_EQ(ldlt.factor(original), SparseLdlt::Status::kOk);
+
+  // Same size, one extra off-diagonal entry: a different sparsity pattern.
+  const SparseMatrix other = SparseMatrix::from_triplets(
+      5, 5,
+      {Triplet{0, 0, 4.0}, Triplet{0, 1, 0.5}, Triplet{0, 2, 1.0}, Triplet{1, 1, 3.0},
+       Triplet{1, 3, 2.0}, Triplet{2, 2, 5.0}, Triplet{2, 4, 0.5}, Triplet{3, 3, -2.0},
+       Triplet{4, 4, -3.0}});
+  EXPECT_EQ(ldlt.refactor(other), SparseLdlt::Status::kPatternMismatch);
+
+  // The previous factorization must remain intact and correct.
+  EXPECT_EQ(ldlt.status(), SparseLdlt::Status::kOk);
+  const Vector rhs{1.0, 0.0, -1.0, 2.0, 0.5};
+  const Vector x = ldlt.solve(rhs);
+  Vector residual = rhs;
+  // full symmetric product: r = b - M x with M from the upper triangle.
+  for (std::int32_t col = 0; col < original.cols(); ++col) {
+    for (std::int32_t k = original.col_ptr()[static_cast<std::size_t>(col)];
+         k < original.col_ptr()[static_cast<std::size_t>(col) + 1]; ++k) {
+      const std::int32_t row = original.row_idx()[static_cast<std::size_t>(k)];
+      const double value = original.values()[static_cast<std::size_t>(k)];
+      residual[static_cast<std::size_t>(row)] -= value * x[static_cast<std::size_t>(col)];
+      if (row != col) {
+        residual[static_cast<std::size_t>(col)] -= value * x[static_cast<std::size_t>(row)];
+      }
+    }
+  }
+  for (double r : residual) EXPECT_NEAR(r, 0.0, 1e-10);
+}
+
+TEST(SparseLdltRefactor, RequiresPriorFactor) {
+  SparseLdlt ldlt;
+  EXPECT_EQ(ldlt.refactor(quasi_definite_upper(0.0, 0.0, 0.5)),
+            SparseLdlt::Status::kNotFactored);
+}
+
+// ---------------------------------------------------- game-level guarantees
+
+topology::NetworkModel small_network() {
+  return topology::NetworkModel({"dc0", "dc1"}, {"an0", "an1", "an2"},
+                                {{10.0, 20.0, 30.0}, {25.0, 15.0, 10.0}});
+}
+
+std::vector<game::ProviderConfig> sample_providers(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  game::RandomProviderParams params;
+  params.horizon = 3;
+  std::vector<game::ProviderConfig> providers;
+  const auto network = small_network();
+  for (std::size_t i = 0; i < count; ++i) {
+    providers.push_back(game::make_random_provider(network, params, rng));
+  }
+  return providers;
+}
+
+game::GameResult run_game(game::GameSettings settings, std::uint64_t seed = 11,
+                          std::size_t providers = 4) {
+  game::CompetitionGame game(sample_providers(providers, seed), Vector{150.0, 150.0},
+                             settings);
+  return game.run();
+}
+
+TEST(ParallelGame, BitIdenticalAcrossThreadCounts) {
+  game::GameSettings settings;
+  settings.epsilon = 0.01;
+  settings.num_threads = 1;
+  const game::GameResult serial = run_game(settings);
+
+  for (std::size_t threads : {2u, 4u}) {
+    settings.num_threads = threads;
+    const game::GameResult parallel = run_game(settings);
+    EXPECT_EQ(parallel.converged, serial.converged);
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    ASSERT_EQ(parallel.cost_history.size(), serial.cost_history.size());
+    for (std::size_t k = 0; k < serial.cost_history.size(); ++k) {
+      EXPECT_EQ(parallel.cost_history[k], serial.cost_history[k])
+          << "threads=" << threads << " iteration=" << k;  // bit-exact
+    }
+    ASSERT_EQ(parallel.quotas.size(), serial.quotas.size());
+    for (std::size_t i = 0; i < serial.quotas.size(); ++i) {
+      ASSERT_EQ(parallel.quotas[i].size(), serial.quotas[i].size());
+      for (std::size_t l = 0; l < serial.quotas[i].size(); ++l) {
+        EXPECT_EQ(parallel.quotas[i][l], serial.quotas[i][l])
+            << "threads=" << threads << " i=" << i << " l=" << l;  // bit-exact
+      }
+    }
+  }
+}
+
+dspp::WindowInputs inputs_for(const game::ProviderConfig& provider) {
+  dspp::WindowInputs inputs;
+  inputs.initial_state = provider.initial_state;
+  inputs.demand = provider.demand;
+  inputs.price = provider.price;
+  inputs.soft_demand_penalty = 5.0;
+  return inputs;
+}
+
+TEST(WindowProgramUpdate, MatchesFreshConstruction) {
+  const auto provider = sample_providers(1, 3).front();
+  const dspp::PairIndex pairs(provider.model);
+
+  dspp::WindowInputs first = inputs_for(provider);
+  dspp::WindowProgram updated(provider.model, pairs, first);
+
+  // New forecasts, initial state, and a quota: everything update() rewrites.
+  dspp::WindowInputs second = inputs_for(provider);
+  for (auto& d : second.demand) {
+    for (double& value : d) value *= 1.3;
+  }
+  for (auto& p : second.price) {
+    for (double& value : p) value += 0.25;
+  }
+  for (double& x : second.initial_state) x += 1.0;
+  second.capacity_override = Vector{80.0, 90.0};
+  updated.update(provider.model, pairs, second);
+
+  const dspp::WindowProgram fresh(provider.model, pairs, second);
+  const qp::QpProblem& a = updated.problem();
+  const qp::QpProblem& b = fresh.problem();
+  EXPECT_EQ(a.q, b.q);
+  EXPECT_EQ(a.lower, b.lower);
+  EXPECT_EQ(a.upper, b.upper);
+  ASSERT_EQ(a.p.nnz(), b.p.nnz());
+  ASSERT_EQ(a.a.nnz(), b.a.nnz());
+  for (std::size_t k = 0; k < a.p.values().size(); ++k) {
+    EXPECT_EQ(a.p.values()[k], b.p.values()[k]);
+  }
+  for (std::size_t k = 0; k < a.a.values().size(); ++k) {
+    EXPECT_EQ(a.a.values()[k], b.a.values()[k]);
+  }
+}
+
+TEST(WindowProgramUpdate, RejectsShapeChanges) {
+  const auto provider = sample_providers(1, 5).front();
+  const dspp::PairIndex pairs(provider.model);
+  dspp::WindowProgram program(provider.model, pairs, inputs_for(provider));
+
+  dspp::WindowInputs longer = inputs_for(provider);
+  longer.demand.push_back(longer.demand.back());
+  longer.price.push_back(longer.price.back());
+  EXPECT_THROW(program.update(provider.model, pairs, longer), PreconditionError);
+
+  dspp::WindowInputs hard = inputs_for(provider);
+  hard.soft_demand_penalty = 0.0;
+  EXPECT_THROW(program.update(provider.model, pairs, hard), PreconditionError);
+}
+
+TEST(AdmmCache, ParameterUpdatedSolvesMatchFreshSolver) {
+  const auto provider = sample_providers(1, 7).front();
+  const dspp::PairIndex pairs(provider.model);
+
+  qp::AdmmSettings settings;
+  settings.cache_structure = true;
+  qp::AdmmSolver cached(settings);
+
+  dspp::WindowInputs first = inputs_for(provider);
+  dspp::WindowProgram program(provider.model, pairs, first);
+  const qp::QpResult warmup = cached.solve(program.problem());
+  ASSERT_TRUE(warmup.ok());
+
+  dspp::WindowInputs second = inputs_for(provider);
+  for (auto& d : second.demand) {
+    for (double& value : d) value *= 1.2;
+  }
+  second.capacity_override = Vector{120.0, 140.0};
+  program.update(provider.model, pairs, second);
+
+  const qp::QpResult via_cache = cached.solve(program.problem());
+  ASSERT_TRUE(via_cache.ok());
+
+  qp::AdmmSettings cold_settings;
+  cold_settings.cache_structure = false;
+  qp::AdmmSolver cold(cold_settings);
+  const qp::QpResult via_cold = cold.solve(program.problem());
+  ASSERT_TRUE(via_cold.ok());
+
+  EXPECT_NEAR(via_cache.objective, via_cold.objective,
+              1e-5 * (1.0 + std::abs(via_cold.objective)));
+  ASSERT_EQ(via_cache.x.size(), via_cold.x.size());
+  for (std::size_t i = 0; i < via_cold.x.size(); ++i) {
+    EXPECT_NEAR(via_cache.x[i], via_cold.x[i], 1e-4);
+  }
+
+  const qp::AdmmCacheStats& stats = cached.cache_stats();
+  EXPECT_EQ(stats.solves, 2);
+  EXPECT_EQ(stats.structure_hits, 1);
+  EXPECT_GE(stats.full_factorizations, 1LL);
+}
+
+TEST(AdmmCache, SkipsFactorizationWhenProblemUnchanged) {
+  const auto provider = sample_providers(1, 9).front();
+  const dspp::PairIndex pairs(provider.model);
+  dspp::WindowProgram program(provider.model, pairs, inputs_for(provider));
+
+  qp::AdmmSolver solver;  // cache_structure defaults to true
+  const qp::QpResult first = solver.solve(program.problem());
+  const qp::QpResult second = solver.solve(program.problem());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(second.objective, first.objective, 1e-6 * (1.0 + std::abs(first.objective)));
+  EXPECT_GE(solver.cache_stats().factorizations_skipped, 1LL);
+}
+
+TEST(AdmmCache, PatternChangeFallsBackToFullSetup) {
+  const auto providers = sample_providers(2, 13);
+  qp::AdmmSolver solver;
+
+  const dspp::PairIndex pairs0(providers[0].model);
+  dspp::WindowProgram soft(providers[0].model, pairs0, inputs_for(providers[0]));
+  ASSERT_TRUE(solver.solve(soft.problem()).ok());
+
+  // A hard-demand program drops the slack block: different dimensions and
+  // pattern. The solver must transparently rerun the full setup.
+  dspp::WindowInputs hard_inputs = inputs_for(providers[1]);
+  hard_inputs.soft_demand_penalty = 0.0;
+  const dspp::PairIndex pairs1(providers[1].model);
+  dspp::WindowProgram hard(providers[1].model, pairs1, hard_inputs);
+  const qp::QpResult result = solver.solve(hard.problem());
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(solver.cache_stats().structure_hits, 0);
+  EXPECT_GE(solver.cache_stats().full_factorizations, 2LL);
+}
+
+TEST(ParallelGame, WarmStartMatchesColdStartEquilibrium) {
+  // Regression for the warm-start cross-contamination bug: with one solver
+  // PER PROVIDER, enabling auto_warm_start must converge to the same
+  // equilibrium as cold starts (it only changes the starting iterate of
+  // each provider's OWN previous problem).
+  game::GameSettings cold;
+  cold.epsilon = 0.01;
+  cold.solver.auto_warm_start = false;
+  game::GameSettings warm = cold;
+  warm.solver.auto_warm_start = true;
+
+  const game::GameResult cold_result = run_game(cold, 17);
+  const game::GameResult warm_result = run_game(warm, 17);
+  ASSERT_TRUE(cold_result.converged);
+  ASSERT_TRUE(warm_result.converged);
+  EXPECT_NEAR(warm_result.total_cost, cold_result.total_cost,
+              0.02 * cold_result.total_cost);
+  ASSERT_EQ(warm_result.quotas.size(), cold_result.quotas.size());
+  for (std::size_t i = 0; i < cold_result.quotas.size(); ++i) {
+    for (std::size_t l = 0; l < cold_result.quotas[i].size(); ++l) {
+      EXPECT_NEAR(warm_result.quotas[i][l], cold_result.quotas[i][l], 10.0)
+          << "i=" << i << " l=" << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gp
