@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "game/competition.hpp"
+#include "obs/metrics.hpp"
 #include "scenarios.hpp"
 
 namespace {
@@ -146,8 +147,41 @@ int main() {
                           static_cast<double>(run.iterations), same ? 1.0 : 0.0});
   }
 
+  // Baseline runs with the metrics registry explicitly OFF: this is the
+  // overhead-sensitive configuration (instrumented call sites reduce to one
+  // relaxed atomic load), so `wall_ms` here is the number the 2% budget is
+  // judged against.
+  auto& registry = gp::obs::Registry::global();
+  const bool registry_was_enabled = registry.enabled();
+  registry.set_enabled(false);
+  const long long counters_before = registry.counter("admm.solves").value();
   const MpcRun cold = run_mpc(false);
   const MpcRun cached = run_mpc(true);
+  // Disabled means disabled: the baseline runs must not have touched the
+  // registry at all.
+  const bool disabled_is_silent =
+      registry.counter("admm.solves").value() == counters_before;
+
+  // Instrumented re-run of the cached variant: same work, registry ON, so
+  // BENCH_parallel.json gains iteration/cache-hit-rate fields and a
+  // measured metrics-overhead ratio.
+  registry.set_enabled(true);
+  registry.reset_values();
+  const MpcRun instrumented = run_mpc(true);
+  const long long obs_solves = registry.counter("admm.solves").value();
+  const long long obs_hits = registry.counter("admm.structure_hits").value();
+  const long long obs_skipped = registry.counter("admm.factorizations_skipped").value();
+  const double cache_hit_rate =
+      obs_solves > 0 ? static_cast<double>(obs_hits) / static_cast<double>(obs_solves) : 0.0;
+  const double skip_rate =
+      obs_solves > 0 ? static_cast<double>(obs_skipped) / static_cast<double>(obs_solves)
+                     : 0.0;
+  const auto iters_snapshot = registry.histogram("admm.iterations_per_solve").snapshot();
+  const auto step_snapshot = registry.histogram("mpc.step_ms").snapshot();
+  registry.set_enabled(registry_was_enabled);
+  const double obs_overhead_ratio =
+      cached.wall_ms > 0.0 ? instrumented.wall_ms / cached.wall_ms : 0.0;
+
   std::printf("\n# 96-step MPC (4 DCs x 24 cities, horizon 5)\n");
   gp::bench::print_series_header("variant: wall_ms, admm_iterations, unsolved",
                                  {"reuse", "wall_ms", "admm_iterations", "unsolved"});
@@ -160,6 +194,12 @@ int main() {
               cached.stats.solves, cached.stats.structure_hits,
               cached.stats.full_factorizations, cached.stats.refactorizations,
               cached.stats.factorizations_skipped);
+  std::printf("# obs registry (instrumented cached run): cache hit rate %.3f, "
+              "skip rate %.3f, iters/solve p50 %.1f p95 %.1f, "
+              "mpc step ms p50 %.3f p95 %.3f p99 %.3f, overhead x%.3f\n",
+              cache_hit_rate, skip_rate, iters_snapshot.p50, iters_snapshot.p95,
+              step_snapshot.p50, step_snapshot.p95, step_snapshot.p99,
+              obs_overhead_ratio);
 
   std::FILE* json = std::fopen("BENCH_parallel.json", "w");
   if (json != nullptr) {
@@ -188,6 +228,22 @@ int main() {
                  "\"refactorizations\": %lld, \"factorizations_skipped\": %lld},\n",
                  cached.stats.structure_hits, cached.stats.full_factorizations,
                  cached.stats.refactorizations, cached.stats.factorizations_skipped);
+    std::fprintf(json,
+                 "    \"obs\": {\"cache_hit_rate\": %.3f, "
+                 "\"factorization_skip_rate\": %.3f,\n",
+                 cache_hit_rate, skip_rate);
+    std::fprintf(json,
+                 "      \"iterations_per_solve_p50\": %.1f, "
+                 "\"iterations_per_solve_p95\": %.1f,\n",
+                 iters_snapshot.p50, iters_snapshot.p95);
+    std::fprintf(json,
+                 "      \"step_ms_p50\": %.3f, \"step_ms_p95\": %.3f, "
+                 "\"step_ms_p99\": %.3f,\n",
+                 step_snapshot.p50, step_snapshot.p95, step_snapshot.p99);
+    std::fprintf(json,
+                 "      \"metrics_overhead_ratio\": %.3f, "
+                 "\"disabled_is_silent\": %s},\n",
+                 obs_overhead_ratio, disabled_is_silent ? "true" : "false");
     std::fprintf(json, "    \"iteration_ratio\": %.3f,\n",
                  cold.admm_iterations > 0
                      ? static_cast<double>(cached.admm_iterations) /
@@ -198,12 +254,16 @@ int main() {
     std::fclose(json);
   }
 
-  // The run is healthy when determinism holds and solver-state reuse did not
-  // cost iterations (it should cut them) nor break any step.
+  // The run is healthy when determinism holds, solver-state reuse did not
+  // cost iterations (it should cut them) nor break any step, the disabled
+  // registry stayed untouched, and the instrumented run actually recorded.
   const bool ok = all_identical && cached.unsolved == cold.unsolved &&
-                  cached.admm_iterations <= cold.admm_iterations;
-  std::printf("\n# determinism %s, cached iterations %lld vs cold %lld -- %s\n",
+                  cached.admm_iterations <= cold.admm_iterations &&
+                  disabled_is_silent && obs_solves > 0;
+  std::printf("\n# determinism %s, cached iterations %lld vs cold %lld, "
+              "disabled registry %s -- %s\n",
               all_identical ? "holds" : "VIOLATED", cached.admm_iterations,
-              cold.admm_iterations, ok ? "OK" : "FAILED");
+              cold.admm_iterations, disabled_is_silent ? "silent" : "NOT SILENT",
+              ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

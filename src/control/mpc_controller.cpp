@@ -1,7 +1,12 @@
 #include "control/mpc_controller.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
 #include "dspp/provisioning.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp::control {
 
@@ -47,6 +52,24 @@ MpcStepResult MpcController::step(const Vector& state, const Vector& demand,
           "MpcController::step: demand size != V");
   require(price.size() == model_.num_datacenters(), "MpcController::step: price size != L");
 
+  obs::Span span("mpc.step");
+  const bool metrics_on = obs::metrics_enabled();
+  if (metrics_on && !last_demand_forecast_.empty()) {
+    // One-step-ahead predictor error: the forecast made last period for
+    // "now" versus the demand just observed (relative L2).
+    double err_sq = 0.0, ref_sq = 0.0;
+    for (std::size_t v = 0; v < demand.size(); ++v) {
+      const double diff = last_demand_forecast_[v] - demand[v];
+      err_sq += diff * diff;
+      ref_sq += demand[v] * demand[v];
+    }
+    const double rel_err = std::sqrt(err_sq) / std::max(std::sqrt(ref_sq), 1e-12);
+    obs::Registry::global().histogram("mpc.demand_forecast_rel_err").record(rel_err);
+    if (obs::tracing_enabled()) {
+      obs::Tracer::global().counter("mpc.demand_forecast_rel_err", rel_err);
+    }
+  }
+
   demand_predictor_->observe(demand);
   price_predictor_->observe(price);
 
@@ -56,6 +79,7 @@ MpcStepResult MpcController::step(const Vector& state, const Vector& demand,
   inputs.price = price_predictor_->forecast(settings_.horizon);
   inputs.capacity_override = quota_;
   inputs.soft_demand_penalty = settings_.soft_demand_penalty;
+  if (metrics_on && !inputs.demand.empty()) last_demand_forecast_ = inputs.demand.front();
 
   // Fast path: the window shape is fixed for the controller's lifetime, so
   // after the first step only the parameters (forecasts, initial state,
@@ -75,17 +99,24 @@ MpcStepResult MpcController::step(const Vector& state, const Vector& demand,
     // caller can inspect `status` (e.g. primal infeasible under a quota).
     result.control.assign(pairs_.num_pairs(), 0.0);
     result.next_state = state;
-    return result;
+  } else {
+    result.solved = true;
+    result.window_objective = solution.objective;
+    result.control = solution.u.front();
+    result.next_state = linalg::add(state, result.control);
+    // Clamp solver noise: states are non-negative by construction.
+    for (double& x : result.next_state) x = std::max(0.0, x);
+    result.capacity_price = solution.capacity_price();
+    if (!solution.unserved.empty()) {
+      for (double value : solution.unserved.front()) result.unserved_next += value;
+    }
   }
-  result.solved = true;
-  result.window_objective = solution.objective;
-  result.control = solution.u.front();
-  result.next_state = linalg::add(state, result.control);
-  // Clamp solver noise: states are non-negative by construction.
-  for (double& x : result.next_state) x = std::max(0.0, x);
-  result.capacity_price = solution.capacity_price();
-  if (!solution.unserved.empty()) {
-    for (double value : solution.unserved.front()) result.unserved_next += value;
+  if (metrics_on) {
+    auto& registry = obs::Registry::global();
+    registry.counter("mpc.steps").add(1);
+    if (!result.solved) registry.counter("mpc.failed_steps").add(1);
+    registry.histogram("mpc.step_ms").record(span.elapsed_ms());
+    registry.histogram("mpc.solver_iterations_per_step").record(result.solver_iterations);
   }
   return result;
 }

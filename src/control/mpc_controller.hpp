@@ -85,6 +85,10 @@ class MpcController {
   /// Persistent window program (reuse_solver_state): built on the first
   /// step, parameter-updated on every later one.
   std::optional<dspp::WindowProgram> program_;
+  /// One-step-ahead demand forecast from the previous step (empty before the
+  /// first step); compared against the observed demand to measure predictor
+  /// error when metrics are enabled.
+  linalg::Vector last_demand_forecast_;
 };
 
 }  // namespace gp::control

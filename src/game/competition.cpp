@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp::game {
 
@@ -51,6 +53,9 @@ CompetitionGame::CompetitionGame(std::vector<ProviderConfig> providers, Vector c
 }
 
 dspp::WindowSolution CompetitionGame::best_response(std::size_t i, const Vector& quota) {
+  // Runs on a pool lane during Jacobi rounds: the span records which thread
+  // served provider i, nested under the round's span on the caller.
+  obs::Span span("game.best_response", static_cast<double>(i));
   const auto& provider = providers_[i];
   dspp::WindowInputs inputs;
   inputs.initial_state = provider.initial_state;
@@ -66,10 +71,15 @@ dspp::WindowSolution CompetitionGame::best_response(std::size_t i, const Vector&
   } else {
     programs_[i].emplace(provider.model, pair_index_[i], std::move(inputs));
   }
-  return programs_[i]->solve(solvers_[i]);
+  dspp::WindowSolution solution = programs_[i]->solve(solvers_[i]);
+  if (obs::metrics_enabled()) {
+    obs::Registry::global().histogram("game.best_response_ms").record(span.elapsed_ms());
+  }
+  return solution;
 }
 
 GameResult CompetitionGame::run(std::optional<std::vector<Vector>> initial_quotas) {
+  obs::Span run_span("game.run", static_cast<double>(providers_.size()));
   const std::size_t n = providers_.size();
   const std::size_t num_l = capacity_.size();
 
@@ -99,6 +109,7 @@ GameResult CompetitionGame::run(std::optional<std::vector<Vector>> initial_quota
   int stable_streak = 0;
 
   for (int iteration = 0; iteration < settings_.max_iterations; ++iteration) {
+    obs::Span round_span("game.round", static_cast<double>(iteration));
     // --- Best responses and duals: a Jacobi round. Every response depends
     // only on the quotas fixed above, so the N solves run concurrently,
     // each on its own solver/program; results land by provider index so the
@@ -124,6 +135,17 @@ GameResult CompetitionGame::run(std::optional<std::vector<Vector>> initial_quota
     result.cost_history.push_back(total_cost);
     result.iterations = iteration + 1;
     result.total_cost = total_cost;
+    if (obs::tracing_enabled()) {
+      obs::Tracer::global().counter("game.total_cost", total_cost);
+    }
+    if (obs::metrics_enabled() && std::isfinite(previous_cost)) {
+      // Per-round best-response delta: how far the Jacobi round moved the
+      // total cost, relative — the quantity the convergence test watches.
+      obs::Registry::global()
+          .histogram("game.round_cost_delta_rel")
+          .record(std::abs(total_cost - previous_cost) /
+                  std::max(std::abs(previous_cost), 1e-12));
+    }
 
     // --- Convergence check: the paper's relative-cost criterion, demanded
     // for several consecutive iterations (one quiet iteration can be an
@@ -193,10 +215,18 @@ GameResult CompetitionGame::run(std::optional<std::vector<Vector>> initial_quota
       for (double value : per_period) result.total_unserved += value;
     }
   }
+  auto& registry = obs::Registry::global();
+  if (registry.enabled()) {
+    registry.counter("game.runs").add(1);
+    registry.counter("game.rounds").add(result.iterations);
+    registry.histogram("game.rounds_to_equilibrium").record(result.iterations);
+    registry.gauge("game.converged").set(result.converged ? 1.0 : 0.0);
+  }
   return result;
 }
 
 SocialWelfareResult CompetitionGame::solve_social_welfare() {
+  obs::Span span("game.social_welfare", static_cast<double>(providers_.size()));
   const std::size_t n = providers_.size();
   const std::size_t num_l = capacity_.size();
 

@@ -1,0 +1,66 @@
+#include "obs/export.hpp"
+
+namespace gp::obs {
+
+namespace {
+
+/// Escapes the characters that can appear in metric/span names. Names are
+/// library-chosen identifiers, so this stays minimal (quotes, backslash).
+void write_escaped(std::ostream& out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events) {
+  out << "[\n";
+  out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
+         "\"args\":{\"name\":\"geoplace\"}}";
+  for (const TraceEvent& event : events) {
+    out << ",\n";
+    const auto dot = event.name.find('.');
+    const std::string category =
+        dot == std::string::npos ? std::string("misc") : event.name.substr(0, dot);
+    if (event.dur_us < 0.0) {
+      // Counter sample.
+      out << "{\"ph\":\"C\",\"name\":\"";
+      write_escaped(out, event.name);
+      out << "\",\"cat\":\"" << category << "\",\"ts\":" << event.ts_us
+          << ",\"pid\":0,\"args\":{\"value\":" << event.arg << "}}";
+      continue;
+    }
+    out << "{\"ph\":\"X\",\"name\":\"";
+    write_escaped(out, event.name);
+    out << "\",\"cat\":\"" << category << "\",\"ts\":" << event.ts_us
+        << ",\"dur\":" << event.dur_us << ",\"pid\":0,\"tid\":" << event.tid;
+    if (event.has_arg) {
+      out << ",\"args\":{\"arg\":" << event.arg << "}";
+    }
+    out << "}";
+  }
+  out << "\n]\n";
+}
+
+void write_jsonl_trace(std::ostream& out, std::span<const TraceEvent> events,
+                       const Registry* registry) {
+  for (const TraceEvent& event : events) {
+    if (event.dur_us < 0.0) {
+      out << "{\"type\":\"counter_sample\",\"name\":\"";
+      write_escaped(out, event.name);
+      out << "\",\"ts_us\":" << event.ts_us << ",\"value\":" << event.arg << "}\n";
+      continue;
+    }
+    out << "{\"type\":\"span\",\"name\":\"";
+    write_escaped(out, event.name);
+    out << "\",\"ts_us\":" << event.ts_us << ",\"dur_us\":" << event.dur_us
+        << ",\"tid\":" << event.tid << ",\"depth\":" << event.depth;
+    if (event.has_arg) out << ",\"arg\":" << event.arg;
+    out << "}\n";
+  }
+  if (registry != nullptr) registry->write_jsonl(out);
+}
+
+}  // namespace gp::obs

@@ -1,0 +1,257 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gp::obs {
+
+namespace {
+
+/// CAS add for atomic doubles (no fetch_add for floating point pre-C++20
+/// on all toolchains); relaxed is enough — readers only want the sum.
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// GEOPLACE_METRICS parse (see metrics.hpp): returns {enabled, dump_path}.
+std::pair<bool, std::string> metrics_env() {
+  const char* raw = std::getenv("GEOPLACE_METRICS");
+  if (raw == nullptr) return {false, {}};
+  const std::string value(raw);
+  if (value.empty() || value == "0" || value == "false" || value == "off") return {false, {}};
+  if (value == "1" || value == "true" || value == "on") return {true, {}};
+  return {true, value};
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Histogram
+
+Histogram::Histogram(HistogramOptions options)
+    : options_(options),
+      log_min_(std::log10(options.min_value)),
+      buckets_(static_cast<std::size_t>(
+          2 + static_cast<int>(std::ceil(
+                  (std::log10(options.max_value) - std::log10(options.min_value)) *
+                  static_cast<double>(options.buckets_per_decade))))),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  require(options.min_value > 0.0, "Histogram: min_value must be > 0");
+  require(options.max_value > options.min_value, "Histogram: max_value must be > min_value");
+  require(options.buckets_per_decade >= 1, "Histogram: need >= 1 bucket per decade");
+}
+
+std::size_t Histogram::bucket_of(double value) const {
+  if (!(value >= options_.min_value)) return 0;  // underflow (incl. NaN, negatives)
+  if (value >= options_.max_value) return buckets_.size() - 1;
+  const double position = (std::log10(value) - log_min_) *
+                          static_cast<double>(options_.buckets_per_decade);
+  const auto index = static_cast<std::size_t>(position) + 1;
+  return std::min(index, buckets_.size() - 2);
+}
+
+double Histogram::upper_edge(std::size_t i) const {
+  if (i == 0) return options_.min_value;
+  if (i >= buckets_.size() - 1) return std::numeric_limits<double>::infinity();
+  return std::pow(10.0, log_min_ + static_cast<double>(i) /
+                                       static_cast<double>(options_.buckets_per_decade));
+}
+
+void Histogram::record(double value) {
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::min() const {
+  const double value = min_.load(std::memory_order_relaxed);
+  return std::isfinite(value) ? value : 0.0;
+}
+
+double Histogram::max() const {
+  const double value = max_.load(std::memory_order_relaxed);
+  return std::isfinite(value) ? value : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  require(p >= 0.0 && p <= 100.0, "Histogram::percentile: p must be in [0, 100]");
+  const long long total = count();
+  if (total <= 0) return 0.0;
+  // Target rank in [1, total]; walk the cumulative counts to its bucket.
+  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(total));
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const auto in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      // Linear interpolation within the bucket [lower, upper).
+      const double lower = i == 0 ? 0.0 : upper_edge(i - 1);
+      double upper = upper_edge(i);
+      if (!std::isfinite(upper)) upper = std::max(options_.max_value, max());
+      const double fraction = (rank - cumulative) / in_bucket;
+      const double estimate = lower + fraction * (upper - lower);
+      return std::clamp(estimate, min(), max());
+    }
+    cumulative += in_bucket;
+  }
+  return max();  // racing recorders moved the total; the tail is the answer
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  snap.min = min();
+  snap.max = max();
+  snap.p50 = percentile(50.0);
+  snap.p95 = percentile(95.0);
+  snap.p99 = percentile(99.0);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ Registry
+
+Registry& Registry::global() {
+  static Registry instance;
+  static const bool initialized = [] {
+    const auto [enabled, path] = metrics_env();
+    instance.set_enabled(enabled);
+    instance.dump_path_ = path;
+    return true;
+  }();
+  (void)initialized;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(gauges_.find(name) == gauges_.end() && histograms_.find(name) == histograms_.end(),
+          "Registry: metric kind mismatch for " + std::string(name));
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(counters_.find(name) == counters_.end() &&
+              histograms_.find(name) == histograms_.end(),
+          "Registry: metric kind mismatch for " + std::string(name));
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(counters_.find(name) == counters_.end() && gauges_.find(name) == gauges_.end(),
+          "Registry: metric kind mismatch for " + std::string(name));
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(options)).first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricRow> Registry::rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricRow row;
+    row.kind = MetricRow::Kind::kCounter;
+    row.name = name;
+    row.value = static_cast<double>(counter->value());
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricRow row;
+    row.kind = MetricRow::Kind::kGauge;
+    row.name = name;
+    row.value = gauge->value();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricRow row;
+    row.kind = MetricRow::Kind::kHistogram;
+    row.name = name;
+    row.histogram = histogram->snapshot();
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
+  return rows;
+}
+
+void Registry::write_jsonl(std::ostream& out) const {
+  for (const MetricRow& row : rows()) {
+    switch (row.kind) {
+      case MetricRow::Kind::kCounter:
+        out << "{\"type\":\"counter\",\"name\":\"" << row.name << "\",\"value\":" << row.value
+            << "}\n";
+        break;
+      case MetricRow::Kind::kGauge:
+        out << "{\"type\":\"gauge\",\"name\":\"" << row.name << "\",\"value\":" << row.value
+            << "}\n";
+        break;
+      case MetricRow::Kind::kHistogram:
+        out << "{\"type\":\"histogram\",\"name\":\"" << row.name
+            << "\",\"count\":" << row.histogram.count << ",\"sum\":" << row.histogram.sum
+            << ",\"min\":" << row.histogram.min << ",\"max\":" << row.histogram.max
+            << ",\"p50\":" << row.histogram.p50 << ",\"p95\":" << row.histogram.p95
+            << ",\"p99\":" << row.histogram.p99 << "}\n";
+        break;
+    }
+  }
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+Registry::~Registry() {
+  if (dump_path_.empty()) return;
+  std::ofstream out(dump_path_);
+  if (out) write_jsonl(out);
+}
+
+}  // namespace gp::obs

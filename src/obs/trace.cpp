@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace gp::obs {
+
+namespace {
+
+/// Format from path extension: Chrome for ".json", JSONL otherwise.
+TraceFormat format_from_path(const std::string& path) {
+  const auto dot = path.rfind('.');
+  if (dot != std::string::npos && path.substr(dot) == ".json") return TraceFormat::kChrome;
+  return TraceFormat::kJsonl;
+}
+
+/// Thread-local nesting depth of ACTIVE spans on this thread.
+thread_local std::int32_t t_span_depth = 0;
+
+}  // namespace
+
+std::uint32_t current_thread_id() {
+  static std::atomic<std::uint32_t> next_id{0};
+  thread_local const std::uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// -------------------------------------------------------------------- Tracer
+
+Tracer& Tracer::global() {
+  // Touch the registry BEFORE constructing the tracer static: function-local
+  // statics are destroyed in reverse construction order, and the exit-time
+  // JSONL export in ~Tracer appends Registry::global()'s dump — the registry
+  // must therefore outlive the tracer.
+  Registry::global();
+  static Tracer instance;
+  static const bool initialized = [] {
+    const char* raw = std::getenv("GEOPLACE_TRACE");
+    if (raw != nullptr && raw[0] != '\0') {
+      instance.start(raw, format_from_path(raw));
+    }
+    return true;
+  }();
+  (void)initialized;
+  return instance;
+}
+
+void Tracer::start(std::string path, TraceFormat format) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  path_ = std::move(path);
+  format_ = format;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  export_locked();
+  events_.clear();
+}
+
+void Tracer::export_locked() {
+  if (path_.empty() || events_.empty()) return;
+  std::ofstream out(path_);
+  if (!out) return;
+  if (format_ == TraceFormat::kChrome) {
+    write_chrome_trace(out, events_);
+  } else {
+    write_jsonl_trace(out, events_, &Registry::global());
+  }
+}
+
+double Tracer::now_us() const { return since_epoch_us(std::chrono::steady_clock::now()); }
+
+double Tracer::since_epoch_us(std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+}
+
+void Tracer::record_span(const char* name, double ts_us, double dur_us, std::uint32_t tid,
+                         std::int32_t depth, double arg, bool has_arg) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = tid;
+  event.depth = depth;
+  event.arg = arg;
+  event.has_arg = has_arg;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::counter(const char* name, double value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = now_us();
+  event.dur_us = -1.0;
+  event.tid = current_thread_id();
+  event.arg = value;
+  event.has_arg = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::discard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+Tracer::~Tracer() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (enabled_.load(std::memory_order_relaxed)) export_locked();
+}
+
+// ---------------------------------------------------------------------- Span
+
+Span::Span(const char* name) : Span(name, 0.0) { has_arg_ = false; }
+
+Span::Span(const char* name, double arg)
+    : name_(name),
+      arg_(arg),
+      has_arg_(true),
+      active_(Tracer::global().enabled()),
+      start_(std::chrono::steady_clock::now()) {
+  if (active_) {
+    depth_ = t_span_depth++;
+    start_us_ = Tracer::global().since_epoch_us(start_);
+  }
+}
+
+double Span::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Span::close() {
+  const double elapsed = elapsed_ms();
+  if (closed_) return elapsed;
+  closed_ = true;
+  if (active_) {
+    --t_span_depth;
+    Tracer::global().record_span(name_, start_us_, elapsed * 1e3, current_thread_id(),
+                                 depth_, arg_, has_arg_);
+  }
+  return elapsed;
+}
+
+Span::~Span() { close(); }
+
+// ----------------------------------------------------------- free functions
+
+void start_tracing(const std::string& path) {
+  Tracer::global().start(path, format_from_path(path));
+}
+
+void start_tracing(const std::string& path, TraceFormat format) {
+  Tracer::global().start(path, format);
+}
+
+void stop_tracing() { Tracer::global().stop(); }
+
+}  // namespace gp::obs

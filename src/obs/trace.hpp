@@ -1,0 +1,147 @@
+// Scoped trace spans and the process-wide trace sink.
+//
+// A Span is an RAII wall-clock timer: construction stamps the start,
+// destruction (or close()) stamps the end and, when tracing is enabled,
+// appends one event — with thread id, nesting depth and an optional numeric
+// argument — to the global Tracer. Spans nest naturally (a thread-local
+// depth counter), and are safe under common/thread_pool: the per-thread
+// state is thread_local and the sink append takes a short mutex, paid once
+// per span END (spans wrap whole solves/periods, not inner iterations).
+//
+// A Span ALWAYS measures time (two steady_clock reads, ~tens of ns) so call
+// sites can reuse elapsed_ms() for registry histograms and summaries
+// regardless of whether tracing is on; only the event emission is gated.
+//
+// Counter events (Tracer::counter) record a named scalar sample over time —
+// used for the ADMM residual trajectories and the game's per-round cost.
+//
+// Enabling: set GEOPLACE_TRACE=<path> before the process starts (read once,
+// at first Tracer::global() use) or call start_tracing(). The buffered
+// events are exported at stop_tracing() or at process exit, as Chrome
+// trace-event JSON (load in chrome://tracing or https://ui.perfetto.dev)
+// when the path ends in ".json", and as a JSONL event log otherwise (the
+// input of tools/trace_report). See obs/export.hpp for both formats.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gp::obs {
+
+/// Output format of the trace export (see obs/export.hpp).
+enum class TraceFormat {
+  kChrome,  ///< chrome://tracing JSON array of trace events
+  kJsonl,   ///< one JSON object per line: spans, counters, then metrics
+};
+
+/// One recorded event. `dur_us < 0` marks a counter sample (value in
+/// `arg`); otherwise a completed span.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   ///< start time, microseconds since tracing began
+  double dur_us = 0.0;  ///< span duration; < 0 for counter samples
+  std::uint32_t tid = 0;
+  std::int32_t depth = 0;
+  double arg = 0.0;
+  bool has_arg = false;
+};
+
+/// Process-wide trace sink (see file comment). Thread-safe.
+class Tracer {
+ public:
+  /// The process-wide tracer; reads GEOPLACE_TRACE on first use. If
+  /// tracing was armed by the environment, the destructor exports whatever
+  /// was buffered (so a traced run needs no explicit stop_tracing()).
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Starts buffering events; they are written to `path` in `format` at
+  /// stop() (or process exit). Resets the clock epoch and drops any
+  /// previously buffered events.
+  void start(std::string path, TraceFormat format);
+
+  /// Disables tracing and exports the buffer to the configured path
+  /// (no-op when nothing was started and no environment path is armed).
+  void stop();
+
+  /// Appends a completed span. Called by Span; ignored when disabled.
+  void record_span(const char* name, double ts_us, double dur_us, std::uint32_t tid,
+                   std::int32_t depth, double arg, bool has_arg);
+
+  /// Appends a counter sample (timestamped now). Ignored when disabled.
+  void counter(const char* name, double value);
+
+  /// Microseconds since the tracing epoch.
+  double now_us() const;
+
+  /// A steady_clock time point expressed in microseconds since the epoch.
+  double since_epoch_us(std::chrono::steady_clock::time_point tp) const;
+
+  /// Copy of the buffered events (tests / exporters).
+  std::vector<TraceEvent> events() const;
+
+  /// Drops buffered events without exporting (tests).
+  void discard();
+
+  ~Tracer();
+
+ private:
+  void export_locked();  // caller holds mutex_
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::string path_;
+  TraceFormat format_ = TraceFormat::kChrome;
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+/// RAII span (see file comment). Intended for automatic storage only.
+class Span {
+ public:
+  explicit Span(const char* name);
+  /// With a numeric argument (period index, provider id, ...) shown in the
+  /// trace viewer.
+  Span(const char* name, double arg);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Wall time since construction, in milliseconds. Valid whether or not
+  /// tracing is enabled, before and after close().
+  double elapsed_ms() const;
+
+  /// Ends the span now (emits the event if tracing): the destructor
+  /// becomes a no-op. Returns elapsed_ms() at the close.
+  double close();
+
+ private:
+  const char* name_;
+  double arg_;
+  bool has_arg_;
+  bool active_;  ///< tracing was on at construction: emit on close
+  bool closed_ = false;
+  std::int32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  double start_us_ = 0.0;
+};
+
+/// Programmatic equivalents of GEOPLACE_TRACE (format inferred from the
+/// path when omitted: ".json" — Chrome, anything else — JSONL).
+void start_tracing(const std::string& path);
+void start_tracing(const std::string& path, TraceFormat format);
+void stop_tracing();
+
+/// Shorthand for Tracer::global().enabled().
+inline bool tracing_enabled() { return Tracer::global().enabled(); }
+
+/// Stable small id of the calling thread (assigned on first use).
+std::uint32_t current_thread_id();
+
+}  // namespace gp::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp::qp {
 
@@ -165,21 +167,41 @@ bool polish_solution(const QpProblem& problem, const AdmmSettings& settings, Vec
 }  // namespace
 
 QpResult AdmmSolver::solve(const QpProblem& original) {
+  obs::Span span("admm.solve");
   ++cache_stats_.solves;
+  QpResult result;
+  bool solved = false;
   if (settings_.cache_structure && cache_matches(original)) {
     // Preserve the pending warm start so a (rare) numerical failure of the
     // cached setup can retry cold from the same starting point.
     const Vector pending_x = warm_x_;
     const Vector pending_y = warm_y_;
-    QpResult result = solve_with(original, /*use_cache=*/true);
-    if (result.status != SolveStatus::kNumericalError) return result;
-    // The cached setup failed numerically (e.g. the refactorization hit a
-    // zero pivot after a large parameter change): drop it and solve cold.
-    invalidate_cache();
-    warm_x_ = pending_x;
-    warm_y_ = pending_y;
+    result = solve_with(original, /*use_cache=*/true);
+    if (result.status != SolveStatus::kNumericalError) {
+      solved = true;
+    } else {
+      // The cached setup failed numerically (e.g. the refactorization hit a
+      // zero pivot after a large parameter change): drop it and solve cold.
+      invalidate_cache();
+      warm_x_ = pending_x;
+      warm_y_ = pending_y;
+    }
   }
-  return solve_with(original, /*use_cache=*/false);
+  if (!solved) result = solve_with(original, /*use_cache=*/false);
+
+  auto& registry = obs::Registry::global();
+  if (registry.enabled()) {
+    registry.counter("admm.solves").add(1);
+    registry.counter("admm.iterations").add(result.iterations);
+    registry.counter("admm.factorizations").add(result.info.factorizations);
+    registry.counter("admm.structure_hits").add(result.info.cache_hits);
+    if (result.info.factorization_skipped) {
+      registry.counter("admm.factorizations_skipped").add(1);
+    }
+    registry.histogram("admm.iterations_per_solve").record(result.iterations);
+    registry.histogram("admm.solve_ms").record(span.elapsed_ms());
+  }
+  return result;
 }
 
 bool AdmmSolver::cache_matches(const QpProblem& problem) const {
@@ -262,6 +284,10 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     }
   }
 
+  QpResult result;
+  result.status = SolveStatus::kMaxIterations;
+  result.info.cache_hits = use_cache ? 1 : 0;
+
   SparseLdlt& kkt = kkt_;
   const bool values_unchanged = reuse_rho && kkt.status() == SparseLdlt::Status::kOk &&
                                 problem.p.values().size() == cached_p_values_.size() &&
@@ -274,7 +300,9 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     // Same scaled (P, A) and rho as the cached factorization: a pure
     // (q, lower, upper) parameter update. Reuse the factor outright.
     ++cache_stats_.factorizations_skipped;
+    result.info.factorization_skipped = true;
   } else {
+    obs::Span factor_span("admm.factor");
     const SparseMatrix kkt_upper = build_kkt_upper(problem.p, problem.a, settings_.sigma, rho);
     const SparseLdlt::Status status =
         use_cache ? kkt.refactor(kkt_upper) : kkt.factor(kkt_upper);
@@ -283,10 +311,10 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     } else {
       ++cache_stats_.full_factorizations;
     }
+    ++result.info.factorizations;
     if (status != SparseLdlt::Status::kOk) {
-      QpResult failed;
-      failed.status = SolveStatus::kNumericalError;
-      return failed;
+      result.status = SolveStatus::kNumericalError;
+      return result;
     }
   }
 
@@ -303,9 +331,6 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
   warm_y_.clear();
   Vector x_prev(n, 0.0), y_prev(m, 0.0);
   Vector rhs(n + m, 0.0);
-
-  QpResult result;
-  result.status = SolveStatus::kMaxIterations;
 
   int iteration = 0;
   for (; iteration < settings_.max_iterations; ++iteration) {
@@ -361,6 +386,12 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     const double eps_dual = settings_.eps_abs + settings_.eps_rel * dual_norm;
     result.primal_residual = prim_res;
     result.dual_residual = dual_res;
+    if (obs::tracing_enabled()) {
+      // Residual trajectories, sampled at the check cadence (counter events
+      // in the trace; concurrent best responses interleave by timestamp).
+      obs::Tracer::global().counter("admm.primal_residual", prim_res);
+      obs::Tracer::global().counter("admm.dual_residual", dual_res);
+    }
 
     if (prim_res <= eps_prim && dual_res <= eps_dual) {
       result.status = SolveStatus::kOptimal;
@@ -432,6 +463,7 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
         const SparseMatrix kkt_upper =
             build_kkt_upper(problem.p, problem.a, settings_.sigma, rho);
         ++cache_stats_.refactorizations;
+        ++result.info.factorizations;
         if (kkt.refactor(kkt_upper) != SparseLdlt::Status::kOk) {
           result.status = SolveStatus::kNumericalError;
           break;
@@ -447,6 +479,7 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
   result.y.assign(m, 0.0);
   for (std::size_t i = 0; i < m; ++i) result.y[i] = scaling.e[i] * y[i] / scaling.cost_scale;
   if (settings_.polish && result.status == SolveStatus::kOptimal) {
+    obs::Span polish_span("admm.polish");
     if (polish_solution(original, settings_, result.x, result.y)) {
       const auto [primal, dual] = kkt_residuals(original, result.x, result.y);
       result.primal_residual = primal;

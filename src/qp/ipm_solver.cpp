@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "linalg/dense_factor.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp::qp {
 
@@ -23,6 +25,7 @@ struct InequalityRow {
 }  // namespace
 
 QpResult IpmSolver::solve(const QpProblem& problem) {
+  obs::Span span("ipm.solve");
   problem.validate();
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
@@ -202,6 +205,15 @@ QpResult IpmSolver::solve(const QpProblem& problem) {
       dual_res = std::max(dual_res, std::abs(px[j] + problem.q[j] + aty[j]));
     }
     result.dual_residual = dual_res;
+  }
+  // One dense KKT factorization per Mehrotra iteration; nothing is cached.
+  result.info.factorizations = iteration;
+  auto& registry = obs::Registry::global();
+  if (registry.enabled()) {
+    registry.counter("ipm.solves").add(1);
+    registry.counter("ipm.iterations").add(iteration);
+    registry.histogram("ipm.iterations_per_solve").record(iteration);
+    registry.histogram("ipm.solve_ms").record(span.elapsed_ms());
   }
   return result;
 }

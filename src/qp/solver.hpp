@@ -25,6 +25,19 @@ enum class SolveStatus {
 /// Human-readable status name.
 std::string to_string(SolveStatus status);
 
+/// How much setup work ONE solve performed — the per-call companion of the
+/// lifetime AdmmCacheStats, so structure-cache effectiveness is queryable
+/// from any result without the obs registry. IpmSolver factors its KKT
+/// system once per Mehrotra iteration and never caches.
+struct SolveInfo {
+  int factorizations = 0;      ///< numeric factorizations in this solve
+                               ///< (full or symbolic-reusing, incl. in-solve
+                               ///< rho-adaptation refactors)
+  int cache_hits = 0;          ///< 1 when cached scaling + symbolic analysis
+                               ///< were reused (AdmmSolver structure hit)
+  bool factorization_skipped = false;  ///< cached factor reused outright
+};
+
 /// Primal/dual solution of a QpProblem.
 struct QpResult {
   SolveStatus status = SolveStatus::kNumericalError;
@@ -34,6 +47,7 @@ struct QpResult {
   int iterations = 0;
   double primal_residual = 0.0;
   double dual_residual = 0.0;
+  SolveInfo info;             ///< setup-work accounting for this solve
 
   bool ok() const { return status == SolveStatus::kOptimal; }
 };

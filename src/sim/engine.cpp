@@ -1,7 +1,6 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <ostream>
 
@@ -9,6 +8,8 @@
 #include "common/error.hpp"
 #include "dspp/integer.hpp"
 #include "dspp/provisioning.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp::sim {
 
@@ -111,6 +112,7 @@ Vector SimulationEngine::observe_price(double utc_hour) const {
 }
 
 SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
+  obs::Span run_span("sim.run", static_cast<double>(config_.periods));
   Rng rng(config_.seed);
   SimulationSummary summary;
   summary.periods.reserve(config_.periods);
@@ -134,6 +136,7 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
   // Initial state: cheapest placement for the first observed demand.
   Vector state(pairs_.num_pairs(), 0.0);
   if (config_.provision_initial) {
+    obs::Span provision_span("sim.provision_initial");
     qp::AdmmSolver solver;
     state = dspp::min_cost_placement(model_, pairs_, demand_trace[0], price_trace[0], solver);
     linalg::scale(config_.initial_overprovision, state);
@@ -141,16 +144,20 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
 
   double compliance_sum = 0.0;
   for (std::size_t k = 0; k < config_.periods; ++k) {
+    obs::Span period_span("sim.period", static_cast<double>(k));
     const double hour = config_.utc_start_hour + static_cast<double>(k) * config_.period_hours;
     const Vector& demand = demand_trace[k];
     const Vector& price = price_trace[k];
 
-    const auto policy_start = std::chrono::steady_clock::now();
+    // Policy wall time: the span reads steady_clock unconditionally, so the
+    // accounting is identical whether or not tracing/metrics are enabled.
+    obs::Span policy_span("sim.policy");
     const PolicyOutcome outcome = policy(state, demand, price);
-    summary.policy_wall_ms +=
-        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                  policy_start)
-            .count();
+    const double policy_ms = policy_span.close();
+    summary.policy_wall_ms += policy_ms;
+    if (obs::metrics_enabled()) {
+      obs::Registry::global().histogram("sim.policy_ms").record(policy_ms);
+    }
     PeriodMetrics metrics;
     metrics.utc_hour = hour;
     metrics.demand = demand;
@@ -177,11 +184,18 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
       summary.total_churn += std::abs(control[pair]);
     }
 
-    const dspp::Assignment assignment = dspp::assign_demand(pairs_, next_state, next_demand);
-    const dspp::SlaReport report = dspp::evaluate_sla(model_, pairs_, next_state, assignment);
-    metrics.sla_compliance = report.compliance();
-    metrics.mean_latency_ms = report.mean_latency_ms;
-    metrics.unserved_rate = assignment.total_unserved();
+    {
+      obs::Span sla_span("sim.sla");
+      const dspp::Assignment assignment = dspp::assign_demand(pairs_, next_state, next_demand);
+      const dspp::SlaReport report = dspp::evaluate_sla(model_, pairs_, next_state, assignment);
+      metrics.sla_compliance = report.compliance();
+      metrics.mean_latency_ms = report.mean_latency_ms;
+      metrics.unserved_rate = assignment.total_unserved();
+    }
+    if (obs::tracing_enabled()) {
+      obs::Tracer::global().counter("sim.sla_compliance", metrics.sla_compliance);
+      obs::Tracer::global().counter("sim.total_servers", metrics.total_servers);
+    }
 
     summary.total_resource_cost += metrics.resource_cost;
     summary.total_reconfig_cost += metrics.reconfig_cost;
@@ -192,6 +206,13 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
   }
   summary.total_cost = summary.total_resource_cost + summary.total_reconfig_cost;
   summary.mean_compliance = compliance_sum / static_cast<double>(config_.periods);
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.counter("sim.runs").add(1);
+    registry.counter("sim.periods").add(static_cast<long long>(config_.periods));
+    registry.counter("sim.unsolved_periods").add(summary.unsolved_periods);
+    registry.histogram("sim.run_ms").record(run_span.elapsed_ms());
+  }
   return summary;
 }
 

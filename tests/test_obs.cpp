@@ -1,0 +1,348 @@
+// Tests for geoplace::obs: the metrics registry (counters, gauges,
+// log-bucket histograms), the trace spans/exporters, and the contract the
+// instrumented layers rely on — concurrent recording from thread_pool lanes
+// is race-free (run under the tsan preset via the "obs" label), bucketed
+// percentiles track the scalar reference within the documented bucket
+// error, and a disabled registry/tracer records nothing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "qp/admm_solver.hpp"
+#include "qp/problem.hpp"
+
+namespace {
+
+using gp::obs::Histogram;
+using gp::obs::HistogramOptions;
+using gp::obs::Registry;
+using gp::obs::Span;
+using gp::obs::TraceEvent;
+using gp::obs::TraceFormat;
+using gp::obs::Tracer;
+
+TEST(Counter, AddsAndResets) {
+  gp::obs::Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.add(-2);
+  EXPECT_EQ(counter.value(), 40);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(Gauge, LastWriteWins) {
+  gp::obs::Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, ExactMoments) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 4.0, 8.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(Histogram, UnderflowAndOverflowClampToObservedRange) {
+  Histogram h(HistogramOptions{.min_value = 1.0, .max_value = 100.0,
+                               .buckets_per_decade = 4});
+  h.record(-5.0);   // underflow (negative)
+  h.record(0.01);   // underflow
+  h.record(1e9);    // overflow
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  // Percentiles are clamped to the exact observed [min, max] even though
+  // the owning buckets have infinite/degenerate edges.
+  EXPECT_GE(h.percentile(1.0), -5.0);
+  EXPECT_LE(h.percentile(99.9), 1e9);
+}
+
+TEST(Histogram, PercentileTracksScalarReferenceWithinBucketError) {
+  // The documented accuracy bound: one bucket, i.e. a relative error of
+  // 10^(1/buckets_per_decade) - 1 (~15.5% at the default 16/decade).
+  const HistogramOptions options;  // defaults
+  const double bucket_ratio = std::pow(10.0, 1.0 / options.buckets_per_decade);
+  Histogram h(options);
+  std::vector<double> values;
+  // A skewed latency-like population spanning three decades.
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = 0.05 * std::pow(1.01, i);  // 0.05 .. ~1047, geometric
+    values.push_back(v);
+    h.record(v);
+  }
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double exact = gp::percentile(values, p);
+    const double approx = h.percentile(p);
+    EXPECT_LE(approx, exact * bucket_ratio * 1.001) << "p" << p;
+    EXPECT_GE(approx, exact / bucket_ratio * 0.999) << "p" << p;
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_DOUBLE_EQ(snap.p50, h.percentile(50.0));
+  EXPECT_DOUBLE_EQ(snap.p95, h.percentile(95.0));
+  EXPECT_DOUBLE_EQ(snap.p99, h.percentile(99.0));
+}
+
+TEST(Histogram, ConcurrentRecordingIsExactForCountSumMinMax) {
+  // thread_pool lanes hammer one histogram; count/sum/min/max are
+  // maintained with atomics and must come out exact. Run under the tsan
+  // preset (label "obs") this is also the data-race check.
+  Histogram h;
+  constexpr std::size_t kLanes = 8;
+  constexpr int kPerLane = 5000;
+  gp::parallel_for(0, kLanes, [&](std::size_t lane) {
+    for (int i = 0; i < kPerLane; ++i) {
+      h.record(static_cast<double>(lane + 1));  // lane k records value k+1
+    }
+  });
+  EXPECT_EQ(h.count(), static_cast<long long>(kLanes * kPerLane));
+  double expected_sum = 0.0;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    expected_sum += static_cast<double>((lane + 1) * kPerLane);
+  }
+  EXPECT_DOUBLE_EQ(h.sum(), expected_sum);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kLanes));
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableReferences) {
+  Registry registry;
+  auto& c1 = registry.counter("a.count");
+  auto& c2 = registry.counter("a.count");
+  EXPECT_EQ(&c1, &c2);
+  auto& h1 = registry.histogram("a.ms");
+  auto& h2 = registry.histogram("a.ms");
+  EXPECT_EQ(&h1, &h2);
+  // Same name, different kind: a programming error, reported loudly.
+  EXPECT_THROW(registry.gauge("a.count"), std::exception);
+  EXPECT_THROW(registry.counter("a.ms"), std::exception);
+}
+
+TEST(RegistryTest, ConcurrentLookupAndUpdateFromPoolLanes) {
+  Registry registry;
+  registry.set_enabled(true);
+  constexpr std::size_t kLanes = 8;
+  constexpr int kPerLane = 2000;
+  gp::parallel_for(0, kLanes, [&](std::size_t lane) {
+    // Mixed find-or-create + record, as the solvers do: lookup races are
+    // covered by the registry mutex, updates by the metric atomics.
+    auto& counter = registry.counter("shared.count");
+    auto& histogram = registry.histogram("shared.ms");
+    auto& own = registry.counter("lane." + std::to_string(lane));
+    for (int i = 0; i < kPerLane; ++i) {
+      counter.add(1);
+      histogram.record(1.0);
+      own.add(1);
+    }
+  });
+  EXPECT_EQ(registry.counter("shared.count").value(),
+            static_cast<long long>(kLanes * kPerLane));
+  EXPECT_EQ(registry.histogram("shared.ms").count(),
+            static_cast<long long>(kLanes * kPerLane));
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(registry.counter("lane." + std::to_string(lane)).value(), kPerLane);
+  }
+}
+
+TEST(RegistryTest, RowsAndJsonlExport) {
+  Registry registry;
+  registry.counter("x.solves").add(3);
+  registry.gauge("x.converged").set(1.0);
+  registry.histogram("x.ms").record(2.0);
+  const auto rows = registry.rows();
+  ASSERT_EQ(rows.size(), 3u);  // sorted by name within each kind group
+  std::ostringstream out;
+  registry.write_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"x.solves\""), std::string::npos);
+  EXPECT_NE(text.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"p95\""), std::string::npos);
+
+  registry.reset_values();
+  EXPECT_EQ(registry.counter("x.solves").value(), 0);
+  EXPECT_EQ(registry.histogram("x.ms").count(), 0);
+}
+
+TEST(SpanTest, MeasuresTimeWithTracingDisabled) {
+  ASSERT_FALSE(gp::obs::tracing_enabled());
+  const std::size_t before = Tracer::global().events().size();
+  Span span("test.disabled");
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  EXPECT_GE(span.elapsed_ms(), 0.0);
+  const double at_close = span.close();
+  EXPECT_GE(at_close, 0.0);
+  // No event emission when tracing is off.
+  EXPECT_EQ(Tracer::global().events().size(), before);
+}
+
+TEST(SpanTest, NestedSpansRecordDepthAndOrder) {
+  auto& tracer = Tracer::global();
+  tracer.start("unused_span_depth.jsonl", TraceFormat::kJsonl);
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner", 7.0);
+    }
+  }
+  tracer.counter("test.value", 2.5);
+  const std::vector<TraceEvent> events = tracer.events();
+  tracer.discard();
+  tracer.stop();
+  std::remove("unused_span_depth.jsonl");
+
+  ASSERT_EQ(events.size(), 3u);
+  // Spans are recorded at close, so the inner span lands first.
+  EXPECT_EQ(events[0].name, "test.inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_TRUE(events[0].has_arg);
+  EXPECT_EQ(events[0].arg, 7.0);
+  EXPECT_EQ(events[1].name, "test.outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_GE(events[1].dur_us, events[0].dur_us);
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_EQ(events[2].name, "test.value");
+  EXPECT_LT(events[2].dur_us, 0.0);  // counter sample marker
+  EXPECT_EQ(events[2].arg, 2.5);
+}
+
+TEST(SpanTest, ConcurrentSpansFromPoolLanesGetDistinctThreadIds) {
+  auto& tracer = Tracer::global();
+  tracer.start("unused_span_tids.jsonl", TraceFormat::kJsonl);
+  constexpr std::size_t kLanes = 4;
+  gp::parallel_for(0, kLanes, [&](std::size_t lane) {
+    Span span("test.lane", static_cast<double>(lane));
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+  });
+  const std::vector<TraceEvent> events = tracer.events();
+  tracer.discard();
+  tracer.stop();
+  std::remove("unused_span_tids.jsonl");
+
+  ASSERT_EQ(events.size(), kLanes);
+  std::vector<double> lanes_seen;
+  for (const auto& event : events) {
+    EXPECT_EQ(event.name, std::string("test.lane"));
+    EXPECT_EQ(event.depth, 0);  // depth is per-thread, no cross-lane nesting
+    lanes_seen.push_back(event.arg);
+  }
+  std::sort(lanes_seen.begin(), lanes_seen.end());
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(lanes_seen[lane], static_cast<double>(lane));
+  }
+}
+
+TEST(ExportTest, ChromeTraceIsWellFormedJson) {
+  std::vector<TraceEvent> events;
+  events.push_back({"mod.solve", 10.0, 1500.0, 1, 0, 0.0, false});
+  events.push_back({"mod.inner \"q\"", 20.0, 500.0, 1, 1, 3.0, true});
+  events.push_back({"mod.residual", 30.0, -1.0, 2, 0, 0.125, true});
+  std::ostringstream out;
+  gp::obs::write_chrome_trace(out, events);
+  const std::string text = out.str();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"mod\""), std::string::npos);
+  EXPECT_NE(text.find("\\\"q\\\""), std::string::npos);  // escaping
+  EXPECT_NE(text.find("\"dur\":1500"), std::string::npos);
+  // Trailing "]" closes the array.
+  EXPECT_NE(text.rfind(']'), std::string::npos);
+}
+
+TEST(ExportTest, JsonlRoundTripsThroughTheFile) {
+  const char* path = "test_obs_roundtrip.jsonl";
+  gp::obs::start_tracing(path);
+  {
+    Span span("roundtrip.work");
+  }
+  gp::obs::stop_tracing();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line, all;
+  bool saw_span = false;
+  while (std::getline(in, line)) {
+    all += line + "\n";
+    if (line.find("\"type\":\"span\"") != std::string::npos &&
+        line.find("roundtrip.work") != std::string::npos) {
+      saw_span = true;
+    }
+  }
+  in.close();
+  std::remove(path);
+  EXPECT_TRUE(saw_span) << all;
+}
+
+TEST(SolveInfoTest, AdmmPopulatesFactorizationAndCacheFields) {
+  // Two structurally identical QPs solved through one caching solver: the
+  // first solve factors from scratch (cache_hits == 0), the second reuses
+  // the cached scaling/ordering/symbolic analysis (cache_hits == 1). A
+  // third solve with IDENTICAL data skips factorization outright.
+  gp::qp::QpProblem problem;
+  problem.p = gp::linalg::SparseMatrix::identity(2);
+  problem.q = {1.0, 1.0};
+  problem.a = gp::linalg::SparseMatrix::from_triplets(1, 2, {{0, 0, 1.0}, {0, 1, 1.0}});
+  problem.lower = {1.0};
+  problem.upper = {1.0};
+
+  gp::qp::AdmmSettings settings;
+  settings.cache_structure = true;
+  gp::qp::AdmmSolver solver(settings);
+
+  const auto first = solver.solve(problem);
+  EXPECT_EQ(first.status, gp::qp::SolveStatus::kOptimal);
+  EXPECT_EQ(first.info.cache_hits, 0);
+  EXPECT_GE(first.info.factorizations, 1);
+  EXPECT_FALSE(first.info.factorization_skipped);
+
+  // Same pattern, new KKT values (q alone would leave the KKT matrix
+  // untouched and take the factorization-skip path instead).
+  problem.p = gp::linalg::SparseMatrix::identity(2, 2.0);
+  problem.q = {2.0, 0.5};
+  const auto second = solver.solve(problem);
+  EXPECT_EQ(second.status, gp::qp::SolveStatus::kOptimal);
+  EXPECT_EQ(second.info.cache_hits, 1);
+  EXPECT_GE(second.info.factorizations, 1);
+  EXPECT_FALSE(second.info.factorization_skipped);
+
+  const auto third = solver.solve(problem);  // identical data
+  EXPECT_EQ(third.status, gp::qp::SolveStatus::kOptimal);
+  EXPECT_EQ(third.info.cache_hits, 1);
+  EXPECT_TRUE(third.info.factorization_skipped);
+  EXPECT_EQ(third.info.factorizations, 0);
+}
+
+}  // namespace

@@ -332,6 +332,15 @@ TEST(AdmmCache, ParameterUpdatedSolvesMatchFreshSolver) {
   EXPECT_EQ(stats.solves, 2);
   EXPECT_EQ(stats.structure_hits, 1);
   EXPECT_GE(stats.full_factorizations, 1LL);
+
+  // The per-solve SolveInfo mirrors the lifetime counters: cold setup on
+  // the first solve; the second is a structure-cache hit, and since the
+  // update touched only q/bounds the cached factorization is reused.
+  EXPECT_EQ(warmup.info.cache_hits, 0);
+  EXPECT_GE(warmup.info.factorizations, 1);
+  EXPECT_FALSE(warmup.info.factorization_skipped);
+  EXPECT_EQ(via_cache.info.cache_hits, 1);
+  EXPECT_TRUE(via_cache.info.factorization_skipped);
 }
 
 TEST(AdmmCache, SkipsFactorizationWhenProblemUnchanged) {
@@ -346,6 +355,9 @@ TEST(AdmmCache, SkipsFactorizationWhenProblemUnchanged) {
   ASSERT_TRUE(second.ok());
   EXPECT_NEAR(second.objective, first.objective, 1e-6 * (1.0 + std::abs(first.objective)));
   EXPECT_GE(solver.cache_stats().factorizations_skipped, 1LL);
+  EXPECT_TRUE(second.info.factorization_skipped);
+  EXPECT_EQ(second.info.factorizations, 0);
+  EXPECT_EQ(second.info.cache_hits, 1);
 }
 
 TEST(AdmmCache, PatternChangeFallsBackToFullSetup) {

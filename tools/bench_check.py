@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on wall-time regressions.
+
+Usage:
+    bench_check.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+    bench_check.py --self-test
+
+Walks both JSON trees and compares every numeric leaf whose key ends in
+"wall_ms" at the same path. The check fails (exit 1) when any candidate
+wall time exceeds the baseline by more than the threshold (default 15%,
+sized for wall-clock noise on shared CI boxes). Ratio-style keys
+("wall_ratio", "speedup") and counters are reported but never gate.
+
+Times below --floor-ms (default 5 ms) are skipped: at that scale the
+scheduler jitter exceeds any real regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(tree, path=()):
+    """Yields (dotted_path, value) for every numeric leaf."""
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            yield from walk(value, path + (str(key),))
+    elif isinstance(tree, list):
+        for index, value in enumerate(tree):
+            yield from walk(value, path + (str(index),))
+    elif isinstance(tree, (int, float)) and not isinstance(tree, bool):
+        yield ".".join(path), float(tree)
+
+
+def compare(baseline, candidate, threshold, floor_ms):
+    """Returns (regressions, rows); rows are (path, base, cand, ratio, gating)."""
+    base_leaves = dict(walk(baseline))
+    cand_leaves = dict(walk(candidate))
+    rows = []
+    regressions = []
+    for path in sorted(base_leaves.keys() & cand_leaves.keys()):
+        if not path.split(".")[-1].endswith("wall_ms"):
+            continue
+        base, cand = base_leaves[path], cand_leaves[path]
+        ratio = cand / base if base > 0 else float("inf")
+        gating = base >= floor_ms or cand >= floor_ms
+        rows.append((path, base, cand, ratio, gating))
+        if gating and cand > base * (1.0 + threshold):
+            regressions.append((path, base, cand, ratio))
+    return regressions, rows
+
+
+def run_check(baseline, candidate, threshold, floor_ms, label=""):
+    regressions, rows = compare(baseline, candidate, threshold, floor_ms)
+    if not rows:
+        print(f"bench_check{label}: no comparable wall_ms keys found", file=sys.stderr)
+        return 1
+    width = max(len(r[0]) for r in rows)
+    for path, base, cand, ratio, gating in rows:
+        flag = "REGRESSION" if any(path == r[0] for r in regressions) else (
+            "ok" if gating else "skipped (< floor)")
+        print(f"  {path:<{width}}  {base:10.3f} -> {cand:10.3f} ms  "
+              f"x{ratio:5.2f}  {flag}")
+    if regressions:
+        print(f"bench_check{label}: {len(regressions)} wall-time regression(s) "
+              f"beyond {threshold:.0%}", file=sys.stderr)
+        return 1
+    print(f"bench_check{label}: OK ({len(rows)} wall_ms keys within "
+          f"{threshold:.0%})")
+    return 0
+
+
+def self_test():
+    baseline = {
+        "cpus": 8,
+        "game": {"runs": [{"threads": 1, "wall_ms": 120.0, "speedup": 1.0},
+                          {"threads": 2, "wall_ms": 70.0, "speedup": 1.71}]},
+        "mpc": {"cold": {"wall_ms": 900.0}, "cached": {"wall_ms": 300.0},
+                "wall_ratio": 0.33, "tiny": {"wall_ms": 0.5}},
+    }
+    improved = json.loads(json.dumps(baseline))
+    improved["mpc"]["cached"]["wall_ms"] = 250.0
+    regressed = json.loads(json.dumps(baseline))
+    regressed["game"]["runs"][1]["wall_ms"] = 95.0  # +36%
+    noisy_tiny = json.loads(json.dumps(baseline))
+    noisy_tiny["mpc"]["tiny"]["wall_ms"] = 4.0  # 8x, but below the 5 ms floor
+
+    failures = 0
+
+    def expect(code, want, what):
+        nonlocal failures
+        if code != want:
+            print(f"self-test FAILED: {what} (exit {code}, want {want})",
+                  file=sys.stderr)
+            failures += 1
+
+    expect(run_check(baseline, improved, 0.15, 5.0, " [improved]"), 0,
+           "an improvement must pass")
+    expect(run_check(baseline, regressed, 0.15, 5.0, " [regressed]"), 1,
+           "a 36% regression must fail")
+    expect(run_check(baseline, regressed, 0.50, 5.0, " [lenient]"), 0,
+           "the same diff passes at a 50% threshold")
+    expect(run_check(baseline, noisy_tiny, 0.15, 5.0, " [tiny]"), 0,
+           "sub-floor timings must not gate")
+    expect(run_check({"a": 1}, {"a": 2}, 0.15, 5.0, " [no-keys]"), 1,
+           "no wall_ms keys is an error")
+    if failures == 0:
+        print("bench_check self-test OK")
+    return 0 if failures == 0 else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative slowdown (default 0.15 = 15%%)")
+    parser.add_argument("--floor-ms", type=float, default=5.0,
+                        help="ignore timings below this many ms (default 5)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in fixtures instead of reading files")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required "
+                     "(or use --self-test)")
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.candidate) as f:
+            candidate = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_check: {err}", file=sys.stderr)
+        return 2
+    return run_check(baseline, candidate, args.threshold, args.floor_ms)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

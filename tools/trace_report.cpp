@@ -1,0 +1,216 @@
+// trace_report: summarize a geoplace trace file (JSONL or Chrome format).
+//
+// Reads the span events of a run recorded via GEOPLACE_TRACE (either the
+// JSONL event log or the Chrome trace-event array written for ".json"
+// paths), groups them per span name and per module (the prefix before the
+// first '.'), and prints a latency table with exact p50/p95/p99 computed
+// from the raw durations (gp::percentile, not the registry's bucketed
+// estimate).
+//
+// Usage:
+//   trace_report <trace-file> [<trace-file>...]
+//   trace_report --self-test
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace {
+
+/// One parsed span occurrence (durations in milliseconds).
+struct SpanGroup {
+  std::vector<double> durations_ms;
+  double total_ms = 0.0;
+};
+
+/// Extracts the value following `"key":` in a single-line JSON object.
+/// Tolerant scanner, not a full JSON parser: both trace writers emit one
+/// object per line with no whitespace around the colon.
+std::optional<std::string> raw_value(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t pos = at + needle.size();
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  if (pos >= line.size()) return std::nullopt;
+  if (line[pos] == '"') {
+    std::string out;
+    for (++pos; pos < line.size() && line[pos] != '"'; ++pos) {
+      if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+      out.push_back(line[pos]);
+    }
+    return out;
+  }
+  std::size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' && line[end] != ']') ++end;
+  return line.substr(pos, end - pos);
+}
+
+std::optional<double> number_value(const std::string& line, const std::string& key) {
+  const auto raw = raw_value(line, key);
+  if (!raw) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str()) return std::nullopt;
+  return value;
+}
+
+/// Parses one line of either format; returns true when it was a span event.
+/// JSONL:  {"type":"span","name":...,"ts_us":...,"dur_us":...}
+/// Chrome: {"ph":"X","name":...,"ts":...,"dur":...}  (array commas tolerated)
+bool parse_span(const std::string& line, std::string& name, double& dur_ms) {
+  const auto type = raw_value(line, "type");
+  const auto ph = raw_value(line, "ph");
+  std::optional<double> dur_us;
+  if (type && *type == "span") {
+    dur_us = number_value(line, "dur_us");
+  } else if (ph && *ph == "X") {
+    dur_us = number_value(line, "dur");
+  } else {
+    return false;
+  }
+  const auto span_name = raw_value(line, "name");
+  if (!span_name || !dur_us) return false;
+  name = *span_name;
+  dur_ms = *dur_us / 1000.0;
+  return true;
+}
+
+std::string module_of(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+struct Report {
+  std::map<std::string, SpanGroup> by_name;
+  std::size_t lines = 0;
+  std::size_t spans = 0;
+};
+
+void consume(std::istream& in, Report& report) {
+  std::string line;
+  while (std::getline(in, line)) {
+    ++report.lines;
+    std::string name;
+    double dur_ms = 0.0;
+    if (!parse_span(line, name, dur_ms)) continue;
+    ++report.spans;
+    auto& group = report.by_name[name];
+    group.durations_ms.push_back(dur_ms);
+    group.total_ms += dur_ms;
+  }
+}
+
+void print_table(const Report& report) {
+  std::printf("%-28s %8s %12s %10s %10s %10s %10s\n", "span", "count", "total_ms",
+              "mean_ms", "p50_ms", "p95_ms", "p99_ms");
+  std::string module;
+  for (const auto& [name, group] : report.by_name) {
+    const std::string m = module_of(name);
+    if (m != module) {
+      module = m;
+      std::printf("# module %s\n", module.c_str());
+    }
+    std::vector<double> sorted = group.durations_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double count = static_cast<double>(sorted.size());
+    std::printf("%-28s %8zu %12.3f %10.4f %10.4f %10.4f %10.4f\n", name.c_str(),
+                sorted.size(), group.total_ms, group.total_ms / count,
+                gp::percentile(sorted, 50.0), gp::percentile(sorted, 95.0),
+                gp::percentile(sorted, 99.0));
+  }
+  std::printf("# %zu span events from %zu lines\n", report.spans, report.lines);
+}
+
+/// Feeds synthetic lines of both formats through the parser and checks the
+/// resulting counts/percentiles against hand-computed values.
+int self_test() {
+  std::ostringstream fixture;
+  fixture << "[\n";
+  fixture << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
+             "\"args\":{\"name\":\"geoplace\"}},\n";
+  // Chrome complete events: admm.solve with durations 1000..100000 us.
+  for (int i = 1; i <= 100; ++i) {
+    fixture << ",\n{\"ph\":\"X\",\"name\":\"admm.solve\",\"cat\":\"admm\",\"ts\":"
+            << i * 10 << ",\"dur\":" << i * 1000 << ",\"pid\":0,\"tid\":1}";
+  }
+  fixture << ",\n{\"ph\":\"C\",\"name\":\"admm.primal_residual\",\"ts\":5,"
+             "\"args\":{\"value\":0.25}}\n]\n";
+  // JSONL events for a second module.
+  fixture << "{\"type\":\"span\",\"name\":\"mpc.step\",\"ts_us\":0.0,"
+             "\"dur_us\":2500.0,\"tid\":1,\"depth\":0}\n";
+  fixture << "{\"type\":\"span\",\"name\":\"mpc.step\",\"ts_us\":9.0,"
+             "\"dur_us\":7500.0,\"tid\":1,\"depth\":0,\"arg\":3}\n";
+  fixture << "{\"type\":\"counter_sample\",\"name\":\"game.total_cost\","
+             "\"ts_us\":1.0,\"value\":12.5}\n";
+  fixture << "{\"type\":\"histogram\",\"name\":\"admm.solve_ms\",\"count\":3}\n";
+
+  Report report;
+  std::istringstream in(fixture.str());
+  consume(in, report);
+
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "self-test FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  expect(report.spans == 102, "102 span events parsed");
+  expect(report.by_name.count("admm.solve") == 1, "admm.solve group present");
+  expect(report.by_name.count("mpc.step") == 1, "mpc.step group present");
+  expect(report.by_name.size() == 2, "counters/metadata not counted as spans");
+
+  const auto& admm = report.by_name.at("admm.solve");
+  std::vector<double> sorted = admm.durations_ms;
+  std::sort(sorted.begin(), sorted.end());
+  // Durations are exactly 1..100 ms: the interpolated percentiles of the
+  // scalar reference are easy to state in closed form.
+  expect(gp::approx_equal(gp::percentile(sorted, 50.0), 50.5, 1e-12, 1e-9),
+         "admm.solve p50 == 50.5 ms");
+  expect(gp::approx_equal(gp::percentile(sorted, 99.0), 99.01, 1e-12, 1e-9),
+         "admm.solve p99 == 99.01 ms");
+  expect(gp::approx_equal(admm.total_ms, 5050.0, 1e-12, 1e-9),
+         "admm.solve total == 5050 ms");
+
+  const auto& mpc = report.by_name.at("mpc.step");
+  expect(mpc.durations_ms.size() == 2, "mpc.step count == 2");
+  expect(gp::approx_equal(mpc.total_ms, 10.0, 1e-12, 1e-9), "mpc.step total == 10 ms");
+
+  if (failures == 0) std::printf("trace_report self-test OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--self-test") == 0) return self_test();
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_report <trace-file> [<trace-file>...]\n"
+                         "       trace_report --self-test\n");
+    return 2;
+  }
+  Report report;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "trace_report: cannot open %s\n", argv[i]);
+      return 2;
+    }
+    consume(in, report);
+  }
+  if (report.spans == 0) {
+    std::fprintf(stderr, "trace_report: no span events found (is GEOPLACE_TRACE set "
+                         "when running the workload?)\n");
+    return 1;
+  }
+  print_table(report);
+  return 0;
+}
