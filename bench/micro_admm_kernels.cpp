@@ -1,0 +1,502 @@
+// Micro-benchmark of the ADMM hot-loop kernels (BENCH_admm.json).
+//
+// Three experiments on a fig06-scale window QP (the Section VII environment,
+// 4 data centers x 24 cities, prediction horizon K = 20):
+//
+//  1. Kernel A/B: the pre-PR iteration body (per-iteration result-vector
+//     allocations, CSC products, scalar loops with in-loop divisions) against
+//     the fused workspace path (AdmmWorkspace buffers, vector_ops kernels,
+//     RowMajorMirror products). Both run the identical arithmetic on
+//     identical synthetic KKT-solve outputs — the triangular solve itself is
+//     excluded, it is shared by both paths — so the final iterates must be
+//     BIT-identical; the speedup is the iteration-throughput gate (>= 1.3x).
+//  2. Full-solver timing: a cold solve (structure build) and a warm re-solve
+//     (structure + factorization reuse) with ns/iteration and the alloc-probe
+//     count of heap allocations inside the hot loop. This binary installs
+//     operator new/delete hooks, so the warm count must be exactly zero.
+//  3. SpMV bandwidth: cold CSC A^T y (allocating, column-gather) vs the CSR
+//     mirror's A^T y (row-streaming) and A x (row-gather), in effective GB/s
+//     with bytes = 12 * nnz + 8 * (rows + cols) per product.
+//
+// The `wall_ms` keys in BENCH_admm.json are the ones tools/bench_check.py
+// gates on; ratios and counters are informational.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "common/alloc_probe.hpp"
+#include "dspp/window_program.hpp"
+#include "obs/metrics.hpp"
+#include "qp/admm_solver.hpp"
+#include "scenarios.hpp"
+
+// Route every heap allocation through the alloc probe so hot-loop allocation
+// counts are real measurements, not estimates. The library never installs
+// these hooks itself; opting in is this binary's job.
+void* operator new(std::size_t size) {
+  gp::alloc_probe_bump();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  gp::alloc_probe_bump();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using gp::linalg::RowMajorMirror;
+using gp::linalg::Vector;
+using gp::qp::kInfinity;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// The fig06-scale window program: full Section VII environment at the
+/// longest horizon family of Fig. 6 (K = 20).
+gp::dspp::WindowProgram build_window(std::size_t horizon) {
+  static gp::bench::Scenario scenario = gp::bench::paper_scenario(4, 24);
+  const gp::dspp::PairIndex pairs(scenario.model);
+  gp::dspp::WindowInputs inputs;
+  inputs.initial_state = Vector(pairs.num_pairs(), 0.0);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const double utc_hour = 0.5 * static_cast<double>(t) + 0.5;
+    inputs.demand.push_back(scenario.demand.mean_rates(utc_hour));
+    inputs.price.push_back(scenario.prices.server_prices(utc_hour));
+  }
+  return {scenario.model, pairs, std::move(inputs)};
+}
+
+/// Deterministic synthetic KKT-solve output: what both kernel paths consume
+/// in place of the (shared, excluded) triangular solve. splitmix64-style.
+Vector synth_solution(std::size_t size, std::uint64_t seed) {
+  Vector out(size);
+  std::uint64_t s = seed;
+  for (double& v : out) {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    v = static_cast<double>((z ^ (z >> 31)) >> 11) * 0x1.0p-53 - 0.5;
+  }
+  return out;
+}
+
+/// Pre-PR max-norm: single running maximum (a ~4-cycle loop-carried chain),
+/// exactly as linalg::norm_inf was written before the multi-lane rewrite.
+double legacy_norm_inf(const Vector& a) {
+  double best = 0.0;
+  for (double v : a) best = std::max(best, std::abs(v));
+  return best;
+}
+
+/// Pre-PR CSC A^T x: per-term accumulation without the zero-term skip the
+/// library kernels gained in this change (the values agree bitwise unless a
+/// product underflows to a signed zero, which the bit-identity check below
+/// would catch).
+Vector legacy_multiply_transposed(const gp::linalg::SparseMatrix& a, const Vector& x) {
+  Vector y(static_cast<std::size_t>(a.cols()), 0.0);
+  const auto col_ptr = a.col_ptr();
+  const auto row_idx = a.row_idx();
+  const auto values = a.values();
+  for (std::int32_t c = 0; c < a.cols(); ++c) {
+    double acc = 0.0;
+    for (std::int32_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+      acc += values[p] * x[static_cast<std::size_t>(row_idx[p])];
+    }
+    y[static_cast<std::size_t>(c)] = acc;
+  }
+  return y;
+}
+
+/// Final iterates plus a checksum over every residual/certificate scalar the
+/// run produced; the legacy and fused runs must agree on all of it bitwise.
+struct KernelRun {
+  Vector x, z, y;
+  double sink = 0.0;
+  double wall_ms = 0.0;
+  long long loop_allocs = 0;
+  int iterations = 0;
+};
+
+bool bit_identical(const KernelRun& a, const KernelRun& b) {
+  return a.x == b.x && a.z == b.z && a.y == b.y && a.sink == b.sink;
+}
+
+/// The pre-PR iteration body: a faithful transcription of the hot loop as it
+/// stood before the workspace refactor — fresh result vectors from
+/// SparseMatrix::multiply / multiply_transposed / project_box every
+/// iteration, and residual scalings recomputed as 1/e_i, 1/d_j in-loop.
+KernelRun run_legacy(const gp::qp::QpProblem& problem, const gp::qp::AdmmSettings& settings,
+                     const Vector& rho, const Vector& e_scale, const Vector& d_scale,
+                     double cost_scale, const std::vector<Vector>& solves, int iters) {
+  namespace linalg = gp::linalg;
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  KernelRun run;
+  Vector x(n, 0.0), z(m, 0.0), y(m, 0.0);
+  Vector x_prev(n, 0.0), y_prev(m, 0.0);
+  Vector rhs(n + m, 0.0);
+  double sink = 0.0;
+
+  const auto start = Clock::now();
+  const long long allocs_before = gp::alloc_probe_count();
+  for (int iteration = 0; iteration < iters; ++iteration) {
+    x_prev = x;
+    y_prev = y;
+
+    for (std::size_t j = 0; j < n; ++j) rhs[j] = settings.sigma * x[j] - problem.q[j];
+    for (std::size_t i = 0; i < m; ++i) rhs[n + i] = z[i] - y[i] / rho[i];
+    // Stand-in for kkt.solve_in_place(rhs): identical bytes on both paths.
+    const Vector& solved = solves[static_cast<std::size_t>(iteration) % solves.size()];
+    std::copy(solved.begin(), solved.end(), rhs.begin());
+
+    Vector z_tilde(m);
+    for (std::size_t i = 0; i < m; ++i) z_tilde[i] = z[i] + (rhs[n + i] - y[i]) / rho[i];
+
+    const double alpha = settings.alpha;
+    for (std::size_t j = 0; j < n; ++j) x[j] = alpha * rhs[j] + (1.0 - alpha) * x[j];
+    Vector z_candidate(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      z_candidate[i] = alpha * z_tilde[i] + (1.0 - alpha) * z[i] + y[i] / rho[i];
+    }
+    const Vector z_next = linalg::project_box(z_candidate, problem.lower, problem.upper);
+    for (std::size_t i = 0; i < m; ++i) y[i] = rho[i] * (z_candidate[i] - z_next[i]);
+    z = z_next;
+
+    // Residuals, every iteration (check cadence 1 keeps the A/B symmetric).
+    const Vector ax = problem.a.multiply(x);
+    const Vector px = problem.p.multiply(x);
+    const Vector aty = legacy_multiply_transposed(problem.a, y);
+    double prim_res = 0.0, prim_norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double inv_e = 1.0 / e_scale[i];
+      prim_res = std::max(prim_res, std::abs(ax[i] - z[i]) * inv_e);
+      prim_norm = std::max({prim_norm, std::abs(ax[i]) * inv_e, std::abs(z[i]) * inv_e});
+    }
+    double dual_res = 0.0, dual_norm = 0.0;
+    const double inv_c = 1.0 / cost_scale;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double inv_d = 1.0 / d_scale[j];
+      dual_res = std::max(dual_res, std::abs(px[j] + problem.q[j] + aty[j]) * inv_d * inv_c);
+      dual_norm = std::max({dual_norm, std::abs(px[j]) * inv_d * inv_c,
+                            std::abs(aty[j]) * inv_d * inv_c,
+                            std::abs(problem.q[j]) * inv_d * inv_c});
+    }
+    sink += prim_res + prim_norm + dual_res + dual_norm;
+
+    // Infeasibility-certificate products (no early exit: checksum instead).
+    Vector delta_y(m), delta_x(n);
+    for (std::size_t i = 0; i < m; ++i) delta_y[i] = y[i] - y_prev[i];
+    for (std::size_t j = 0; j < n; ++j) delta_x[j] = x[j] - x_prev[j];
+    const double delta_y_norm = legacy_norm_inf(delta_y);
+    if (delta_y_norm > settings.eps_infeasible) {
+      const Vector at_dy = legacy_multiply_transposed(problem.a, delta_y);
+      double support = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double dy = delta_y[i];
+        if (dy > 0 && problem.upper[i] != kInfinity) support += problem.upper[i] * dy;
+        if (dy < 0 && problem.lower[i] != -kInfinity) support += problem.lower[i] * dy;
+      }
+      sink += legacy_norm_inf(at_dy) + support;
+    }
+    const double delta_x_norm = legacy_norm_inf(delta_x);
+    if (delta_x_norm > settings.eps_infeasible) {
+      const Vector p_dx = problem.p.multiply(delta_x);
+      const Vector a_dx = problem.a.multiply(delta_x);
+      sink += legacy_norm_inf(p_dx) + legacy_norm_inf(a_dx) +
+              linalg::dot(problem.q, delta_x);
+    }
+  }
+  run.loop_allocs = gp::alloc_probe_count() - allocs_before;
+  run.wall_ms = ms_since(start);
+  run.x = std::move(x);
+  run.z = std::move(z);
+  run.y = std::move(y);
+  run.sink = sink;
+  run.iterations = iters;
+  return run;
+}
+
+/// The post-PR iteration body: AdmmWorkspace buffers, fused vector_ops
+/// kernels, CSR-mirror products, reciprocal scalings hoisted out of the loop.
+/// Must reproduce run_legacy bit-for-bit.
+KernelRun run_fused(const gp::qp::QpProblem& problem, const gp::qp::AdmmSettings& settings,
+                    const Vector& rho, const Vector& e_scale, const Vector& d_scale,
+                    double cost_scale, const std::vector<Vector>& solves, int iters) {
+  namespace linalg = gp::linalg;
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  KernelRun run;
+  gp::qp::AdmmWorkspace ws;
+  ws.resize(n, m);
+  const RowMajorMirror mirror(problem.a);
+  for (std::size_t j = 0; j < n; ++j) ws.inv_d[j] = 1.0 / d_scale[j];
+  for (std::size_t i = 0; i < m; ++i) ws.inv_e[i] = 1.0 / e_scale[i];
+  const double inv_c = 1.0 / cost_scale;
+  const std::span<const double> rhs_x(ws.rhs.data(), n);
+  const std::span<const double> rhs_nu(ws.rhs.data() + n, m);
+  double sink = 0.0;
+
+  const auto start = Clock::now();
+  const long long allocs_before = gp::alloc_probe_count();
+  for (int iteration = 0; iteration < iters; ++iteration) {
+    for (std::size_t j = 0; j < n; ++j) ws.rhs[j] = settings.sigma * ws.x[j] - problem.q[j];
+    for (std::size_t i = 0; i < m; ++i) {
+      const double yr = ws.y[i] / rho[i];
+      ws.y_over_rho[i] = yr;
+      ws.rhs[n + i] = ws.z[i] - yr;
+    }
+    const Vector& solved = solves[static_cast<std::size_t>(iteration) % solves.size()];
+    std::copy(solved.begin(), solved.end(), ws.rhs.begin());
+
+    linalg::admm_z_tilde(ws.z, rhs_nu, ws.y, rho, ws.z_tilde);
+
+    const double alpha = settings.alpha;
+    const double delta_x_norm = linalg::axpby_delta(alpha, rhs_x, 1.0 - alpha, ws.x, ws.delta_x);
+    linalg::admm_z_candidate_cached(alpha, ws.z_tilde, ws.z, ws.y_over_rho, ws.z_candidate);
+    linalg::project_box_into(ws.z_candidate, problem.lower, problem.upper, ws.z_next);
+    const double delta_y_norm =
+        linalg::admm_dual_update_delta(rho, ws.z_candidate, ws.z_next, ws.y, ws.delta_y);
+    std::swap(ws.z, ws.z_next);
+
+    mirror.multiply_into(1.0, ws.x, ws.ax);
+    std::fill(ws.px.begin(), ws.px.end(), 0.0);
+    problem.p.multiply_accumulate(1.0, ws.x, ws.px);
+    std::fill(ws.aty.begin(), ws.aty.end(), 0.0);
+    mirror.multiply_transposed_accumulate(1.0, ws.y, ws.aty);
+
+    double prim_res = 0.0, prim_norm = 0.0;
+    linalg::inf_norm_scaled_residual(ws.ax, ws.z, ws.inv_e, prim_res, prim_norm);
+    double dual_res = 0.0, dual_norm = 0.0;
+    linalg::inf_norm_scaled_residual3(ws.px, problem.q, ws.aty, ws.inv_d, inv_c, dual_res,
+                                      dual_norm);
+    sink += prim_res + prim_norm + dual_res + dual_norm;
+
+    if (delta_y_norm > settings.eps_infeasible) {
+      std::fill(ws.at_dy.begin(), ws.at_dy.end(), 0.0);
+      mirror.multiply_transposed_accumulate(1.0, ws.delta_y, ws.at_dy);
+      double support = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double dy = ws.delta_y[i];
+        if (dy > 0 && problem.upper[i] != kInfinity) support += problem.upper[i] * dy;
+        if (dy < 0 && problem.lower[i] != -kInfinity) support += problem.lower[i] * dy;
+      }
+      sink += linalg::norm_inf(ws.at_dy) + support;
+    }
+    if (delta_x_norm > settings.eps_infeasible) {
+      std::fill(ws.p_dx.begin(), ws.p_dx.end(), 0.0);
+      problem.p.multiply_accumulate(1.0, ws.delta_x, ws.p_dx);
+      mirror.multiply_into(1.0, ws.delta_x, ws.a_dx);
+      sink += linalg::norm_inf(ws.p_dx) + linalg::norm_inf(ws.a_dx) +
+              linalg::dot(problem.q, ws.delta_x);
+    }
+  }
+  run.loop_allocs = gp::alloc_probe_count() - allocs_before;
+  run.wall_ms = ms_since(start);
+  run.x = ws.x;
+  run.z = ws.z;
+  run.y = ws.y;
+  run.sink = sink;
+  run.iterations = iters;
+  return run;
+}
+
+/// Effective bandwidth of one sparse product in GB/s: values (8 B) and
+/// column/row indices (4 B) per nonzero, plus reading the input and writing
+/// the output vector once each.
+double gbps(const gp::linalg::SparseMatrix& a, double wall_ms, int reps) {
+  const double bytes = 12.0 * static_cast<double>(a.nnz()) +
+                       8.0 * static_cast<double>(a.rows() + a.cols());
+  return bytes * static_cast<double>(reps) / (wall_ms * 1e-3) / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kHorizon = 20;
+  constexpr int kIters = 300;
+  constexpr int kReps = 5;
+  constexpr int kSpmvReps = 400;
+
+  const gp::dspp::WindowProgram program = build_window(kHorizon);
+  const gp::qp::QpProblem& problem = program.problem();
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+
+  gp::qp::AdmmSettings settings;
+  // Per-row rho exactly as the solver initializes it.
+  Vector rho(m, settings.rho);
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool equality = problem.lower[i] == problem.upper[i];
+    const bool unbounded = problem.lower[i] == -kInfinity && problem.upper[i] == kInfinity;
+    if (equality) rho[i] = settings.rho * settings.rho_equality_scale;
+    if (unbounded) rho[i] = settings.rho * 1e-3;
+  }
+  // Identity residual scaling: the legacy path still pays its in-loop
+  // divisions, the fused path its hoisted reciprocals, and both agree.
+  const Vector e_scale(m, 1.0), d_scale(n, 1.0);
+  // A small bank of synthetic KKT-solve outputs keeps the iterates moving
+  // without either path paying for an actual triangular solve.
+  std::vector<Vector> solves;
+  for (std::uint64_t k = 0; k < 8; ++k) solves.push_back(synth_solution(n + m, 41 + k));
+
+  std::printf("# ADMM kernel micro-bench: fig06-scale window QP "
+              "(4 DCs x 24 cities, K=%zu): n=%zu m=%zu nnz(A)=%lld nnz(P)=%lld\n",
+              kHorizon, n, m, static_cast<long long>(problem.a.nnz()),
+              static_cast<long long>(problem.p.nnz()));
+
+  // --- 1. Kernel A/B, best of kReps timed runs of kIters iterations. ---
+  KernelRun legacy, fused;
+  for (int rep = 0; rep < kReps; ++rep) {
+    KernelRun l = run_legacy(problem, settings, rho, e_scale, d_scale, 1.0, solves, kIters);
+    KernelRun f = run_fused(problem, settings, rho, e_scale, d_scale, 1.0, solves, kIters);
+    if (rep == 0 || l.wall_ms < legacy.wall_ms) legacy = std::move(l);
+    if (rep == 0 || f.wall_ms < fused.wall_ms) fused = std::move(f);
+  }
+  const bool kernels_identical = bit_identical(legacy, fused) && std::isfinite(legacy.sink);
+  const double speedup = fused.wall_ms > 0.0 ? legacy.wall_ms / fused.wall_ms : 0.0;
+  const double legacy_ns = legacy.wall_ms * 1e6 / kIters;
+  const double fused_ns = fused.wall_ms * 1e6 / kIters;
+
+  gp::bench::print_series_header("kernel path: ns/iteration, allocs/iteration",
+                                 {"path", "ns_per_iter", "allocs_per_iter"});
+  std::printf("legacy,%.0f,%.1f\n", legacy_ns,
+              static_cast<double>(legacy.loop_allocs) / kIters);
+  std::printf("fused,%.0f,%.1f\n", fused_ns,
+              static_cast<double>(fused.loop_allocs) / kIters);
+  std::printf("# speedup x%.2f, bit_identical %s\n", speedup,
+              kernels_identical ? "true" : "false");
+
+  // --- 2. Full solver: cold solve, then a warm structure-cache re-solve. ---
+  gp::qp::AdmmSolver solver(settings);
+  auto cold_start = Clock::now();
+  const gp::qp::QpResult cold = solver.solve(problem);
+  const double cold_ms = ms_since(cold_start);
+  auto warm_start = Clock::now();
+  const gp::qp::QpResult warm = solver.solve(problem);
+  const double warm_ms = ms_since(warm_start);
+  const bool solves_ok = cold.ok() && warm.ok();
+  const double warm_ns_per_iter =
+      warm.iterations > 0 ? warm_ms * 1e6 / warm.iterations : 0.0;
+
+  // Instrumented re-solve: the obs counters the trace tooling watches.
+  auto& registry = gp::obs::Registry::global();
+  const bool registry_was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  registry.reset_values();
+  (void)solver.solve(problem);
+  const long long obs_allocs = registry.counter("admm.allocs").value();
+  const long long obs_spmv_ns = registry.counter("admm.spmv_ns").value();
+  registry.set_enabled(registry_was_enabled);
+
+  std::printf("\n# solver: cold %.3f ms (%d iters, %lld hot-loop allocs), "
+              "warm %.3f ms (%d iters, %lld hot-loop allocs, skip=%d)\n",
+              cold_ms, cold.iterations, cold.info.hot_loop_allocations, warm_ms,
+              warm.iterations, warm.info.hot_loop_allocations,
+              warm.info.factorization_skipped ? 1 : 0);
+  std::printf("# obs counters (instrumented warm solve): admm.allocs=%lld "
+              "admm.spmv_ns=%lld\n",
+              obs_allocs, obs_spmv_ns);
+
+  // --- 3. SpMV bandwidth: cold CSC A^T vs the CSR mirror. ---
+  const RowMajorMirror mirror(problem.a);
+  const Vector yv = synth_solution(m, 7);
+  const Vector xv = synth_solution(n, 9);
+  Vector acc_n(n, 0.0), acc_m(m, 0.0);
+  double guard = 0.0;
+
+  auto t0 = Clock::now();
+  for (int r = 0; r < kSpmvReps; ++r) {
+    const Vector aty = problem.a.multiply_transposed(yv);
+    guard += aty[static_cast<std::size_t>(r) % n];
+  }
+  const double csc_at_ms = ms_since(t0);
+  t0 = Clock::now();
+  for (int r = 0; r < kSpmvReps; ++r) {
+    std::fill(acc_n.begin(), acc_n.end(), 0.0);
+    mirror.multiply_transposed_accumulate(1.0, yv, acc_n);
+    guard += acc_n[static_cast<std::size_t>(r) % n];
+  }
+  const double mirror_at_ms = ms_since(t0);
+  t0 = Clock::now();
+  for (int r = 0; r < kSpmvReps; ++r) {
+    std::fill(acc_m.begin(), acc_m.end(), 0.0);
+    mirror.multiply_accumulate(1.0, xv, acc_m);
+    guard += acc_m[static_cast<std::size_t>(r) % m];
+  }
+  const double mirror_ax_ms = ms_since(t0);
+
+  std::printf("\n# spmv (%d reps): csc A^T %.3f ms (%.2f GB/s), mirror A^T %.3f ms "
+              "(%.2f GB/s), mirror Ax %.3f ms (%.2f GB/s) [guard %.3g]\n",
+              kSpmvReps, csc_at_ms, gbps(problem.a, csc_at_ms, kSpmvReps), mirror_at_ms,
+              gbps(problem.a, mirror_at_ms, kSpmvReps), mirror_ax_ms,
+              gbps(problem.a, mirror_ax_ms, kSpmvReps), guard);
+
+  std::FILE* json = std::fopen("BENCH_admm.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"problem\": {\"n\": %zu, \"m\": %zu, \"nnz_a\": %lld, "
+                 "\"nnz_p\": %lld, \"horizon\": %zu},\n",
+                 n, m, static_cast<long long>(problem.a.nnz()),
+                 static_cast<long long>(problem.p.nnz()), kHorizon);
+    std::fprintf(json, "  \"kernels\": {\n    \"iterations\": %d,\n", kIters);
+    std::fprintf(json,
+                 "    \"legacy\": {\"wall_ms\": %.3f, \"ns_per_iteration\": %.0f, "
+                 "\"allocs_per_iteration\": %.1f},\n",
+                 legacy.wall_ms, legacy_ns,
+                 static_cast<double>(legacy.loop_allocs) / kIters);
+    std::fprintf(json,
+                 "    \"fused\": {\"wall_ms\": %.3f, \"ns_per_iteration\": %.0f, "
+                 "\"allocs_per_iteration\": %.1f},\n",
+                 fused.wall_ms, fused_ns, static_cast<double>(fused.loop_allocs) / kIters);
+    std::fprintf(json, "    \"speedup\": %.3f,\n    \"bit_identical\": %s\n  },\n",
+                 speedup, kernels_identical ? "true" : "false");
+    std::fprintf(json,
+                 "  \"solver\": {\n    \"cold\": {\"wall_ms\": %.3f, \"iterations\": %d, "
+                 "\"hot_loop_allocations\": %lld},\n",
+                 cold_ms, cold.iterations, cold.info.hot_loop_allocations);
+    std::fprintf(json,
+                 "    \"warm\": {\"wall_ms\": %.3f, \"iterations\": %d, "
+                 "\"hot_loop_allocations\": %lld, \"ns_per_iteration\": %.0f, "
+                 "\"factorization_skipped\": %s},\n",
+                 warm_ms, warm.iterations, warm.info.hot_loop_allocations,
+                 warm_ns_per_iter, warm.info.factorization_skipped ? "true" : "false");
+    std::fprintf(json, "    \"obs\": {\"admm_allocs\": %lld, \"admm_spmv_ns\": %lld}\n  },\n",
+                 obs_allocs, obs_spmv_ns);
+    std::fprintf(json,
+                 "  \"spmv\": {\"reps\": %d,\n    \"csc_at\": {\"wall_ms\": %.3f, "
+                 "\"gbps\": %.2f},\n",
+                 kSpmvReps, csc_at_ms, gbps(problem.a, csc_at_ms, kSpmvReps));
+    std::fprintf(json, "    \"mirror_at\": {\"wall_ms\": %.3f, \"gbps\": %.2f},\n",
+                 mirror_at_ms, gbps(problem.a, mirror_at_ms, kSpmvReps));
+    std::fprintf(json, "    \"mirror_ax\": {\"wall_ms\": %.3f, \"gbps\": %.2f}\n  }\n}\n",
+                 mirror_ax_ms, gbps(problem.a, mirror_ax_ms, kSpmvReps));
+    std::fclose(json);
+  }
+
+  // Gate: bit-identity, the >= 1.3x kernel throughput target, zero fused
+  // hot-loop allocations (both in the A/B and in the real warm solve), and
+  // both real solves reaching optimality.
+  const bool ok = kernels_identical && speedup >= 1.3 && fused.loop_allocs == 0 &&
+                  warm.info.hot_loop_allocations == 0 && solves_ok;
+  std::printf("\n# gate: speedup x%.2f (>= 1.3), fused loop allocs %lld (== 0), "
+              "warm-solve hot-loop allocs %lld (== 0), bit_identical %s, "
+              "solves %s -- %s\n",
+              speedup, fused.loop_allocs, warm.info.hot_loop_allocations,
+              kernels_identical ? "true" : "false", solves_ok ? "ok" : "FAILED",
+              ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

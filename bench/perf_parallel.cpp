@@ -131,10 +131,19 @@ int main() {
   // sized once, on first use).
   setenv("GEOPLACE_THREADS", "8", /*overwrite=*/0);
   const unsigned cpus = std::thread::hardware_concurrency();
+  // Wall-clock speedup is only a meaningful ratio when the lanes can
+  // actually run concurrently. On a single-hardware-thread host the runs
+  // time-slice one core and the ratio is scheduler noise, so it is reported
+  // as n/a (and flagged invalid in the JSON) rather than pretending 1.0x
+  // is a measurement.
+  const bool speedup_valid = cpus > 1;
 
   gp::bench::print_series_header(
       "Parallel solve layer: 8-provider game wall time vs best-response lanes",
       {"threads", "wall_ms", "speedup", "iterations", "bit_identical"});
+  if (!speedup_valid) {
+    std::printf("# single hardware thread (cpus=1): speedup column is n/a\n");
+  }
 
   std::vector<GameRun> runs;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) runs.push_back(run_game(threads));
@@ -142,9 +151,14 @@ int main() {
   for (const auto& run : runs) {
     const bool same = identical(run.result, runs.front().result);
     all_identical = all_identical && same;
-    gp::bench::print_row({static_cast<double>(run.threads), run.wall_ms,
-                          runs.front().wall_ms / run.wall_ms,
-                          static_cast<double>(run.iterations), same ? 1.0 : 0.0});
+    if (speedup_valid) {
+      gp::bench::print_row({static_cast<double>(run.threads), run.wall_ms,
+                            runs.front().wall_ms / run.wall_ms,
+                            static_cast<double>(run.iterations), same ? 1.0 : 0.0});
+    } else {
+      std::printf("%zu  %.3f  n/a  %d  %d\n", run.threads, run.wall_ms, run.iterations,
+                  same ? 1 : 0);
+    }
   }
 
   // Baseline runs with the metrics registry explicitly OFF: this is the
@@ -206,13 +220,23 @@ int main() {
     std::fprintf(json, "{\n  \"cpus\": %u,\n  \"game\": {\n", cpus);
     std::fprintf(json, "    \"providers\": 8,\n    \"bit_identical\": %s,\n",
                  all_identical ? "true" : "false");
+    std::fprintf(json, "    \"speedup_valid\": %s,\n", speedup_valid ? "true" : "false");
     std::fprintf(json, "    \"runs\": [\n");
     for (std::size_t i = 0; i < runs.size(); ++i) {
-      std::fprintf(json,
-                   "      {\"threads\": %zu, \"wall_ms\": %.3f, \"speedup\": %.3f, "
-                   "\"iterations\": %d}%s\n",
-                   runs[i].threads, runs[i].wall_ms, runs.front().wall_ms / runs[i].wall_ms,
-                   runs[i].iterations, i + 1 < runs.size() ? "," : "");
+      // The per-run speedup key is omitted entirely when invalid so that
+      // downstream tooling cannot average a meaningless ratio by accident.
+      if (speedup_valid) {
+        std::fprintf(json,
+                     "      {\"threads\": %zu, \"wall_ms\": %.3f, \"speedup\": %.3f, "
+                     "\"iterations\": %d}%s\n",
+                     runs[i].threads, runs[i].wall_ms, runs.front().wall_ms / runs[i].wall_ms,
+                     runs[i].iterations, i + 1 < runs.size() ? "," : "");
+      } else {
+        std::fprintf(json,
+                     "      {\"threads\": %zu, \"wall_ms\": %.3f, \"iterations\": %d}%s\n",
+                     runs[i].threads, runs[i].wall_ms, runs[i].iterations,
+                     i + 1 < runs.size() ? "," : "");
+      }
     }
     std::fprintf(json, "    ]\n  },\n  \"mpc\": {\n    \"steps\": 96,\n");
     std::fprintf(json,

@@ -1,0 +1,17 @@
+#include "common/alloc_probe.hpp"
+
+#include <atomic>
+
+namespace gp {
+
+namespace {
+std::atomic<long long> g_alloc_count{0};
+}  // namespace
+
+long long alloc_probe_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+void alloc_probe_bump() noexcept { g_alloc_count.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace gp

@@ -1,0 +1,21 @@
+// Process-wide heap-allocation counter for the allocation-free hot-loop
+// contract (ADMM iteration loop, see qp/admm_solver).
+//
+// The library NEVER increments the counter itself: binaries that want
+// allocation accounting (tests/test_perf_kernels, bench/micro_admm_kernels)
+// define replacement global `operator new` / `operator delete` that call
+// alloc_probe_bump() before delegating to malloc/free. In every other
+// binary the counter stays at zero and the bracketing reads in the solver
+// are two relaxed atomic loads — cheap enough to run unconditionally.
+#pragma once
+
+namespace gp {
+
+/// Number of alloc_probe_bump() calls since process start (relaxed load).
+long long alloc_probe_count() noexcept;
+
+/// Increments the probe counter (relaxed fetch-add; async-signal unsafe
+/// like any allocator hook, but safe from any thread).
+void alloc_probe_bump() noexcept;
+
+}  // namespace gp

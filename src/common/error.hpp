@@ -25,7 +25,13 @@ class InvariantError : public std::logic_error {
 };
 
 /// Checks a documented precondition of a public entry point.
-inline void require(bool condition, const std::string& message,
+///
+/// The message is taken as `const char*` so that the (overwhelmingly common)
+/// string-literal call sites cost nothing on the success path: the previous
+/// `const std::string&` signature materialized a heap-allocated temporary on
+/// EVERY call, which showed up as per-iteration allocations inside the ADMM
+/// hot loop's sparse products.
+inline void require(bool condition, const char* message,
                     std::source_location loc = std::source_location::current()) {
   if (!condition) {
     throw PreconditionError(std::string(loc.file_name()) + ":" +
@@ -33,13 +39,25 @@ inline void require(bool condition, const std::string& message,
   }
 }
 
+/// Overload for call sites that build a dynamic message; the argument is
+/// only worth constructing when the caller already expects to pay for it.
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  require(condition, message.c_str(), loc);
+}
+
 /// Checks an internal invariant; failure indicates a bug in this library.
-inline void ensure(bool condition, const std::string& message,
+inline void ensure(bool condition, const char* message,
                    std::source_location loc = std::source_location::current()) {
   if (!condition) {
     throw InvariantError(std::string(loc.file_name()) + ":" +
                          std::to_string(loc.line()) + ": " + message);
   }
+}
+
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  ensure(condition, message.c_str(), loc);
 }
 
 }  // namespace gp

@@ -1,6 +1,7 @@
 #include "dspp/window_program.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/error.hpp"
 
@@ -155,8 +156,11 @@ void WindowProgram::update(const DsppModel& model, const PairIndex& pairs,
 
 void WindowProgram::write_parameters(const DsppModel& model, const PairIndex& pairs,
                                      const WindowInputs& inputs) {
-  const Vector capacity = inputs.capacity_override.value_or(
-      Vector(model.capacity.begin(), model.capacity.end()));
+  // View, not copy: update() runs once per MPC step per player, and the
+  // value_or form materialized a capacity vector on every call.
+  const std::span<const double> capacity = inputs.capacity_override.has_value()
+                                               ? std::span<const double>(*inputs.capacity_override)
+                                               : std::span<const double>(model.capacity);
   require(capacity.size() == num_l_, "WindowProgram: capacity override size != L");
 
   const std::size_t w = horizon_;

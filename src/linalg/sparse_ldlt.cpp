@@ -138,7 +138,12 @@ SparseLdlt::Status SparseLdlt::numeric_factor(const SparseMatrix& permuted_upper
 void SparseLdlt::solve_in_place(Vector& b) const {
   require(status_ == Status::kOk, "SparseLdlt::solve before successful factor()");
   require(b.size() == static_cast<std::size_t>(n_), "SparseLdlt::solve: size mismatch");
-  Vector x = permute(b, perm_);
+  // Permute into the persistent scratch (allocation-free after first use).
+  solve_scratch_.resize(static_cast<std::size_t>(n_));
+  Vector& x = solve_scratch_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = b[static_cast<std::size_t>(perm_[i])];
+  }
   // L y = x (unit lower triangular, stored by columns).
   for (std::int32_t c = 0; c < n_; ++c) {
     const double xc = x[static_cast<std::size_t>(c)];
@@ -161,7 +166,10 @@ void SparseLdlt::solve_in_place(Vector& b) const {
     }
     x[static_cast<std::size_t>(c)] = total;
   }
-  b = permute_inverse(x, perm_);
+  // Inverse-permute back into the caller's vector (perm_[new] = old).
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    b[static_cast<std::size_t>(perm_[i])] = x[i];
+  }
 }
 
 Vector SparseLdlt::solve(std::span<const double> b) const {

@@ -37,7 +37,10 @@ class SparseLdlt {
   /// factorization intact — callers must fall back to a fresh factor().
   Status refactor(const SparseMatrix& upper);
 
-  /// Solves A x = b in place; requires a successful factor().
+  /// Solves A x = b in place; requires a successful factor(). Uses a
+  /// persistent permutation scratch buffer, so after the first call at a
+  /// given size the solve performs no heap allocation (the ADMM hot loop
+  /// calls this once per iteration).
   void solve_in_place(Vector& b) const;
 
   /// Convenience out-of-place solve.
@@ -68,6 +71,7 @@ class SparseLdlt {
   std::vector<std::int32_t> l_row_idx_;
   std::vector<double> l_values_;
   Vector d_;
+  mutable Vector solve_scratch_;  // permuted RHS; reused across solves
   Status status_ = Status::kNotFactored;
 };
 

@@ -44,4 +44,92 @@ Vector constant(std::size_t size, double value);
 Vector project_box(std::span<const double> x, std::span<const double> lo,
                    std::span<const double> hi);
 
+// ---------------------------------------------------------------------------
+// Fused single-pass kernels for the ADMM hot loop (qp/admm_solver). Each one
+// is the literal element-wise expression of the scalar loop it replaces, so
+// results are BIT-identical to the unfused path — a requirement of the
+// deterministic-parallelism contract (DESIGN.md §6). All write into
+// caller-owned storage; none allocates.
+// ---------------------------------------------------------------------------
+
+/// y = a * x + b * y (one pass; the ADMM over-relaxed x update with
+/// a = alpha, b = 1 - alpha). Requires equal sizes.
+void axpby(double a, std::span<const double> x, double b, std::span<double> y);
+
+/// out = a - b and returns ||out||_inf in the same pass (the ADMM
+/// infeasibility-certificate deltas and their norms).
+double diff_norm_inf(std::span<const double> a, std::span<const double> b,
+                     std::span<double> out);
+
+/// Allocation-free project_box: out = clamp(x, lo, hi) element-wise.
+void project_box_into(std::span<const double> x, std::span<const double> lo,
+                      std::span<const double> hi, std::span<double> out);
+
+/// max_i |a_i| * scale_i (exact: scaling and max introduce no reordering).
+double inf_norm_scaled(std::span<const double> a, std::span<const double> scale);
+
+/// max_i |a_i - b_i| * scale_i — the ADMM primal residual ||Ax - z|| in
+/// unscaled row units, one pass.
+double inf_norm_scaled_diff(std::span<const double> a, std::span<const double> b,
+                            std::span<const double> scale);
+
+/// max_i |a_i + b_i + c_i| * scale_i * post — the ADMM dual residual
+/// ||Px + q + A^T y|| in unscaled column units, one pass.
+double inf_norm_scaled_sum3(std::span<const double> a, std::span<const double> b,
+                            std::span<const double> c, std::span<const double> scale,
+                            double post);
+
+/// One-pass primal-residual pair: res = max_i |a_i - b_i| * scale_i and
+/// norm = max_i max(|a_i| * scale_i, |b_i| * scale_i). Exactly the two maxima
+/// the ADMM termination check needs over (Ax, z), computed reading each input
+/// once instead of three times.
+void inf_norm_scaled_residual(std::span<const double> a, std::span<const double> b,
+                              std::span<const double> scale, double& res, double& norm);
+
+/// One-pass dual-residual pair: res = max_i |a_i + b_i + c_i| * scale_i * post
+/// and norm = max_i max(|a_i|, |b_i|, |c_i|) * scale_i, scaled by post after
+/// the reduction (max-then-scale equals scale-then-max bitwise for post > 0:
+/// rounding under multiplication by a positive constant is monotone).
+void inf_norm_scaled_residual3(std::span<const double> a, std::span<const double> b,
+                               std::span<const double> c, std::span<const double> scale,
+                               double post, double& res, double& norm);
+
+/// out = z + (nu - y) / rho — the z~ step of the ADMM iteration.
+void admm_z_tilde(std::span<const double> z, std::span<const double> nu,
+                  std::span<const double> y, std::span<const double> rho,
+                  std::span<double> out);
+
+/// out = alpha * z_tilde + (1 - alpha) * z + y / rho — the over-relaxed
+/// three-term z candidate.
+void admm_z_candidate(double alpha, std::span<const double> z_tilde,
+                      std::span<const double> z, std::span<const double> y,
+                      std::span<const double> rho, std::span<double> out);
+
+/// admm_z_candidate with the y / rho quotients already computed (the KKT
+/// right-hand side build forms the same quotients earlier in the iteration;
+/// reusing them drops one full vector of divisions per iteration, and the
+/// result is bit-identical because it is the same operation on the same
+/// operands).
+void admm_z_candidate_cached(double alpha, std::span<const double> z_tilde,
+                             std::span<const double> z,
+                             std::span<const double> y_over_rho, std::span<double> out);
+
+/// y = rho * (z_candidate - z_next) — the ADMM dual update.
+void admm_dual_update(std::span<const double> rho, std::span<const double> z_candidate,
+                      std::span<const double> z_next, std::span<double> y);
+
+/// axpby fused with the certificate delta: x <- a * src + b * x,
+/// delta = x_new - x_old, returns ||delta||_inf. Bit-identical to running
+/// axpby, then subtracting a saved copy of the old iterate — without the
+/// copy or the extra pass. For residual-check iterations.
+double axpby_delta(double a, std::span<const double> src, double b, std::span<double> x,
+                   std::span<double> delta);
+
+/// admm_dual_update fused with the certificate delta: y <- rho * (zc - zn),
+/// delta = y_new - y_old, returns ||delta||_inf. Same contract as
+/// axpby_delta. For residual-check iterations.
+double admm_dual_update_delta(std::span<const double> rho, std::span<const double> z_candidate,
+                              std::span<const double> z_next, std::span<double> y,
+                              std::span<double> delta);
+
 }  // namespace gp::linalg

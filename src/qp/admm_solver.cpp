@@ -1,8 +1,10 @@
 #include "qp/admm_solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "common/alloc_probe.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -65,12 +67,17 @@ std::pair<double, double> kkt_residuals(const QpProblem& problem, const Vector& 
 }
 
 /// OSQP-style polish: equality-constrained QP on the active rows (see
-/// AdmmSettings::polish). Returns true and overwrites (x, y) on success.
-bool polish_solution(const QpProblem& problem, const AdmmSettings& settings, Vector& x,
-                     Vector& y) {
+/// AdmmSettings::polish). `a_mirror` is the solver's CSR mirror of the
+/// UNSCALED constraint matrix: its rows are the columns of A^T, which is
+/// exactly what the active-set assembly below walks — so the per-polish
+/// problem.a.transposed() materialization is gone. Returns true and
+/// overwrites (x, y) on success.
+bool polish_solution(const QpProblem& problem, const AdmmSettings& settings,
+                     const linalg::RowMajorMirror& a_mirror, Vector& x, Vector& y) {
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
-  const Vector ax = problem.a.multiply(x);
+  Vector ax(m, 0.0);
+  a_mirror.multiply_accumulate(1.0, x, ax);
 
   // Detect the active set from the duals (sign convention: y > 0 pushes on
   // the upper bound) with a primal confirmation.
@@ -107,13 +114,18 @@ bool polish_solution(const QpProblem& problem, const AdmmSettings& settings, Vec
   for (std::size_t j = 0; j < n; ++j) {
     triplets.push_back({static_cast<std::int32_t>(j), static_cast<std::int32_t>(j), reg});
   }
-  // Rows of A restricted to the active set, as columns n..n+k-1.
-  const auto at = problem.a.transposed();  // columns of A^T are rows of A
+  // Rows of A restricted to the active set, as columns n..n+k-1 (row r of
+  // the CSR mirror = column r of A^T, entries already sorted by variable).
+  const auto row_ptr = a_mirror.row_ptr();
+  const auto col_idx = a_mirror.col_idx();
+  const auto a_values = a_mirror.values();
   for (std::size_t r = 0; r < k; ++r) {
     const std::int32_t row = active_rows[r];
-    for (std::int32_t e = at.col_ptr()[row]; e < at.col_ptr()[row + 1]; ++e) {
-      triplets.push_back({at.row_idx()[e], static_cast<std::int32_t>(n + r),
-                          at.values()[e]});
+    for (std::int32_t e = row_ptr[static_cast<std::size_t>(row)];
+         e < row_ptr[static_cast<std::size_t>(row) + 1]; ++e) {
+      triplets.push_back({col_idx[static_cast<std::size_t>(e)],
+                          static_cast<std::int32_t>(n + r),
+                          a_values[static_cast<std::size_t>(e)]});
     }
     triplets.push_back({static_cast<std::int32_t>(n + r), static_cast<std::int32_t>(n + r),
                         -reg});
@@ -139,9 +151,11 @@ bool polish_solution(const QpProblem& problem, const AdmmSettings& settings, Vec
     // A_act^T nu contribution on the first block; A_act xs on the second.
     for (std::size_t r = 0; r < k; ++r) {
       const std::int32_t row = active_rows[r];
-      for (std::int32_t e = at.col_ptr()[row]; e < at.col_ptr()[row + 1]; ++e) {
-        residual[static_cast<std::size_t>(at.row_idx()[e])] -= at.values()[e] * nu[r];
-        residual[n + r] -= at.values()[e] * xs[static_cast<std::size_t>(at.row_idx()[e])];
+      for (std::int32_t e = row_ptr[static_cast<std::size_t>(row)];
+           e < row_ptr[static_cast<std::size_t>(row) + 1]; ++e) {
+        const auto var = static_cast<std::size_t>(col_idx[static_cast<std::size_t>(e)]);
+        residual[var] -= a_values[static_cast<std::size_t>(e)] * nu[r];
+        residual[n + r] -= a_values[static_cast<std::size_t>(e)] * xs[var];
       }
     }
     const Vector correction = ldlt.solve(residual);
@@ -165,6 +179,28 @@ bool polish_solution(const QpProblem& problem, const AdmmSettings& settings, Vec
 }
 
 }  // namespace
+
+void AdmmWorkspace::resize(std::size_t n, std::size_t m) {
+  x.assign(n, 0.0);
+  z.assign(m, 0.0);
+  y.assign(m, 0.0);
+  rhs.assign(n + m, 0.0);
+  z_tilde.assign(m, 0.0);
+  z_candidate.assign(m, 0.0);
+  z_next.assign(m, 0.0);
+  ax.assign(m, 0.0);
+  px.assign(n, 0.0);
+  aty.assign(n, 0.0);
+  delta_x.assign(n, 0.0);
+  delta_y.assign(m, 0.0);
+  at_dy.assign(n, 0.0);
+  p_dx.assign(n, 0.0);
+  a_dx.assign(m, 0.0);
+  rho.assign(m, 0.0);
+  y_over_rho.assign(m, 0.0);
+  inv_d.assign(n, 0.0);
+  inv_e.assign(m, 0.0);
+}
 
 QpResult AdmmSolver::solve(const QpProblem& original) {
   obs::Span span("admm.solve");
@@ -198,6 +234,8 @@ QpResult AdmmSolver::solve(const QpProblem& original) {
     if (result.info.factorization_skipped) {
       registry.counter("admm.factorizations_skipped").add(1);
     }
+    registry.counter("admm.allocs").add(result.info.hot_loop_allocations);
+    registry.counter("admm.spmv_ns").add(result.info.residual_spmv_ns);
     registry.histogram("admm.iterations_per_solve").record(result.iterations);
     registry.histogram("admm.solve_ms").record(span.elapsed_ms());
   }
@@ -258,6 +296,23 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     scaling = Scaling::identity(n, m);
   }
 
+  // Size the solver-owned workspace (allocation-free when the shape is
+  // unchanged — the receding-horizon case) and precompute the reciprocal
+  // scalings the residual kernels consume.
+  AdmmWorkspace& ws = workspace_;
+  ws.resize(n, m);
+  for (std::size_t j = 0; j < n; ++j) ws.inv_d[j] = 1.0 / scaling.d[j];
+  for (std::size_t i = 0; i < m; ++i) ws.inv_e[i] = 1.0 / scaling.e[i];
+  const double inv_c = 1.0 / scaling.cost_scale;
+
+  // CSR mirror of the scaled constraint matrix: pattern built once per
+  // structure, values refreshed in place on every later solve.
+  if (a_mirror_.pattern_matches(problem.a)) {
+    a_mirror_.update_values(problem.a);
+  } else {
+    a_mirror_.build(problem.a);
+  }
+
   // Per-row rho: stiffer on equality rows, zero-safe on free rows. When the
   // row classification is unchanged, a cache hit carries the previous
   // solve's (possibly adapted) rho forward so the factorization can be
@@ -268,7 +323,7 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     const bool unbounded = problem.lower[i] == -kInfinity && problem.upper[i] == kInfinity;
     row_class[i] = equality ? 1 : (unbounded ? 2 : 0);
   }
-  Vector rho(m);
+  Vector& rho = ws.rho;
   const bool reuse_rho = use_cache && row_class == cached_row_class_;
   if (reuse_rho) {
     rho = cached_rho_;
@@ -303,9 +358,11 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     result.info.factorization_skipped = true;
   } else {
     obs::Span factor_span("admm.factor");
-    const SparseMatrix kkt_upper = build_kkt_upper(problem.p, problem.a, settings_.sigma, rho);
+    // Kept as a member so the in-loop adaptive-rho refactorization can
+    // rewrite the -1/rho diagonal in place instead of reassembling.
+    kkt_upper_ = build_kkt_upper(problem.p, problem.a, settings_.sigma, rho);
     const SparseLdlt::Status status =
-        use_cache ? kkt.refactor(kkt_upper) : kkt.factor(kkt_upper);
+        use_cache ? kkt.refactor(kkt_upper_) : kkt.factor(kkt_upper_);
     if (use_cache) {
       ++cache_stats_.refactorizations;
     } else {
@@ -318,69 +375,96 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     }
   }
 
-  Vector x(n, 0.0), z(m, 0.0), y(m, 0.0);
+  Vector& x = ws.x;  // zeroed by ws.resize above
+  Vector& y = ws.y;
   // Warm start: scale the cached/pending unscaled iterate into the scaled
   // space of THIS problem (x_s = x / d, y_s = y * c / e) and set z = A x.
   if (warm_x_.size() == n && warm_y_.size() == m) {
     for (std::size_t j = 0; j < n; ++j) x[j] = warm_x_[j] / scaling.d[j];
     for (std::size_t i = 0; i < m; ++i) y[i] = warm_y_[i] * scaling.cost_scale / scaling.e[i];
-    z = problem.a.multiply(x);
-    z = linalg::project_box(z, problem.lower, problem.upper);
+    a_mirror_.multiply_accumulate(1.0, x, ws.z);
+    linalg::project_box_into(ws.z, problem.lower, problem.upper, ws.z);
   }
   warm_x_.clear();
   warm_y_.clear();
-  Vector x_prev(n, 0.0), y_prev(m, 0.0);
-  Vector rhs(n + m, 0.0);
+
+  // --- Hot loop. Everything below reads/writes the workspace through the
+  // fused kernels in linalg/vector_ops; after the sizing solve the loop
+  // performs no heap allocation (tracked by the alloc probe, with the
+  // unavoidable refactor/trace segments excluded and reported separately).
+  const std::span<double> rhs_x(ws.rhs.data(), n);
+  const std::span<const double> rhs_nu(ws.rhs.data() + n, m);
+  auto& registry = obs::Registry::global();
+  const bool time_spmv = registry.enabled();
+  const long long allocs_at_loop_entry = gp::alloc_probe_count();
+  long long excluded_allocs = 0;
+  long long spmv_ns = 0;
 
   int iteration = 0;
   for (; iteration < settings_.max_iterations; ++iteration) {
-    x_prev = x;
-    y_prev = y;
+    // Residual/certificate cadence, known up front: check iterations route
+    // the x and y updates through the *_delta kernels, which produce the
+    // certificate deltas as a by-product — so no previous-iterate copies
+    // are ever made.
+    const bool check = (iteration + 1) % settings_.check_interval == 0;
 
     // Build the KKT right-hand side.
-    for (std::size_t j = 0; j < n; ++j) rhs[j] = settings_.sigma * x[j] - problem.q[j];
-    for (std::size_t i = 0; i < m; ++i) rhs[n + i] = z[i] - y[i] / rho[i];
-    kkt.solve_in_place(rhs);
+    for (std::size_t j = 0; j < n; ++j) ws.rhs[j] = settings_.sigma * x[j] - problem.q[j];
+    // The y / rho quotients feed both the rhs here and the z-candidate step
+    // below; form them once (rho only changes between iterations).
+    for (std::size_t i = 0; i < m; ++i) {
+      const double yr = y[i] / rho[i];
+      ws.y_over_rho[i] = yr;
+      ws.rhs[n + i] = ws.z[i] - yr;
+    }
+    kkt.solve_in_place(ws.rhs);
 
     // x~ = rhs[0..n), nu = rhs[n..n+m); z~ = z + (nu - y) / rho.
-    Vector z_tilde(m);
-    for (std::size_t i = 0; i < m; ++i) z_tilde[i] = z[i] + (rhs[n + i] - y[i]) / rho[i];
+    linalg::admm_z_tilde(ws.z, rhs_nu, y, rho, ws.z_tilde);
 
-    // Over-relaxed updates.
+    // Over-relaxed updates (delta-producing variants on check iterations,
+    // bit-identical to the plain kernels).
     const double alpha = settings_.alpha;
-    for (std::size_t j = 0; j < n; ++j) x[j] = alpha * rhs[j] + (1.0 - alpha) * x[j];
-    Vector z_candidate(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      z_candidate[i] = alpha * z_tilde[i] + (1.0 - alpha) * z[i] + y[i] / rho[i];
+    double delta_x_norm = 0.0;
+    if (check) {
+      delta_x_norm = linalg::axpby_delta(alpha, rhs_x, 1.0 - alpha, x, ws.delta_x);
+    } else {
+      linalg::axpby(alpha, rhs_x, 1.0 - alpha, x);
     }
-    const Vector z_next = linalg::project_box(z_candidate, problem.lower, problem.upper);
-    for (std::size_t i = 0; i < m; ++i) {
-      y[i] = rho[i] * (z_candidate[i] - z_next[i]);
+    linalg::admm_z_candidate_cached(alpha, ws.z_tilde, ws.z, ws.y_over_rho, ws.z_candidate);
+    linalg::project_box_into(ws.z_candidate, problem.lower, problem.upper, ws.z_next);
+    double delta_y_norm = 0.0;
+    if (check) {
+      delta_y_norm = linalg::admm_dual_update_delta(rho, ws.z_candidate, ws.z_next, y,
+                                                    ws.delta_y);
+    } else {
+      linalg::admm_dual_update(rho, ws.z_candidate, ws.z_next, y);
     }
-    z = z_next;
+    std::swap(ws.z, ws.z_next);
 
-    if ((iteration + 1) % settings_.check_interval != 0) continue;
+    if (!check) continue;
 
-    // --- Residuals in UNSCALED quantities. ---
-    const Vector ax = problem.a.multiply(x);
-    const Vector px = problem.p.multiply(x);
-    const Vector aty = problem.a.multiply_transposed(y);
+    // --- Residuals in UNSCALED quantities, via the CSR mirror. ---
+    std::chrono::steady_clock::time_point spmv_start{};
+    if (time_spmv) spmv_start = std::chrono::steady_clock::now();
+    a_mirror_.multiply_into(1.0, x, ws.ax);
+    std::fill(ws.px.begin(), ws.px.end(), 0.0);
+    problem.p.multiply_accumulate(1.0, x, ws.px);
+    std::fill(ws.aty.begin(), ws.aty.end(), 0.0);
+    a_mirror_.multiply_transposed_accumulate(1.0, y, ws.aty);
+    if (time_spmv) {
+      spmv_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - spmv_start)
+                     .count();
+    }
 
+    // One pass over the rows and one over the columns; bitwise equal to the
+    // separate per-array reductions (max is exact, scaling is monotone).
     double prim_res = 0.0, prim_norm = 0.0;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double inv_e = 1.0 / scaling.e[i];
-      prim_res = std::max(prim_res, std::abs(ax[i] - z[i]) * inv_e);
-      prim_norm = std::max({prim_norm, std::abs(ax[i]) * inv_e, std::abs(z[i]) * inv_e});
-    }
+    linalg::inf_norm_scaled_residual(ws.ax, ws.z, ws.inv_e, prim_res, prim_norm);
     double dual_res = 0.0, dual_norm = 0.0;
-    const double inv_c = 1.0 / scaling.cost_scale;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double inv_d = 1.0 / scaling.d[j];
-      dual_res = std::max(dual_res, std::abs(px[j] + problem.q[j] + aty[j]) * inv_d * inv_c);
-      dual_norm = std::max({dual_norm, std::abs(px[j]) * inv_d * inv_c,
-                            std::abs(aty[j]) * inv_d * inv_c,
-                            std::abs(problem.q[j]) * inv_d * inv_c});
-    }
+    linalg::inf_norm_scaled_residual3(ws.px, problem.q, ws.aty, ws.inv_d, inv_c, dual_res,
+                                      dual_norm);
 
     const double eps_prim = settings_.eps_abs + settings_.eps_rel * prim_norm;
     const double eps_dual = settings_.eps_abs + settings_.eps_rel * dual_norm;
@@ -389,8 +473,12 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     if (obs::tracing_enabled()) {
       // Residual trajectories, sampled at the check cadence (counter events
       // in the trace; concurrent best responses interleave by timestamp).
+      // Trace emission allocates by design; keep it out of the hot-loop
+      // allocation accounting.
+      const long long trace_allocs_before = gp::alloc_probe_count();
       obs::Tracer::global().counter("admm.primal_residual", prim_res);
       obs::Tracer::global().counter("admm.dual_residual", dual_res);
+      excluded_allocs += gp::alloc_probe_count() - trace_allocs_before;
     }
 
     if (prim_res <= eps_prim && dual_res <= eps_dual) {
@@ -399,17 +487,15 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
       break;
     }
 
-    // --- Infeasibility certificates (on scaled deltas, normalized). ---
-    Vector delta_y(m), delta_x(n);
-    for (std::size_t i = 0; i < m; ++i) delta_y[i] = y[i] - y_prev[i];
-    for (std::size_t j = 0; j < n; ++j) delta_x[j] = x[j] - x_prev[j];
-    const double delta_y_norm = linalg::norm_inf(delta_y);
+    // --- Infeasibility certificates (on scaled deltas, normalized; the
+    // deltas and their norms came out of the *_delta update kernels). ---
     if (delta_y_norm > settings_.eps_infeasible) {
-      const Vector at_dy = problem.a.multiply_transposed(delta_y);
+      std::fill(ws.at_dy.begin(), ws.at_dy.end(), 0.0);
+      a_mirror_.multiply_transposed_accumulate(1.0, ws.delta_y, ws.at_dy);
       double support = 0.0;
       bool valid = true;
       for (std::size_t i = 0; i < m; ++i) {
-        const double dy = delta_y[i];
+        const double dy = ws.delta_y[i];
         if (dy > 0) {
           if (problem.upper[i] == kInfinity) { valid = false; break; }
           support += problem.upper[i] * dy;
@@ -418,23 +504,23 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
           support += problem.lower[i] * dy;
         }
       }
-      if (valid && linalg::norm_inf(at_dy) <= settings_.eps_infeasible * delta_y_norm &&
+      if (valid && linalg::norm_inf(ws.at_dy) <= settings_.eps_infeasible * delta_y_norm &&
           support <= -settings_.eps_infeasible * delta_y_norm) {
         result.status = SolveStatus::kPrimalInfeasible;
         ++iteration;
         break;
       }
     }
-    const double delta_x_norm = linalg::norm_inf(delta_x);
     if (delta_x_norm > settings_.eps_infeasible) {
-      const Vector p_dx = problem.p.multiply(delta_x);
-      const Vector a_dx = problem.a.multiply(delta_x);
-      const double q_dx = linalg::dot(problem.q, delta_x);
-      bool certificate = linalg::norm_inf(p_dx) <= settings_.eps_infeasible * delta_x_norm &&
+      std::fill(ws.p_dx.begin(), ws.p_dx.end(), 0.0);
+      problem.p.multiply_accumulate(1.0, ws.delta_x, ws.p_dx);
+      a_mirror_.multiply_into(1.0, ws.delta_x, ws.a_dx);
+      const double q_dx = linalg::dot(problem.q, ws.delta_x);
+      bool certificate = linalg::norm_inf(ws.p_dx) <= settings_.eps_infeasible * delta_x_norm &&
                          q_dx <= -settings_.eps_infeasible * delta_x_norm;
       if (certificate) {
         for (std::size_t i = 0; i < m && certificate; ++i) {
-          const double v = a_dx[i];
+          const double v = ws.a_dx[i];
           if (problem.upper[i] != kInfinity && v > settings_.eps_infeasible * delta_x_norm) {
             certificate = false;
           }
@@ -460,11 +546,22 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
         for (std::size_t i = 0; i < m; ++i) {
           rho[i] = std::min(std::max(rho[i] * factor, 1e-6), 1e6);
         }
-        const SparseMatrix kkt_upper =
-            build_kkt_upper(problem.p, problem.a, settings_.sigma, rho);
+        // Rewrite the -1/rho diagonal of the cached KKT upper triangle in
+        // place: the diagonal of column n+i is its LAST entry (all A^T-block
+        // rows in that column are < n), so no triplet reassembly is needed.
+        const auto kkt_col_ptr = kkt_upper_.col_ptr();
+        const std::span<double> kkt_values = kkt_upper_.mutable_values();
+        for (std::size_t i = 0; i < m; ++i) {
+          kkt_values[static_cast<std::size_t>(kkt_col_ptr[n + i + 1]) - 1] = -1.0 / rho[i];
+        }
         ++cache_stats_.refactorizations;
         ++result.info.factorizations;
-        if (kkt.refactor(kkt_upper) != SparseLdlt::Status::kOk) {
+        // The numeric refactorization allocates internally (permuted copy);
+        // it is a factorization cost, not an iteration cost — excluded.
+        const long long refactor_allocs_before = gp::alloc_probe_count();
+        const SparseLdlt::Status refactor_status = kkt.refactor(kkt_upper_);
+        excluded_allocs += gp::alloc_probe_count() - refactor_allocs_before;
+        if (refactor_status != SparseLdlt::Status::kOk) {
           result.status = SolveStatus::kNumericalError;
           break;
         }
@@ -473,6 +570,9 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
   }
 
   result.iterations = iteration;
+  result.info.hot_loop_allocations =
+      gp::alloc_probe_count() - allocs_at_loop_entry - excluded_allocs;
+  result.info.residual_spmv_ns = spmv_ns;
   // Unscale the solution: x = D x_s, y = E y_s / c.
   result.x.assign(n, 0.0);
   for (std::size_t j = 0; j < n; ++j) result.x[j] = scaling.d[j] * x[j];
@@ -480,7 +580,14 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
   for (std::size_t i = 0; i < m; ++i) result.y[i] = scaling.e[i] * y[i] / scaling.cost_scale;
   if (settings_.polish && result.status == SolveStatus::kOptimal) {
     obs::Span polish_span("admm.polish");
-    if (polish_solution(original, settings_, result.x, result.y)) {
+    // Mirror of the UNSCALED constraint matrix (the polish works on the
+    // original problem); built once per structure, values refreshed here.
+    if (polish_mirror_.pattern_matches(original.a)) {
+      polish_mirror_.update_values(original.a);
+    } else {
+      polish_mirror_.build(original.a);
+    }
+    if (polish_solution(original, settings_, polish_mirror_, result.x, result.y)) {
       const auto [primal, dual] = kkt_residuals(original, result.x, result.y);
       result.primal_residual = primal;
       result.dual_residual = dual;
@@ -506,7 +613,7 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     cached_p_values_.assign(problem.p.values().begin(), problem.p.values().end());
     cached_a_values_.assign(problem.a.values().begin(), problem.a.values().end());
     cached_scaling_ = std::move(scaling);
-    cached_rho_ = std::move(rho);
+    cached_rho_.assign(rho.begin(), rho.end());  // rho aliases workspace_.rho
     cached_row_class_ = std::move(row_class);
   }
   return result;

@@ -59,6 +59,27 @@ struct AdmmSettings {
   bool cache_structure = true;
 };
 
+/// Solver-owned scratch for the ADMM iteration: every per-iteration vector
+/// lives here, sized once per problem shape and reused across solves (and
+/// across WindowProgram::update re-solves). After the sizing solve, the
+/// iteration loop performs ZERO heap allocations — enforced by the
+/// alloc-probe test (tests/test_perf_kernels) and reported per solve in
+/// SolveInfo::hot_loop_allocations.
+struct AdmmWorkspace {
+  linalg::Vector x, z, y;              // scaled iterates
+  linalg::Vector rhs;                  // KKT right-hand side, size n + m
+  linalg::Vector z_tilde, z_candidate, z_next;
+  linalg::Vector ax, px, aty;          // residual products
+  linalg::Vector delta_x, delta_y;     // certificate deltas
+  linalg::Vector at_dy, p_dx, a_dx;    // certificate products
+  linalg::Vector rho;                  // per-row step sizes
+  linalg::Vector y_over_rho;           // y / rho, computed once per iteration
+  linalg::Vector inv_d, inv_e;         // reciprocal scalings for residuals
+  /// (Re)sizes every buffer and zeroes the iterates. std::vector::assign
+  /// reuses capacity, so this allocates only when the shape grows.
+  void resize(std::size_t n, std::size_t m);
+};
+
 /// Counters describing how much setup work the structure cache avoided.
 struct AdmmCacheStats {
   long long solves = 0;
@@ -112,6 +133,19 @@ class AdmmSolver final : public QpSolver {
   linalg::Vector cached_rho_;               // per-row rho kkt_ was factored with
   std::vector<std::uint8_t> cached_row_class_;  // 0 ineq / 1 equality / 2 unbounded
   linalg::SparseLdlt kkt_;                  // persistent across solves
+  // KKT upper triangle backing kkt_'s current factorization. Kept so the
+  // in-solve adaptive-rho refactorization can rewrite the -1/rho diagonal
+  // in place (each -1/rho_i is the LAST entry of column n+i, because every
+  // A^T-block row in that column is < n) instead of reassembling triplets.
+  linalg::SparseMatrix kkt_upper_;
+  // CSR mirror of the SCALED constraint matrix: residual and certificate
+  // products run through it (pattern built once per structure, values
+  // refreshed allocation-free per solve).
+  linalg::RowMajorMirror a_mirror_;
+  // CSR mirror of the UNSCALED constraint matrix, built only when polish is
+  // enabled (replaces the per-polish problem.a.transposed()).
+  linalg::RowMajorMirror polish_mirror_;
+  AdmmWorkspace workspace_;
   AdmmCacheStats cache_stats_;
 };
 

@@ -36,6 +36,15 @@ struct SolveInfo {
   int cache_hits = 0;          ///< 1 when cached scaling + symbolic analysis
                                ///< were reused (AdmmSolver structure hit)
   bool factorization_skipped = false;  ///< cached factor reused outright
+  long long hot_loop_allocations = 0;  ///< heap allocations observed inside the
+                                       ///< ADMM iteration loop (alloc probe
+                                       ///< delta minus excluded refactor/trace
+                                       ///< segments; stays 0 unless the binary
+                                       ///< installs the gp::alloc_probe hook)
+  long long residual_spmv_ns = 0;      ///< wall ns spent in the residual /
+                                       ///< certificate sparse products at the
+                                       ///< check cadence (recorded only when
+                                       ///< the metrics registry is enabled)
 };
 
 /// Primal/dual solution of a QpProblem.

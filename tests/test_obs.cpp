@@ -306,6 +306,36 @@ TEST(ExportTest, JsonlRoundTripsThroughTheFile) {
   EXPECT_TRUE(saw_span) << all;
 }
 
+TEST(SolveInfoTest, AdmmExportsHotLoopCountersToGlobalRegistry) {
+  // The solver mirrors SolveInfo::hot_loop_allocations and
+  // ::residual_spmv_ns into the global registry as admm.allocs /
+  // admm.spmv_ns when it is enabled. This binary installs no operator-new
+  // hooks, so the alloc counter must be exactly zero; the SpMV timer runs
+  // off the wall clock and must be populated (timing is only collected
+  // while the registry is enabled).
+  gp::qp::QpProblem problem;
+  problem.p = gp::linalg::SparseMatrix::identity(2);
+  problem.q = {1.0, 1.0};
+  problem.a = gp::linalg::SparseMatrix::from_triplets(1, 2, {{0, 0, 1.0}, {0, 1, 1.0}});
+  problem.lower = {1.0};
+  problem.upper = {1.0};
+
+  auto& registry = Registry::global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  registry.reset_values();
+
+  gp::qp::AdmmSolver solver;
+  const auto result = solver.solve(problem);
+  registry.set_enabled(was_enabled);
+
+  ASSERT_EQ(result.status, gp::qp::SolveStatus::kOptimal);
+  EXPECT_EQ(registry.counter("admm.allocs").value(), result.info.hot_loop_allocations);
+  EXPECT_EQ(result.info.hot_loop_allocations, 0);
+  EXPECT_EQ(registry.counter("admm.spmv_ns").value(), result.info.residual_spmv_ns);
+  EXPECT_GT(result.info.residual_spmv_ns, 0);
+}
+
 TEST(SolveInfoTest, AdmmPopulatesFactorizationAndCacheFields) {
   // Two structurally identical QPs solved through one caching solver: the
   // first solve factors from scratch (cache_hits == 0), the second reuses

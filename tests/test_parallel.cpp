@@ -380,6 +380,34 @@ TEST(AdmmCache, PatternChangeFallsBackToFullSetup) {
   EXPECT_GE(solver.cache_stats().full_factorizations, 2LL);
 }
 
+TEST(AdmmWorkspace, ConcurrentWarmSolversAreRaceFreeAndBitIdentical) {
+  // Each AdmmSolver owns its workspace; concurrent solvers sharing one
+  // read-only QpProblem must not race (this is the configuration the
+  // parallel best-response sweep runs, and the one the tsan preset checks).
+  // Every lane re-solves twice so the second solve exercises the REUSED
+  // warm workspace, and all lanes must produce bitwise-identical iterates.
+  const auto provider = sample_providers(1, 23).front();
+  const dspp::PairIndex pairs(provider.model);
+  const dspp::WindowProgram program(provider.model, pairs, inputs_for(provider));
+  const qp::QpProblem& problem = program.problem();
+
+  constexpr std::size_t kLanes = 4;
+  std::vector<qp::QpResult> warm_results(kLanes);
+  ThreadPool pool(kLanes);
+  pool.parallel_for(0, kLanes, [&](std::size_t lane) {
+    qp::AdmmSolver solver;
+    (void)solver.solve(problem);  // sizes the workspace
+    warm_results[lane] = solver.solve(problem);
+  });
+
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    ASSERT_EQ(warm_results[lane].status, qp::SolveStatus::kOptimal) << "lane " << lane;
+    EXPECT_EQ(warm_results[lane].info.hot_loop_allocations, 0) << "lane " << lane;
+    EXPECT_EQ(warm_results[lane].x, warm_results[0].x) << "lane " << lane;
+    EXPECT_EQ(warm_results[lane].y, warm_results[0].y) << "lane " << lane;
+  }
+}
+
 TEST(ParallelGame, WarmStartMatchesColdStartEquilibrium) {
   // Regression for the warm-start cross-contamination bug: with one solver
   // PER PROVIDER, enabling auto_warm_start must converge to the same

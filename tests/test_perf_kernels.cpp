@@ -1,0 +1,374 @@
+// Tests for the allocation-free ADMM hot loop and its kernels: bitwise
+// equivalence of the CSR mirror against the CSC reference products, of the
+// fused/multi-lane vector_ops kernels against naive scalar transcriptions,
+// and the zero-heap-allocation contract of the warm iteration loop.
+//
+// This binary installs counting operator new / operator delete so the
+// solver's SolveInfo::hot_loop_allocations field reports real measurements
+// (the library never installs the hooks itself — see common/alloc_probe.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "common/alloc_probe.hpp"
+#include "common/rng.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "qp/admm_solver.hpp"
+#include "qp/ipm_solver.hpp"
+
+void* operator new(std::size_t size) {
+  gp::alloc_probe_bump();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  gp::alloc_probe_bump();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gp {
+namespace {
+
+using linalg::RowMajorMirror;
+using linalg::SparseMatrix;
+using linalg::Triplet;
+using linalg::Vector;
+using qp::kInfinity;
+
+SparseMatrix random_sparse(std::int32_t rows, std::int32_t cols, double density, Rng& rng) {
+  std::vector<Triplet> triplets;
+  for (std::int32_t r = 0; r < rows; ++r)
+    for (std::int32_t c = 0; c < cols; ++c)
+      if (rng.uniform() < density) triplets.push_back({r, c, rng.uniform(-1.0, 1.0)});
+  return SparseMatrix::from_triplets(rows, cols, triplets);
+}
+
+/// Random vector with a meaningful fraction of EXACT zeros, so the products'
+/// zero-term skip path is exercised, not just the dense path.
+Vector random_with_zeros(std::size_t size, Rng& rng) {
+  Vector v(size);
+  for (auto& x : v) x = rng.uniform() < 0.35 ? 0.0 : rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+/// Bitwise (0 ULP) equality — operator== on doubles would conflate +0.0 with
+/// -0.0 and is therefore too weak for the determinism contract.
+void expect_bits_equal(const Vector& a, const Vector& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+}
+
+void expect_bits_equal(double a, double b) {
+  std::uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  EXPECT_EQ(ba, bb);
+}
+
+/// Strictly convex QP with equality, inequality, and unbounded rows, built
+/// around a feasible point so the ADMM solve converges.
+qp::QpProblem random_feasible_qp(std::size_t n, std::size_t m, Rng& rng) {
+  qp::QpProblem problem;
+  std::vector<Triplet> p_triplets;
+  for (std::size_t i = 0; i < n; ++i) {
+    p_triplets.push_back(
+        {static_cast<std::int32_t>(i), static_cast<std::int32_t>(i), 2.0 + rng.uniform()});
+  }
+  problem.p = SparseMatrix::from_triplets(static_cast<std::int32_t>(n),
+                                          static_cast<std::int32_t>(n), p_triplets);
+  problem.q.assign(n, 0.0);
+  for (auto& v : problem.q) v = rng.uniform(-1.0, 1.0);
+  std::vector<Triplet> a_triplets;
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      if (rng.uniform() < 0.4) {
+        a_triplets.push_back({static_cast<std::int32_t>(r), static_cast<std::int32_t>(c),
+                              rng.uniform(-1.0, 1.0)});
+      }
+  problem.a = SparseMatrix::from_triplets(static_cast<std::int32_t>(m),
+                                          static_cast<std::int32_t>(n), a_triplets);
+  Vector x0(n);
+  for (auto& v : x0) v = rng.uniform(-1.0, 1.0);
+  const Vector ax0 = problem.a.multiply(x0);
+  problem.lower.assign(m, 0.0);
+  problem.upper.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    problem.lower[r] = ax0[r] - rng.uniform(0.1, 1.0);
+    problem.upper[r] = ax0[r] + rng.uniform(0.1, 1.0);
+  }
+  return problem;
+}
+
+// ------------------------------------------------ CSR mirror vs CSC products
+
+TEST(MirrorProducts, MultiplyMatchesCscBitwise) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const auto rows = static_cast<std::int32_t>(rng.uniform_int(1, 40));
+    const auto cols = static_cast<std::int32_t>(rng.uniform_int(1, 40));
+    const SparseMatrix a = random_sparse(rows, cols, 0.25, rng);
+    const RowMajorMirror mirror(a);
+    const Vector x = random_with_zeros(static_cast<std::size_t>(cols), rng);
+    const double alpha = rng.uniform(-2.0, 2.0);
+
+    Vector csc(static_cast<std::size_t>(rows), 0.0);
+    a.multiply_accumulate(alpha, x, csc);
+    Vector via_mirror(static_cast<std::size_t>(rows), 0.0);
+    mirror.multiply_accumulate(alpha, x, via_mirror);
+    expect_bits_equal(csc, via_mirror);
+  }
+}
+
+TEST(MirrorProducts, MultiplyTransposedMatchesCscBitwise) {
+  for (std::uint64_t seed = 11; seed <= 18; ++seed) {
+    Rng rng(seed);
+    const auto rows = static_cast<std::int32_t>(rng.uniform_int(1, 40));
+    const auto cols = static_cast<std::int32_t>(rng.uniform_int(1, 40));
+    const SparseMatrix a = random_sparse(rows, cols, 0.25, rng);
+    const RowMajorMirror mirror(a);
+    const Vector x = random_with_zeros(static_cast<std::size_t>(rows), rng);
+    const double alpha = rng.uniform(-2.0, 2.0);
+
+    Vector csc(static_cast<std::size_t>(cols), 0.0);
+    a.multiply_transposed_accumulate(alpha, x, csc);
+    Vector via_mirror(static_cast<std::size_t>(cols), 0.0);
+    mirror.multiply_transposed_accumulate(alpha, x, via_mirror);
+    expect_bits_equal(csc, via_mirror);
+  }
+}
+
+TEST(MirrorProducts, MultiplyIntoMatchesFillThenAccumulate) {
+  Rng rng(21);
+  const SparseMatrix a = random_sparse(30, 25, 0.3, rng);
+  const RowMajorMirror mirror(a);
+  const Vector x = random_with_zeros(25, rng);
+
+  Vector filled(30, 0.0);
+  mirror.multiply_accumulate(1.5, x, filled);
+  Vector direct(30, 123.0);  // stale contents must be overwritten, not summed
+  mirror.multiply_into(1.5, x, direct);
+  expect_bits_equal(filled, direct);
+}
+
+TEST(MirrorProducts, UpdateValuesMatchesRebuild) {
+  Rng rng(31);
+  const SparseMatrix a = random_sparse(20, 15, 0.3, rng);
+  RowMajorMirror mirror(a);
+
+  // Same pattern, new values (scaling preserves sparsity structure).
+  SparseMatrix scaled = a;
+  Vector row_scale(20), col_scale(15);
+  for (auto& v : row_scale) v = rng.uniform(0.5, 2.0);
+  for (auto& v : col_scale) v = rng.uniform(0.5, 2.0);
+  scaled.scale_rows_cols(row_scale, col_scale);
+
+  ASSERT_TRUE(mirror.pattern_matches(scaled));
+  mirror.update_values(scaled);
+  const RowMajorMirror rebuilt(scaled);
+  ASSERT_EQ(mirror.nnz(), rebuilt.nnz());
+  const auto updated = mirror.values();
+  const auto fresh = rebuilt.values();
+  for (std::size_t k = 0; k < updated.size(); ++k) {
+    expect_bits_equal(updated[k], fresh[k]);
+  }
+}
+
+// -------------------------------------- multi-lane kernels vs scalar loops
+
+TEST(NormKernels, MultiLaneMatchesScalarReference) {
+  for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+    Rng rng(seed);
+    // Sizes straddling the 4-lane unroll boundary, including the tail cases.
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 37));
+    const Vector a = random_with_zeros(size, rng);
+    const Vector b = random_with_zeros(size, rng);
+    const Vector c = random_with_zeros(size, rng);
+    Vector scale(size);
+    for (auto& v : scale) v = rng.uniform(0.25, 4.0);
+    const double post = rng.uniform(0.25, 4.0);
+
+    double ref = 0.0;
+    for (std::size_t i = 0; i < size; ++i) ref = std::max(ref, std::abs(a[i]));
+    expect_bits_equal(ref, linalg::norm_inf(a));
+
+    ref = 0.0;
+    for (std::size_t i = 0; i < size; ++i) ref = std::max(ref, std::abs(a[i]) * scale[i]);
+    expect_bits_equal(ref, linalg::inf_norm_scaled(a, scale));
+
+    ref = 0.0;
+    for (std::size_t i = 0; i < size; ++i) {
+      ref = std::max(ref, std::abs(a[i] - b[i]) * scale[i]);
+    }
+    expect_bits_equal(ref, linalg::inf_norm_scaled_diff(a, b, scale));
+
+    ref = 0.0;
+    for (std::size_t i = 0; i < size; ++i) {
+      ref = std::max(ref, std::abs(a[i] + b[i] + c[i]) * scale[i] * post);
+    }
+    expect_bits_equal(ref, linalg::inf_norm_scaled_sum3(a, b, c, scale, post));
+
+    Vector out(size, -1.0), out_ref(size, -1.0);
+    ref = 0.0;
+    for (std::size_t i = 0; i < size; ++i) {
+      out_ref[i] = a[i] - b[i];
+      ref = std::max(ref, std::abs(out_ref[i]));
+    }
+    expect_bits_equal(ref, linalg::diff_norm_inf(a, b, out));
+    expect_bits_equal(out_ref, out);
+  }
+}
+
+TEST(NormKernels, ResidualPairsMatchSeparateReductions) {
+  for (std::uint64_t seed = 51; seed <= 54; ++seed) {
+    Rng rng(seed);
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 33));
+    const Vector a = random_with_zeros(size, rng);
+    const Vector b = random_with_zeros(size, rng);
+    const Vector c = random_with_zeros(size, rng);
+    Vector scale(size);
+    for (auto& v : scale) v = rng.uniform(0.25, 4.0);
+    const double post = rng.uniform(0.25, 4.0);
+
+    double res = 0.0, norm = 0.0;
+    linalg::inf_norm_scaled_residual(a, b, scale, res, norm);
+    expect_bits_equal(linalg::inf_norm_scaled_diff(a, b, scale), res);
+    expect_bits_equal(std::max(linalg::inf_norm_scaled(a, scale),
+                               linalg::inf_norm_scaled(b, scale)),
+                      norm);
+
+    linalg::inf_norm_scaled_residual3(a, b, c, scale, post, res, norm);
+    expect_bits_equal(linalg::inf_norm_scaled_sum3(a, b, c, scale, post), res);
+    expect_bits_equal(std::max({linalg::inf_norm_scaled(a, scale),
+                                linalg::inf_norm_scaled(b, scale),
+                                linalg::inf_norm_scaled(c, scale)}) *
+                          post,
+                      norm);
+  }
+}
+
+TEST(UpdateKernels, DeltaVariantsMatchPlainKernelPlusExplicitDiff) {
+  for (std::uint64_t seed = 61; seed <= 64; ++seed) {
+    Rng rng(seed);
+    const auto size = static_cast<std::size_t>(rng.uniform_int(1, 35));
+    const Vector src = random_with_zeros(size, rng);
+    const Vector zc = random_with_zeros(size, rng);
+    const Vector zn = random_with_zeros(size, rng);
+    Vector rho(size);
+    for (auto& v : rho) v = rng.uniform(0.01, 100.0);
+    const double alpha = 1.6;
+
+    Vector x_plain = random_with_zeros(size, rng);
+    Vector x_fused = x_plain;
+    const Vector x_before = x_plain;
+    linalg::axpby(alpha, src, 1.0 - alpha, x_plain);
+    Vector delta_ref(size), delta(size);
+    double ref_norm = 0.0;
+    for (std::size_t i = 0; i < size; ++i) {
+      delta_ref[i] = x_plain[i] - x_before[i];
+      ref_norm = std::max(ref_norm, std::abs(delta_ref[i]));
+    }
+    const double fused_norm = linalg::axpby_delta(alpha, src, 1.0 - alpha, x_fused, delta);
+    expect_bits_equal(x_plain, x_fused);
+    expect_bits_equal(delta_ref, delta);
+    expect_bits_equal(ref_norm, fused_norm);
+
+    Vector y_plain = random_with_zeros(size, rng);
+    Vector y_fused = y_plain;
+    const Vector y_before = y_plain;
+    linalg::admm_dual_update(rho, zc, zn, y_plain);
+    ref_norm = 0.0;
+    for (std::size_t i = 0; i < size; ++i) {
+      delta_ref[i] = y_plain[i] - y_before[i];
+      ref_norm = std::max(ref_norm, std::abs(delta_ref[i]));
+    }
+    const double y_norm = linalg::admm_dual_update_delta(rho, zc, zn, y_fused, delta);
+    expect_bits_equal(y_plain, y_fused);
+    expect_bits_equal(delta_ref, delta);
+    expect_bits_equal(ref_norm, y_norm);
+  }
+}
+
+TEST(UpdateKernels, CachedZCandidateMatchesUncached) {
+  Rng rng(71);
+  const std::size_t size = 29;
+  const Vector z_tilde = random_with_zeros(size, rng);
+  const Vector z = random_with_zeros(size, rng);
+  const Vector y = random_with_zeros(size, rng);
+  Vector rho(size);
+  for (auto& v : rho) v = rng.uniform(0.01, 100.0);
+  Vector y_over_rho(size);
+  for (std::size_t i = 0; i < size; ++i) y_over_rho[i] = y[i] / rho[i];
+
+  Vector plain(size), cached(size);
+  linalg::admm_z_candidate(1.6, z_tilde, z, y, rho, plain);
+  linalg::admm_z_candidate_cached(1.6, z_tilde, z, y_over_rho, cached);
+  expect_bits_equal(plain, cached);
+}
+
+// ------------------------------------------------ allocation-free hot loop
+
+TEST(AdmmHotLoop, WarmResolveMakesZeroHeapAllocations) {
+  Rng rng(81);
+  const qp::QpProblem problem = random_feasible_qp(60, 45, rng);
+  qp::AdmmSolver solver;
+
+  const auto cold = solver.solve(problem);
+  ASSERT_EQ(cold.status, qp::SolveStatus::kOptimal);
+  // The hooks in this binary must actually be live, or the contract below
+  // would pass vacuously.
+  ASSERT_GT(alloc_probe_count(), 0);
+
+  const auto warm = solver.solve(problem);
+  ASSERT_EQ(warm.status, qp::SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.info.factorization_skipped);
+  EXPECT_EQ(warm.info.hot_loop_allocations, 0)
+      << "ADMM iteration loop allocated on a warm workspace";
+}
+
+TEST(AdmmHotLoop, WorkspaceReuseAcrossShrinkingProblemsStaysAllocationFree) {
+  // A larger solve sizes the workspace; a smaller one must fit inside the
+  // existing capacity (vector::assign reuses storage), so even its FIRST
+  // iteration loop runs allocation-free after the sizing solve.
+  Rng rng(91);
+  const qp::QpProblem big = random_feasible_qp(60, 45, rng);
+  const qp::QpProblem small = random_feasible_qp(30, 20, rng);
+  qp::AdmmSolver solver;
+  ASSERT_EQ(solver.solve(big).status, qp::SolveStatus::kOptimal);
+  const auto result = solver.solve(small);
+  ASSERT_EQ(result.status, qp::SolveStatus::kOptimal);
+  EXPECT_EQ(result.info.hot_loop_allocations, 0);
+}
+
+// ------------------------------------------------------- IPM structure cache
+
+TEST(IpmCache, CachedResolveBitIdenticalToFreshSolver) {
+  Rng rng(101);
+  const qp::QpProblem problem = random_feasible_qp(25, 18, rng);
+
+  qp::IpmSolver caching;
+  const auto first = caching.solve(problem);
+  ASSERT_EQ(first.status, qp::SolveStatus::kOptimal);
+  const auto cached = caching.solve(problem);  // structure-cache hit
+  ASSERT_EQ(cached.status, qp::SolveStatus::kOptimal);
+
+  qp::IpmSolver fresh;
+  const auto reference = fresh.solve(problem);
+  ASSERT_EQ(reference.status, qp::SolveStatus::kOptimal);
+  expect_bits_equal(reference.x, cached.x);
+  expect_bits_equal(reference.y, cached.y);
+}
+
+}  // namespace
+}  // namespace gp

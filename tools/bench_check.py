@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_*.json files and fail on wall-time regressions.
+"""Compare BENCH_*.json baseline/candidate pairs and fail on wall-time regressions.
 
 Usage:
-    bench_check.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+    bench_check.py BASELINE.json CANDIDATE.json [BASELINE2.json CANDIDATE2.json ...]
+                   [--threshold 0.15]
     bench_check.py --self-test
 
-Walks both JSON trees and compares every numeric leaf whose key ends in
-"wall_ms" at the same path. The check fails (exit 1) when any candidate
-wall time exceeds the baseline by more than the threshold (default 15%,
-sized for wall-clock noise on shared CI boxes). Ratio-style keys
-("wall_ratio", "speedup") and counters are reported but never gate.
+Files are consumed in (baseline, candidate) pairs, so one invocation can
+gate several benchmark suites at once (e.g. BENCH_parallel.json and
+BENCH_admm.json). For each pair, walks both JSON trees and compares every
+numeric leaf whose key ends in "wall_ms" at the same path. The check fails
+(exit 1) when any candidate wall time exceeds its baseline by more than the
+threshold (default 15%, sized for wall-clock noise on shared CI boxes).
+Ratio-style keys ("wall_ratio", "speedup") and counters are reported but
+never gate.
 
 Times below --floor-ms (default 5 ms) are skipped: at that scale the
 scheduler jitter exceeds any real regression.
@@ -17,6 +21,7 @@ scheduler jitter exceeds any real regression.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -70,7 +75,26 @@ def run_check(baseline, candidate, threshold, floor_ms, label=""):
     return 0
 
 
+def run_file_pairs(paths, threshold, floor_ms):
+    """Checks each (baseline, candidate) file pair; worst exit code wins."""
+    worst = 0
+    for baseline_path, candidate_path in zip(paths[0::2], paths[1::2]):
+        try:
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+            with open(candidate_path) as f:
+                candidate = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_check: {err}", file=sys.stderr)
+            return 2
+        label = f" [{os.path.basename(candidate_path)}]"
+        worst = max(worst, run_check(baseline, candidate, threshold, floor_ms, label))
+    return worst
+
+
 def self_test():
+    import tempfile
+
     baseline = {
         "cpus": 8,
         "game": {"runs": [{"threads": 1, "wall_ms": 120.0, "speedup": 1.0},
@@ -104,6 +128,27 @@ def self_test():
            "sub-floor timings must not gate")
     expect(run_check({"a": 1}, {"a": 2}, 0.15, 5.0, " [no-keys]"), 1,
            "no wall_ms keys is an error")
+
+    # Multi-pair: one good pair plus one regressed pair must fail as a whole,
+    # and two good pairs must pass.
+    with tempfile.TemporaryDirectory() as tmp:
+        def dump(name, tree):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as f:
+                json.dump(tree, f)
+            return path
+
+        base_a = dump("base_a.json", baseline)
+        good_a = dump("good_a.json", improved)
+        base_b = dump("base_b.json", baseline)
+        bad_b = dump("bad_b.json", regressed)
+        expect(run_file_pairs([base_a, good_a, base_b, bad_b], 0.15, 5.0), 1,
+               "a regression in the second pair must fail the invocation")
+        expect(run_file_pairs([base_a, good_a, base_b, good_a], 0.15, 5.0), 0,
+               "two clean pairs must pass")
+        expect(run_file_pairs([base_a, os.path.join(tmp, "missing.json")],
+                              0.15, 5.0), 2,
+               "an unreadable file is a usage error")
     if failures == 0:
         print("bench_check self-test OK")
     return 0 if failures == 0 else 1
@@ -112,8 +157,8 @@ def self_test():
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
-    parser.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("files", nargs="*", metavar="BASELINE CANDIDATE",
+                        help="one or more baseline/candidate BENCH_*.json pairs")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed relative slowdown (default 0.15 = 15%%)")
     parser.add_argument("--floor-ms", type=float, default=5.0,
@@ -124,18 +169,11 @@ def main():
 
     if args.self_test:
         return self_test()
-    if not args.baseline or not args.candidate:
-        parser.error("baseline and candidate files are required "
+    if len(args.files) < 2 or len(args.files) % 2 != 0:
+        parser.error("an even number (>= 2) of files is required: "
+                     "BASELINE CANDIDATE [BASELINE2 CANDIDATE2 ...] "
                      "(or use --self-test)")
-    try:
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-        with open(args.candidate) as f:
-            candidate = json.load(f)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"bench_check: {err}", file=sys.stderr)
-        return 2
-    return run_check(baseline, candidate, args.threshold, args.floor_ms)
+    return run_file_pairs(args.files, args.threshold, args.floor_ms)
 
 
 if __name__ == "__main__":
