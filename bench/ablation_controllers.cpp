@@ -9,65 +9,61 @@
 //   autoscaler industry threshold rules (no prediction, no price awareness)
 //   static     one-shot peak provisioning (classic replica placement)
 //
+// The four controllers run as one SweepRunner grid (one scenario, four
+// policies, one seed), fanned across the thread pool.
+//
 // Expected: MPC has the lowest cost at comparable compliance; static is the
 // most expensive (pays for the peak all day); the autoscaler churns and
 // lags ramps; reactive churns most.
-#include "common/stats.hpp"
-#include "scenarios.hpp"
+#include <cstdio>
+
+#include "scenario/report.hpp"
+#include "scenario/sweep.hpp"
 
 int main() {
   using namespace gp;
 
-  auto scenario = bench::paper_scenario(3, 8, 1.5e-5);
-  scenario.model.reconfig_cost.assign(3, 0.01);
-  scenario.model.sla.reservation_ratio = 1.15;
+  scenario::SweepGrid grid;
+  grid.scenarios = {scenario::preset("ablation_controllers")};
 
-  sim::SimulationConfig config;
-  config.periods = 48;
-  config.period_hours = 1.0;
-  config.noisy_demand = true;
-  config.seed = 2026;
+  scenario::PolicySpec mpc;
+  mpc.name = "mpc";
+  mpc.horizon = 4;
+  mpc.demand_predictor.kind = "seasonal";
+  mpc.price_predictor.kind = "seasonal";
+  grid.policies.push_back(mpc);
 
-  bench::print_series_header(
+  scenario::PolicySpec reactive;
+  reactive.name = "reactive";
+  reactive.kind = "reactive";
+  grid.policies.push_back(reactive);
+
+  scenario::PolicySpec autoscaler;
+  autoscaler.name = "autoscaler";
+  autoscaler.kind = "autoscaler";
+  grid.policies.push_back(autoscaler);
+
+  scenario::PolicySpec static_policy;
+  static_policy.name = "static";
+  static_policy.kind = "static";  // peak provisioning at the 12:00 UTC price
+  grid.policies.push_back(static_policy);
+
+  grid.seeds = {grid.scenarios[0].sim.seed};
+  const auto result = scenario::SweepRunner(grid).run();
+
+  scenario::print_series_header(
       "Ablation: controllers on the same 2-day noisy diurnal workload",
       {"controller", "total_cost", "churn", "mean_sla", "worst_sla"});
-
-  auto report = [](const char* name, const sim::SimulationSummary& summary) {
-    std::printf("%s,", name);
-    bench::print_row({summary.total_cost, summary.total_churn, summary.mean_compliance,
-                      summary.worst_compliance});
-    return summary;
-  };
-
-  // MPC (the paper's controller).
-  control::MpcSettings settings;
-  settings.horizon = 4;
-  control::MpcController mpc(scenario.model, settings, bench::make_predictor("seasonal"),
-                             bench::make_predictor("seasonal"));
-  sim::SimulationEngine engine1(scenario.model, scenario.demand, scenario.prices, config);
-  const auto mpc_summary = report("mpc", engine1.run(sim::policy_from(mpc)));
-
-  // Reactive (myopic LP).
-  control::ReactiveController reactive(scenario.model);
-  sim::SimulationEngine engine2(scenario.model, scenario.demand, scenario.prices, config);
-  const auto reactive_summary = report("reactive", engine2.run(sim::policy_from(reactive)));
-
-  // Threshold autoscaler.
-  control::ThresholdAutoscaler autoscaler(scenario.model);
-  sim::SimulationEngine engine3(scenario.model, scenario.demand, scenario.prices, config);
-  const auto autoscaler_summary =
-      report("autoscaler", engine3.run(sim::policy_from(autoscaler)));
-
-  // Static peak provisioning.
-  linalg::Vector peak(scenario.model.num_access_networks(), 0.0);
-  for (double h = 0.0; h < 24.0; h += 1.0) {
-    const auto rates = scenario.demand.mean_rates(h);
-    for (std::size_t v = 0; v < peak.size(); ++v) peak[v] = std::max(peak[v], rates[v]);
+  for (const auto& run : result.runs) {
+    std::printf("%s,", run.policy.c_str());
+    scenario::print_row({run.summary.total_cost, run.summary.total_churn,
+                         run.summary.mean_compliance, run.summary.worst_compliance});
   }
-  sim::SimulationEngine engine4(scenario.model, scenario.demand, scenario.prices, config);
-  control::StaticController static_controller(scenario.model, peak,
-                                              engine4.observe_price(12.0));
-  const auto static_summary = report("static", engine4.run(sim::policy_from(static_controller)));
+
+  const auto& mpc_summary = result.runs[0].summary;
+  const auto& reactive_summary = result.runs[1].summary;
+  const auto& autoscaler_summary = result.runs[2].summary;
+  const auto& static_summary = result.runs[3].summary;
 
   // The autoscaler's low bill is an artifact of under-provisioning (it
   // drops ~half the demand), so cost comparisons are made at comparable

@@ -11,7 +11,9 @@
 
 #include "queueing/mm1.hpp"
 #include "queueing/mmc.hpp"
-#include "scenarios.hpp"
+#include <algorithm>
+
+#include "scenario/report.hpp"
 #include "sim/request_sim.hpp"
 
 int main() {
@@ -21,7 +23,7 @@ int main() {
   constexpr int kServers = 6;
   constexpr double kDuration = 4000.0;
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Validation: analytic vs simulated latency (mu=50, 6 servers, seconds)",
       {"utilization", "mean_analytic", "mean_simulated", "p95_analytic", "p95_simulated",
        "pooled_analytic", "pooled_simulated"});
@@ -35,7 +37,7 @@ int main() {
     const double pooled_analytic = queueing::mmc_mean_response_time(kServers, lambda, kMu);
     const auto split = sim::simulate_split_mm1(lambda, kMu, kServers, kDuration, rng);
     const auto pooled = sim::simulate_pooled_mmc(lambda, kMu, kServers, kDuration, rng);
-    bench::print_row({rho, mean_analytic, split.mean_response, p95_analytic,
+    scenario::print_row({rho, mean_analytic, split.mean_response, p95_analytic,
                       split.p95_response, pooled_analytic, pooled.mean_response});
     worst_error = std::max(
         {worst_error, std::abs(split.mean_response - mean_analytic) / mean_analytic,

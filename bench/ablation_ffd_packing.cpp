@@ -11,13 +11,13 @@
 
 #include "binpack/ffd.hpp"
 #include "common/rng.hpp"
-#include "scenarios.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
   constexpr double kMachineCapacity = 16.0;
-  bench::print_series_header(
+  scenario::print_series_header(
       "Ablation: FFD packing waste, GoGrid power-of-two flavors vs arbitrary flavors",
       {"num_vms", "waste_pow2", "waste_arbitrary", "bins_pow2", "bins_lower_bound"});
 
@@ -45,7 +45,7 @@ int main() {
     const auto packed_arbitrary = binpack::first_fit_decreasing(arbitrary, kMachineCapacity);
     final_pow2_waste = packed_pow2.waste_fraction;
     final_arbitrary_waste = packed_arbitrary.waste_fraction;
-    bench::print_row({static_cast<double>(num_vms), packed_pow2.waste_fraction,
+    scenario::print_row({static_cast<double>(num_vms), packed_pow2.waste_fraction,
                       packed_arbitrary.waste_fraction,
                       static_cast<double>(packed_pow2.bins_used),
                       static_cast<double>(binpack::capacity_lower_bound(pow2,

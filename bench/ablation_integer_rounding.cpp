@@ -13,38 +13,35 @@
 // load (exactly the "small scale data centers" regime the paper flags) —
 // and it falls below ~10% once pairs hold tens of servers. Compliance can
 // only improve: rounding up adds capacity.
-#include "common/stats.hpp"
-#include "scenarios.hpp"
+#include <cstdio>
+
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Ablation: integer rounding premium vs deployment scale",
       {"rate_per_capita", "mean_servers", "cost_continuous", "cost_integer",
        "premium_percent", "compliance_delta"});
 
   std::vector<double> premiums;
   for (const double rate : {2e-7, 1e-6, 4e-6, 2e-5, 1e-4}) {
-    auto scenario = bench::paper_scenario(2, 4, rate);
-    scenario.model.sla.max_latency_ms = 60.0;
-    scenario.model.reconfig_cost.assign(2, 0.002);
-    const dspp::PairIndex pairs(scenario.model);
-    sim::SimulationConfig config;
-    config.periods = 24;
-    config.noisy_demand = true;
-    config.seed = 44;
+    auto spec = scenario::preset("ablation_small");
+    spec.rate_per_capita = rate;  // the swept knob
+    const auto bundle = scenario::build(spec);
 
     auto run = [&](bool integral) {
-      control::MpcSettings settings;
-      settings.horizon = 4;
-      control::MpcController controller(scenario.model, settings,
-                                        bench::make_predictor("seasonal"),
-                                        bench::make_predictor("last"));
-      sim::SimulationEngine engine(scenario.model, scenario.demand, scenario.prices, config);
-      sim::PlacementPolicy policy = sim::policy_from(controller);
-      if (integral) policy = sim::integerized(std::move(policy), scenario.model, pairs);
-      return engine.run(policy);
+      scenario::PolicySpec policy;
+      policy.horizon = 4;
+      policy.demand_predictor.kind = "seasonal";
+      policy.price_predictor.kind = "last";
+      policy.integerized = integral;
+      auto engine = scenario::make_engine(bundle, spec);
+      const auto handle = scenario::make_policy(bundle, spec, policy);
+      return engine.run(handle.policy());
     };
     const auto continuous = run(false);
     const auto integral = run(true);
@@ -54,8 +51,8 @@ int main() {
     const double premium =
         100.0 * (integral.total_cost / continuous.total_cost - 1.0);
     premiums.push_back(premium);
-    bench::print_row({rate, mean_servers, continuous.total_cost, integral.total_cost,
-                      premium, integral.mean_compliance - continuous.mean_compliance});
+    scenario::print_row({rate, mean_servers, continuous.total_cost, integral.total_cost,
+                         premium, integral.mean_compliance - continuous.mean_compliance});
   }
 
   bool monotone = true;

@@ -7,53 +7,42 @@
 //
 // Expected: oracle <= AR/seasonal < persistence in cost-at-compliance;
 // persistence lags the ramps and pays in SLA violations.
-#include "scenarios.hpp"
+#include <cstdio>
+#include <string>
+
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
-  auto scenario = bench::paper_scenario(2, 6, 1.5e-5);
-  scenario.model.reconfig_cost.assign(2, 0.01);
-  scenario.model.sla.reservation_ratio = 1.1;
+  const auto spec = scenario::preset("ablation_predictors");
+  const auto bundle = scenario::build(spec);
 
-  sim::SimulationConfig config;
-  config.periods = 48;  // two days x 24 h: seasonal gets one day of history
-  config.period_hours = 1.0;
-  config.noisy_demand = true;
-  config.seed = 33;
-
-  bench::print_series_header(
+  scenario::print_series_header(
       "Ablation: predictor choice vs realized cost and SLA compliance",
       {"predictor", "total_cost", "mean_sla_compliance", "worst_sla_compliance"});
 
   double oracle_compliance = 0.0, last_compliance = 0.0;
   for (const std::string kind : {"oracle", "ar", "seasonal", "seasonal_ar", "last"}) {
-    sim::SimulationEngine engine(scenario.model, scenario.demand, scenario.prices, config);
-    std::vector<linalg::Vector> demand_trace, price_trace;
-    Rng unused(0);
-    if (kind == "oracle") {
-      // Note: the oracle sees the MEAN trace; the realized demand is the
-      // noisy NHPP sample, so even the oracle is not perfectly informed —
-      // exactly the situation the reservation cushion exists for.
-      for (std::size_t k = 0; k <= config.periods + 8; ++k) {
-        const double hour = static_cast<double>(k) * config.period_hours;
-        demand_trace.push_back(
-            scenario.demand.mean_rates(hour + config.period_hours / 2.0));
-        price_trace.push_back(engine.observe_price(hour));
-      }
-    }
-    control::MpcSettings settings;
-    settings.horizon = 4;
-    control::MpcController controller(
-        scenario.model, settings, bench::make_predictor(kind, demand_trace),
-        kind == "oracle" ? bench::make_predictor(kind, price_trace)
-                         : bench::make_predictor("last"));
-    const auto summary = engine.run(sim::policy_from(controller));
+    auto engine = scenario::make_engine(bundle, spec);
+    // Note: the oracle sees the MEAN trace (make_policy feeds it the
+    // bundle's mean series); the realized demand is the noisy NHPP sample,
+    // so even the oracle is not perfectly informed — exactly the situation
+    // the reservation cushion exists for.
+    scenario::PolicySpec policy;
+    policy.horizon = 4;
+    policy.demand_predictor.kind = kind;
+    if (kind == "seasonal_ar") policy.demand_predictor.window = 72;
+    policy.price_predictor.kind = kind == "oracle" ? "oracle" : "last";
+    const auto handle = scenario::make_policy(bundle, spec, policy);
+    const auto summary = engine.run(handle.policy());
     if (kind == "oracle") oracle_compliance = summary.mean_compliance;
     if (kind == "last") last_compliance = summary.mean_compliance;
     std::printf("%s,", kind.c_str());
-    bench::print_row({summary.total_cost, summary.mean_compliance,
-                      summary.worst_compliance});
+    scenario::print_row({summary.total_cost, summary.mean_compliance,
+                         summary.worst_compliance});
   }
 
   const bool ok = oracle_compliance >= last_compliance;

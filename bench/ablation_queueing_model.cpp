@@ -12,7 +12,7 @@
 // lambda/mu as it scales, so the relative overhead GROWS with load toward
 // the headroom ratio 1 / (mu*budget - 1) — 25% at mu=100, budget=50 ms.
 #include "queueing/mmc.hpp"
-#include "scenarios.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
@@ -20,7 +20,7 @@ int main() {
   constexpr double kMu = 100.0;       // req/s per server
   constexpr double kBudget = 0.05;    // 50 ms queueing budget
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Ablation: servers needed, paper's M/M/1-split rule vs pooled M/M/c (mu=100, 50 ms)",
       {"lambda_req_s", "servers_mm1_split", "servers_mmc_pooled", "overhead_percent"});
 
@@ -34,7 +34,7 @@ int main() {
         100.0 * (static_cast<double>(split) / static_cast<double>(pooled) - 1.0);
     if (lambda == lambdas.front()) low_load_gap = overhead;
     if (lambda == lambdas.back()) high_load_gap = overhead;
-    bench::print_row({lambda, static_cast<double>(split), static_cast<double>(pooled),
+    scenario::print_row({lambda, static_cast<double>(split), static_cast<double>(pooled),
                       overhead});
   }
 

@@ -10,7 +10,7 @@
 // — too large oscillates, too small stalls before reaching a good split —
 // which is why the production default is the stabilized rule.
 #include "game/competition.hpp"
-#include "scenarios.hpp"
+#include "scenario/report.hpp"
 
 namespace {
 
@@ -63,7 +63,7 @@ RuleOutcome evaluate(gp::game::GameSettings settings) {
 int main() {
   using namespace gp;
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Ablation: Algorithm-2 quota-update rule (mean over 5 seeds, 6 providers)",
       {"rule", "iterations", "efficiency_ratio", "unserved", "converged_fraction"});
 
@@ -72,7 +72,7 @@ int main() {
   stabilized.epsilon = 0.02;
   const RuleOutcome stable = evaluate(stabilized);
   std::printf("stabilized,");
-  bench::print_row({stable.iterations, stable.efficiency, stable.unserved,
+  scenario::print_row({stable.iterations, stable.efficiency, stable.unserved,
                     stable.converged_fraction});
 
   RuleOutcome best_paper;
@@ -84,7 +84,7 @@ int main() {
     paper.epsilon = 0.02;
     const RuleOutcome outcome = evaluate(paper);
     std::printf("paper_alpha_%g,", alpha);
-    bench::print_row({outcome.iterations, outcome.efficiency, outcome.unserved,
+    scenario::print_row({outcome.iterations, outcome.efficiency, outcome.unserved,
                       outcome.converged_fraction});
     if (best_alpha == 0.0 || outcome.efficiency < best_paper.efficiency) {
       best_paper = outcome;

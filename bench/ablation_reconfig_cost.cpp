@@ -4,38 +4,37 @@
 // (low resource cost, high churn), higher c smooths (low churn, slightly
 // higher resource cost). c = 0 is the "ignore reconfiguration" strawman the
 // paper argues against.
-#include "common/stats.hpp"
-#include "scenarios.hpp"
+#include <cstdio>
+
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Ablation: reconfiguration weight c vs churn / cost / SLA",
       {"c", "total_cost", "resource_cost", "reconfig_cost", "churn_servers",
        "mean_sla_compliance"});
 
   std::vector<double> churns, resource_costs;
   for (const double c : {0.0, 0.001, 0.01, 0.1, 1.0}) {
-    auto scenario = bench::paper_scenario(2, 4, 1.5e-5);
-    scenario.model.reconfig_cost.assign(2, c);
-    sim::SimulationConfig config;
-    config.periods = 48;
-    config.period_hours = 0.5;
-    config.noisy_demand = true;
-    config.seed = 21;
-    sim::SimulationEngine engine(scenario.model, scenario.demand, scenario.prices, config);
-    control::MpcSettings settings;
-    settings.horizon = 5;
-    control::MpcController controller(scenario.model, settings,
-                                      bench::make_predictor("ar"),
-                                      bench::make_predictor("last"));
-    const auto summary = engine.run(sim::policy_from(controller));
+    auto spec = scenario::preset("ablation_reconfig");
+    spec.reconfig_cost = c;  // the swept knob
+    const auto bundle = scenario::build(spec);
+    auto engine = scenario::make_engine(bundle, spec);
+    scenario::PolicySpec policy;
+    policy.horizon = 5;
+    policy.demand_predictor.kind = "ar";
+    policy.price_predictor.kind = "last";
+    const auto handle = scenario::make_policy(bundle, spec, policy);
+    const auto summary = engine.run(handle.policy());
     churns.push_back(summary.total_churn);
     resource_costs.push_back(summary.total_resource_cost);
-    bench::print_row({c, summary.total_cost, summary.total_resource_cost,
-                      summary.total_reconfig_cost, summary.total_churn,
-                      summary.mean_compliance});
+    scenario::print_row({c, summary.total_cost, summary.total_resource_cost,
+                         summary.total_reconfig_cost, summary.total_churn,
+                         summary.mean_compliance});
   }
 
   // Shape check: churn decreases monotonically-in-trend from c=0 to c=1.

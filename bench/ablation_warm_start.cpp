@@ -9,42 +9,40 @@
 // ADMM starts, not where it converges). The gain is moderate — hourly
 // demand moves the active set, and the adaptive rho schedule restarts each
 // solve — which is itself a finding worth recording.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/stats.hpp"
 #include "dspp/window_program.hpp"
-#include "scenarios.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
-  auto scenario = bench::paper_scenario(3, 8, 1.5e-5);
-  scenario.model.reconfig_cost.assign(3, 0.01);
-  const dspp::PairIndex pairs(scenario.model);
-
-  sim::SimulationConfig sim_config;
-  sim_config.periods = 24;
-  sim_config.noisy_demand = true;
-  sim_config.seed = 99;
-  sim::SimulationEngine engine(scenario.model, scenario.demand, scenario.prices, sim_config);
+  const auto spec = scenario::preset("ablation_warm_start");
+  const auto bundle = scenario::build(spec);
+  const dspp::PairIndex pairs(bundle.model);
 
   auto run_loop = [&](bool warm) {
     qp::AdmmSettings settings;
     settings.auto_warm_start = warm;
     qp::AdmmSolver solver(settings);
-    Rng rng(sim_config.seed);
     linalg::Vector state(pairs.num_pairs(), 1.0);
     std::vector<double> iterations;
     std::vector<double> objectives;
-    for (std::size_t k = 0; k < sim_config.periods; ++k) {
+    for (std::size_t k = 0; k < spec.sim.periods; ++k) {
       const double hour = static_cast<double>(k);
       dspp::WindowInputs inputs;
       inputs.initial_state = state;
       for (std::size_t t = 1; t <= 4; ++t) {
         inputs.demand.push_back(
-            scenario.demand.mean_rates(hour + static_cast<double>(t) + 0.5));
+            bundle.demand.mean_rates(hour + static_cast<double>(t) + 0.5));
         inputs.price.push_back(
-            scenario.prices.server_prices(hour + static_cast<double>(t) + 0.5));
+            bundle.prices.server_prices(hour + static_cast<double>(t) + 0.5));
       }
-      const dspp::WindowProgram program(scenario.model, pairs, std::move(inputs));
+      const dspp::WindowProgram program(bundle.model, pairs, std::move(inputs));
       const auto solution = program.solve(solver);
       if (!solution.ok()) {
         std::printf("solve failed at period %zu\n", k);
@@ -60,11 +58,11 @@ int main() {
   const auto [cold_iters, cold_obj] = run_loop(false);
   const auto [warm_iters, warm_obj] = run_loop(true);
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Ablation: ADMM iterations per MPC period, cold vs warm started",
       {"period", "iters_cold", "iters_warm"});
   for (std::size_t k = 0; k < cold_iters.size(); ++k) {
-    bench::print_row({static_cast<double>(k), cold_iters[k], warm_iters[k]});
+    scenario::print_row({static_cast<double>(k), cold_iters[k], warm_iters[k]});
   }
 
   // Steady-state means (skip the first period: both start cold there).

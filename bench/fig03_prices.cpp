@@ -6,7 +6,7 @@
 // Expected shape: California is generally the most expensive with a peak
 // around 17:00 local; Texas is the cheapest; prices stay within the
 // figure's ~$10-$115 envelope and every region has an afternoon peak.
-#include "scenarios.hpp"
+#include "scenario/report.hpp"
 #include "workload/price.hpp"
 
 int main() {
@@ -19,7 +19,7 @@ int main() {
       {"Chicago_IL", topology::Region::kMidwest},
   };
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Fig.3: hourly electricity price [$ per MWh] per region (local time)",
       {"local_hour", "SanJose_CA", "Houston_TX", "Atlanta_GA", "Chicago_IL"});
   for (int hour = 0; hour < 24; ++hour) {
@@ -28,11 +28,11 @@ int main() {
       (void)name;
       row.push_back(model.price(region, static_cast<double>(hour)));
     }
-    bench::print_row(row);
+    scenario::print_row(row);
   }
 
   std::printf("\n");
-  bench::print_series_header(
+  scenario::print_series_header(
       "derived per-server price [$ per server-hour] at PUE 1.3, by VM flavor (CA curve)",
       {"local_hour", "small_30W", "medium_70W", "large_140W"});
   const auto sites = topology::default_datacenter_sites(1);  // San Jose
@@ -45,7 +45,7 @@ int main() {
       const double utc = static_cast<double>(hour) - sites[0].location.utc_offset_hours;
       row.push_back(spm.server_price(0, utc));
     }
-    bench::print_row(row);
+    scenario::print_row(row);
   }
 
   // Shape assertions (the bench fails loudly if the reproduction drifts).

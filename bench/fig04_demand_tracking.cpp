@@ -6,41 +6,36 @@
 // Expected shape: the server curve follows the request curve up and down
 // with a small lag and visibly smoothed steps (the number of requests and
 // number of servers rise together during 8:00-17:00 and fall at night).
-#include "scenarios.hpp"
+#include <algorithm>
+#include <cstdio>
+
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
-  // One DC (San Jose), one access network (New York).
-  auto scenario = bench::paper_scenario(1, 1, 2e-5);
-  // Single DC serving a single (distant) access network: relax the SLA so
-  // the San Jose site can serve New York (the 32 ms default targets
-  // multi-DC regional structure, which is irrelevant here).
-  scenario.model.sla.max_latency_ms = 60.0;
-  scenario.model.reconfig_cost = {0.01};
+  // One DC (San Jose), one access network (New York), relaxed SLA so the
+  // distant pair is feasible — the registry's fig04 preset.
+  const auto spec = scenario::preset("fig04");
+  const auto bundle = scenario::build(spec);
+  auto engine = scenario::make_engine(bundle, spec);
 
-  sim::SimulationConfig config;
-  config.periods = 48;       // half-hour periods over one day
-  config.period_hours = 0.5;
-  config.noisy_demand = true;
-  config.seed = 42;
+  scenario::PolicySpec policy;
+  policy.horizon = 5;
+  policy.demand_predictor.kind = "ar";
+  policy.price_predictor.kind = "last";
+  const auto handle = scenario::make_policy(bundle, spec, policy);
 
-  sim::SimulationEngine engine(scenario.model, scenario.demand, scenario.prices, config);
+  const auto summary = engine.run(handle.policy());
 
-  control::MpcSettings settings;
-  settings.horizon = 5;
-  control::MpcController controller(scenario.model, settings,
-                                    bench::make_predictor("ar"),
-                                    bench::make_predictor("last"));
-
-  const auto summary = engine.run(sim::policy_from(controller));
-
-  bench::print_series_header(
+  scenario::print_series_header(
       "Fig.4: demand vs. allocated servers, single DC / single access network",
       {"utc_hour", "requests_per_s", "servers", "sla_compliance"});
   for (const auto& period : summary.periods) {
-    bench::print_row({period.utc_hour, period.total_demand, period.total_servers,
-                      period.sla_compliance});
+    scenario::print_row({period.utc_hour, period.total_demand, period.total_servers,
+                         period.sla_compliance});
   }
 
   // Shape checks: allocation at the working-hours peak is a multiple of the

@@ -11,55 +11,45 @@
 // central and eastern cities. Expected shape: the California allocation
 // dips in the CA afternoon price peak while Houston/Atlanta absorb the
 // load, and recovers overnight when CA prices approach the Texas floor.
-#include "scenarios.hpp"
+#include <algorithm>
+#include <cstdio>
+
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
-  // Constant arrival rate (the figure's setup): flat diurnal profile.
-  auto scenario =
-      bench::paper_scenario(3, 12, 2e-5, workload::DiurnalProfile(1.0, 1.0));
-  scenario.model.reconfig_cost.assign(3, 0.002);
-
-  sim::SimulationConfig config;
-  config.periods = 48;  // two days, report the second (warmed-up) day
-  config.period_hours = 1.0;
-  config.noisy_demand = false;
-  config.seed = 3;
-
-  sim::SimulationEngine engine(scenario.model, scenario.demand, scenario.prices, config);
+  // Constant arrival rate (the figure's setup): the fig05_price preset.
+  const auto spec = scenario::preset("fig05_price");
+  const auto bundle = scenario::build(spec);
+  auto engine = scenario::make_engine(bundle, spec);
 
   // Perfect price foresight isolates the price-following behavior (the
   // paper's predictor has an easy job here: demand is constant and prices
-  // repeat daily).
-  std::vector<linalg::Vector> demand_trace, price_trace;
-  Rng unused(0);
-  for (std::size_t k = 0; k <= config.periods + 12; ++k) {
-    const double hour = static_cast<double>(k) * config.period_hours;
-    demand_trace.push_back(engine.observe_demand(hour, unused));
-    price_trace.push_back(engine.observe_price(hour));
-  }
-  control::MpcSettings settings;
-  settings.horizon = 6;
-  control::MpcController controller(scenario.model, settings,
-                                    bench::make_predictor("oracle", demand_trace),
-                                    bench::make_predictor("oracle", price_trace));
+  // repeat daily); make_policy feeds the oracles the bundle's mean traces.
+  scenario::PolicySpec policy;
+  policy.horizon = 6;
+  policy.demand_predictor.kind = "oracle";
+  policy.price_predictor.kind = "oracle";
+  const auto handle = scenario::make_policy(bundle, spec, policy);
 
-  const auto summary = engine.run(sim::policy_from(controller));
+  const auto summary = engine.run(handle.policy());
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Fig.5: servers per data center under constant demand, price-driven (day 2)",
       {"ca_local_hour", "servers_SanJoseCA", "servers_HoustonTX", "servers_AtlantaGA",
        "price_CA", "price_TX", "price_GA"});
   for (std::size_t k = 24; k < summary.periods.size(); ++k) {
     const auto& period = summary.periods[k];
     const double ca_local =
-        workload::local_hour(period.utc_hour, scenario.sites[0].location.utc_offset_hours);
-    bench::print_row({ca_local, period.servers_per_dc[0], period.servers_per_dc[1],
-                      period.servers_per_dc[2],
-                      scenario.prices.electricity_price(0, period.utc_hour),
-                      scenario.prices.electricity_price(1, period.utc_hour),
-                      scenario.prices.electricity_price(2, period.utc_hour)});
+        workload::local_hour(period.utc_hour, bundle.sites[0].location.utc_offset_hours);
+    scenario::print_row({ca_local, period.servers_per_dc[0], period.servers_per_dc[1],
+                         period.servers_per_dc[2],
+                         bundle.prices.electricity_price(0, period.utc_hour),
+                         bundle.prices.electricity_price(1, period.utc_hour),
+                         bundle.prices.electricity_price(2, period.utc_hour)});
   }
 
   // Shape check: CA allocation in the CA-afternoon price peak (15-19 local)
@@ -69,7 +59,7 @@ int main() {
   for (std::size_t k = 24; k < summary.periods.size(); ++k) {
     const auto& period = summary.periods[k];
     const double ca_local =
-        workload::local_hour(period.utc_hour, scenario.sites[0].location.utc_offset_hours);
+        workload::local_hour(period.utc_hour, bundle.sites[0].location.utc_offset_hours);
     if (ca_local >= 15.0 && ca_local < 19.0) {
       ca_peak_servers += period.servers_per_dc[0];
       ++peak_count;

@@ -12,37 +12,33 @@
 // AND cheaper. The effect saturates once the window exceeds the AR model's
 // effective memory (K >= 10 trajectories coincide) — a finding this bench
 // reports explicitly; see EXPERIMENTS.md.
-#include "scenarios.hpp"
+#include <cstdio>
 
 #include "common/stats.hpp"
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
-  auto scenario = bench::paper_scenario(1, 1, 2e-6);
-  // Single DC serving a single (distant) access network: relax the SLA so
-  // the San Jose site can serve New York.
-  scenario.model.sla.max_latency_ms = 60.0;
-  scenario.model.reconfig_cost = {0.002};
-
-  sim::SimulationConfig config;
-  config.periods = 48;
-  config.period_hours = 0.5;
-  config.noisy_demand = true;  // the jitter K smooths out comes from here
-  config.seed = 11;
+  // Single DC serving a single (distant) access network at low load, with
+  // the SLA relaxed so the San Jose -> New York pair is feasible.
+  const auto spec = scenario::preset("fig06_horizon");
+  const auto bundle = scenario::build(spec);
 
   const std::vector<std::size_t> horizons{1, 10, 20, 30};
   std::vector<std::vector<double>> trajectories;
   std::vector<double> variations, costs;
 
   for (const std::size_t horizon : horizons) {
-    sim::SimulationEngine engine(scenario.model, scenario.demand, scenario.prices, config);
-    control::MpcSettings settings;
-    settings.horizon = horizon;
-    control::MpcController controller(scenario.model, settings,
-                                      bench::make_predictor("ar"),
-                                      bench::make_predictor("last"));
-    const auto summary = engine.run(sim::policy_from(controller));
+    auto engine = scenario::make_engine(bundle, spec);
+    scenario::PolicySpec policy;
+    policy.horizon = horizon;
+    policy.demand_predictor.kind = "ar";
+    policy.price_predictor.kind = "last";
+    const auto handle = scenario::make_policy(bundle, spec, policy);
+    const auto summary = engine.run(handle.policy());
     std::vector<double> servers;
     for (const auto& period : summary.periods) servers.push_back(period.total_servers);
     variations.push_back(total_variation(servers));
@@ -50,12 +46,12 @@ int main() {
     trajectories.push_back(std::move(servers));
   }
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Fig.6: server trajectories for prediction horizons K = 1, 10, 20, 30",
       {"utc_hour", "servers_K1", "servers_K10", "servers_K20", "servers_K30"});
-  for (std::size_t k = 0; k < config.periods; ++k) {
-    bench::print_row({static_cast<double>(k) * config.period_hours, trajectories[0][k],
-                      trajectories[1][k], trajectories[2][k], trajectories[3][k]});
+  for (std::size_t k = 0; k < spec.sim.periods; ++k) {
+    scenario::print_row({static_cast<double>(k) * spec.sim.period_hours, trajectories[0][k],
+                         trajectories[1][k], trajectories[2][k], trajectories[3][k]});
   }
 
   std::printf("\n# total variation (server churn) and realized cost per horizon:\n");

@@ -13,7 +13,7 @@
 // iterations grow with the number of players and with capacity tightness
 // (100 >> 200 >> 300).
 #include "game/competition.hpp"
-#include "scenarios.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
@@ -24,7 +24,7 @@ int main() {
                                        {{15.0, 25.0, 35.0}, {100.0, 20.0, 15.0}});
 
   const std::vector<double> bottlenecks{100.0, 200.0, 300.0};
-  bench::print_series_header(
+  scenario::print_series_header(
       "Fig.7: Algorithm-2 iterations to a stable outcome vs number of players",
       {"players", "iters_cap100", "iters_cap200", "iters_cap300"});
 
@@ -62,7 +62,7 @@ int main() {
       iters_row.push_back(mean_iterations);
     }
     iteration_table.push_back(iters_row);
-    bench::print_row(row);
+    scenario::print_row(row);
   }
 
   // Shape checks on crowd averages (single cells are noisy, as in the

@@ -16,7 +16,7 @@
 #include <algorithm>
 
 #include "game/competition.hpp"
-#include "scenarios.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
@@ -26,7 +26,7 @@ int main() {
   const topology::NetworkModel network({"dc-cheap", "dc-big"}, {"an0", "an1", "an2"},
                                        {{15.0, 25.0, 35.0}, {100.0, 20.0, 15.0}});
 
-  bench::print_series_header(
+  scenario::print_series_header(
       "Fig.8: Algorithm-2 iterations vs prediction horizon (8 providers, bottleneck 150)",
       {"horizon", "iterations"});
 
@@ -54,7 +54,7 @@ int main() {
       total_iterations += game.run().iterations;
     }
     iteration_series.push_back(static_cast<double>(total_iterations) / kSeeds);
-    bench::print_row({static_cast<double>(horizon), iteration_series.back()});
+    scenario::print_row({static_cast<double>(horizon), iteration_series.back()});
   }
 
   // Shape check (weaker, honest form): the long-horizon tail needs no more

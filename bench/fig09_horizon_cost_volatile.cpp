@@ -14,60 +14,63 @@
 // request-hour — the hosting-price equivalent of the capacity that should
 // have served that demand (a_lv * p ~ 0.013 servers/req/s * $0.3/server-h).
 //
+// The (horizon x seed) grid runs through the scenario layer's SweepRunner:
+// one scenario, ten MPC policies, three explicit seeds — 30 runs fanned
+// across the thread pool, bit-identical at any GEOPLACE_THREADS.
+//
 // Expected shape: the best horizon is small (K in {1..3}) and the longest
 // horizon pays a visible premium over it.
 #include <algorithm>
+#include <cstdio>
 
-#include "scenarios.hpp"
+#include "scenario/report.hpp"
+#include "scenario/sweep.hpp"
 
 int main() {
   using namespace gp;
 
-  auto scenario = bench::paper_scenario(2, 4, 1.2e-5);
-  scenario.model.reconfig_cost.assign(2, 0.05);
-
-  sim::SimulationConfig config;
-  config.periods = 72;
-  config.period_hours = 1.0;
-  config.noisy_demand = true;      // volatile demand ...
-  config.price_noise_std = 0.25;   // ... and volatile prices
-  config.seed = 5;
-
   constexpr double kViolationPenalty = 0.004;  // $ per violating request-hour
 
-  bench::print_series_header(
+  scenario::SweepGrid grid;
+  grid.scenarios = {scenario::preset("fig09_volatile")};
+  for (std::size_t horizon = 1; horizon <= 10; ++horizon) {
+    scenario::PolicySpec policy;
+    policy.name = "mpc_K" + std::to_string(horizon);
+    policy.horizon = horizon;
+    policy.demand_predictor.kind = "ar";
+    policy.price_predictor.kind = "ar";
+    grid.policies.push_back(policy);
+  }
+  grid.seeds = {5, 6, 7};  // average over seeds; single volatile runs are noisy
+
+  scenario::SweepOptions options;
+  options.keep_periods = true;  // the violation charge integrates period rows
+  const auto result = scenario::SweepRunner(grid, options).run();
+
+  scenario::print_series_header(
       "Fig.9: realized cost vs prediction horizon (AR predictor, volatile inputs)",
       {"horizon", "total_cost", "rental_and_reconfig", "violation_charge",
        "mean_sla_compliance"});
 
+  const double period_hours = grid.scenarios[0].sim.period_hours;
+  const std::size_t num_seeds = grid.seeds.size();
   std::vector<double> costs;
-  for (std::size_t horizon = 1; horizon <= 10; ++horizon) {
-    // Average over seeds; single volatile runs are noisy.
+  for (std::size_t pi = 0; pi < grid.policies.size(); ++pi) {
     double rental = 0.0, violation = 0.0, compliance = 0.0;
-    constexpr int kSeeds = 3;
-    for (int seed = 0; seed < kSeeds; ++seed) {
-      sim::SimulationConfig run_config = config;
-      run_config.seed = config.seed + static_cast<std::uint64_t>(seed);
-      sim::SimulationEngine engine(scenario.model, scenario.demand, scenario.prices,
-                                   run_config);
-      control::MpcSettings settings;
-      settings.horizon = horizon;
-      control::MpcController controller(scenario.model, settings,
-                                        bench::make_predictor("ar"),
-                                        bench::make_predictor("ar"));
-      const auto summary = engine.run(sim::policy_from(controller));
+    for (std::size_t ki = 0; ki < num_seeds; ++ki) {
+      const auto& summary = result.runs[pi * num_seeds + ki].summary;
       rental += summary.total_cost;
       for (const auto& period : summary.periods) {
         violation += kViolationPenalty * (1.0 - period.sla_compliance) *
-                     period.total_demand * run_config.period_hours;
+                     period.total_demand * period_hours;
       }
       compliance += summary.mean_compliance;
     }
-    rental /= kSeeds;
-    violation /= kSeeds;
+    rental /= static_cast<double>(num_seeds);
+    violation /= static_cast<double>(num_seeds);
     costs.push_back(rental + violation);
-    bench::print_row({static_cast<double>(horizon), costs.back(), rental, violation,
-                      compliance / kSeeds});
+    scenario::print_row({static_cast<double>(pi + 1), costs.back(), rental, violation,
+                         compliance / static_cast<double>(num_seeds)});
   }
 
   const std::size_t best =

@@ -13,41 +13,35 @@
 // inside the window). Note the demand constraint pins the UP-ramp (next
 // period's demand must be met regardless of W), so the informative
 // transient is the downward one.
-#include "scenarios.hpp"
+#include <cstdio>
+
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
-  // Constant demand and constant prices.
-  auto scenario =
-      bench::paper_scenario(1, 1, 2e-5, workload::DiurnalProfile(1.0, 1.0));
-  scenario.model.sla.max_latency_ms = 60.0;     // single DC serving one distant AN
-  scenario.model.reconfig_cost = {0.5};         // makes the glide gradual
+  // Constant demand, frozen prices, 4x over-provisioned start.
+  const auto spec = scenario::preset("fig10_constant");
+  const auto bundle = scenario::build(spec);
 
-  sim::SimulationConfig config;
-  config.periods = 24;
-  config.period_hours = 1.0;
-  config.noisy_demand = false;
-  config.seed = 9;
-  config.initial_overprovision = 4.0;  // start over-provisioned: the transient
-  config.freeze_prices = true;         // demand is constant via the flat profile
-
-  bench::print_series_header(
+  scenario::print_series_header(
       "Fig.10: realized total cost vs prediction horizon (constant demand & price)",
       {"horizon", "total_cost"});
 
   std::vector<double> costs;
   for (std::size_t horizon = 1; horizon <= 10; ++horizon) {
-    sim::SimulationEngine engine(scenario.model, scenario.demand, scenario.prices, config);
-    control::MpcSettings settings;
-    settings.horizon = horizon;
+    auto engine = scenario::make_engine(bundle, spec);
+    scenario::PolicySpec policy;
+    policy.horizon = horizon;
     // LastValue on constant series IS a perfect predictor.
-    control::MpcController controller(scenario.model, settings,
-                                      bench::make_predictor("last"),
-                                      bench::make_predictor("last"));
-    const auto summary = engine.run(sim::policy_from(controller));
+    policy.demand_predictor.kind = "last";
+    policy.price_predictor.kind = "last";
+    const auto handle = scenario::make_policy(bundle, spec, policy);
+    const auto summary = engine.run(handle.policy());
     costs.push_back(summary.total_cost);
-    bench::print_row({static_cast<double>(horizon), costs.back()});
+    scenario::print_row({static_cast<double>(horizon), costs.back()});
   }
 
   // Shape check: cost is (weakly) decreasing overall.

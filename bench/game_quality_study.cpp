@@ -14,14 +14,14 @@
 // maps where the best-response computation actually reaches it — a
 // boundary the paper does not explore.
 #include "game/competition.hpp"
-#include "scenarios.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace gp;
 
   const topology::NetworkModel network({"dc0", "dc1"}, {"an0", "an1", "an2"},
                                        {{15.0, 25.0, 35.0}, {100.0, 20.0, 15.0}});
-  bench::print_series_header(
+  scenario::print_series_header(
       "NE quality: efficiency ratio vs capacity scarcity and player count",
       {"players", "capacity_scale", "efficiency_ratio", "unserved", "iterations"});
 
@@ -65,7 +65,7 @@ int main() {
       const double ratio = ratio_sum / samples;
       (scale >= 0.3 ? worst_moderate_ratio : worst_starved_ratio) =
           std::max(scale >= 0.3 ? worst_moderate_ratio : worst_starved_ratio, ratio);
-      bench::print_row({static_cast<double>(players), scale, ratio,
+      scenario::print_row({static_cast<double>(players), scale, ratio,
                         unserved_sum / samples,
                         static_cast<double>(iterations_sum) / samples});
     }

@@ -34,7 +34,8 @@
 #include "dspp/window_program.hpp"
 #include "obs/metrics.hpp"
 #include "qp/admm_solver.hpp"
-#include "scenarios.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 // Route every heap allocation through the alloc probe so hot-loop allocation
 // counts are real measurements, not estimates. The library never installs
@@ -68,7 +69,8 @@ double ms_since(Clock::time_point start) {
 /// The fig06-scale window program: full Section VII environment at the
 /// longest horizon family of Fig. 6 (K = 20).
 gp::dspp::WindowProgram build_window(std::size_t horizon) {
-  static gp::bench::Scenario scenario = gp::bench::paper_scenario(4, 24);
+  static gp::scenario::ScenarioBundle scenario =
+      gp::scenario::build(gp::scenario::section7_spec(4, 24));
   const gp::dspp::PairIndex pairs(scenario.model);
   gp::dspp::WindowInputs inputs;
   inputs.initial_state = Vector(pairs.num_pairs(), 0.0);
@@ -372,7 +374,7 @@ int main() {
   const double legacy_ns = legacy.wall_ms * 1e6 / kIters;
   const double fused_ns = fused.wall_ms * 1e6 / kIters;
 
-  gp::bench::print_series_header("kernel path: ns/iteration, allocs/iteration",
+  gp::scenario::print_series_header("kernel path: ns/iteration, allocs/iteration",
                                  {"path", "ns_per_iter", "allocs_per_iter"});
   std::printf("legacy,%.0f,%.1f\n", legacy_ns,
               static_cast<double>(legacy.loop_allocs) / kIters);

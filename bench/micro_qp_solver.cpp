@@ -11,7 +11,7 @@
 #include "linalg/sparse_ldlt.hpp"
 #include "qp/admm_solver.hpp"
 #include "qp/ipm_solver.hpp"
-#include "scenarios.hpp"
+#include "scenario/registry.hpp"
 
 namespace {
 
@@ -20,9 +20,9 @@ using namespace gp;
 /// Builds a window program of the given dimensions on the paper scenario.
 dspp::WindowProgram make_window(std::size_t num_dcs, std::size_t num_cities,
                                 std::size_t horizon) {
-  static std::vector<std::unique_ptr<bench::Scenario>> keep_alive;  // owns models
+  static std::vector<std::unique_ptr<scenario::ScenarioBundle>> keep_alive;  // owns models
   keep_alive.push_back(
-      std::make_unique<bench::Scenario>(bench::paper_scenario(num_dcs, num_cities, 1.5e-5)));
+      std::make_unique<scenario::ScenarioBundle>(scenario::build(scenario::section7_spec(num_dcs, num_cities, 1.5e-5))));
   auto& scenario = *keep_alive.back();
   // Loose SLA so every (l, v) pair is usable: maximizes the pair count for
   // a given (L, V), i.e. the hardest window program of those dimensions.

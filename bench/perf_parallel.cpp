@@ -23,7 +23,9 @@
 
 #include "game/competition.hpp"
 #include "obs/metrics.hpp"
-#include "scenarios.hpp"
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 namespace {
 
@@ -92,13 +94,13 @@ struct MpcRun {
 };
 
 MpcRun run_mpc(bool reuse_solver_state) {
-  auto scenario = gp::bench::paper_scenario(4, 24);
+  const auto scenario = gp::scenario::build(gp::scenario::section7_spec(4, 24));
   gp::control::MpcSettings settings;
   settings.horizon = 5;
   settings.reuse_solver_state = reuse_solver_state;
   gp::control::MpcController controller(scenario.model, settings,
-                                        gp::bench::make_predictor("last"),
-                                        gp::bench::make_predictor("last"));
+                                        gp::scenario::make_predictor("last"),
+                                        gp::scenario::make_predictor("last"));
 
   constexpr std::size_t kSteps = 96;
   auto demand_at = [&](std::size_t k) {
@@ -138,7 +140,7 @@ int main() {
   // is a measurement.
   const bool speedup_valid = cpus > 1;
 
-  gp::bench::print_series_header(
+  gp::scenario::print_series_header(
       "Parallel solve layer: 8-provider game wall time vs best-response lanes",
       {"threads", "wall_ms", "speedup", "iterations", "bit_identical"});
   if (!speedup_valid) {
@@ -152,7 +154,7 @@ int main() {
     const bool same = identical(run.result, runs.front().result);
     all_identical = all_identical && same;
     if (speedup_valid) {
-      gp::bench::print_row({static_cast<double>(run.threads), run.wall_ms,
+      gp::scenario::print_row({static_cast<double>(run.threads), run.wall_ms,
                             runs.front().wall_ms / run.wall_ms,
                             static_cast<double>(run.iterations), same ? 1.0 : 0.0});
     } else {
@@ -197,11 +199,11 @@ int main() {
       cached.wall_ms > 0.0 ? instrumented.wall_ms / cached.wall_ms : 0.0;
 
   std::printf("\n# 96-step MPC (4 DCs x 24 cities, horizon 5)\n");
-  gp::bench::print_series_header("variant: wall_ms, admm_iterations, unsolved",
+  gp::scenario::print_series_header("variant: wall_ms, admm_iterations, unsolved",
                                  {"reuse", "wall_ms", "admm_iterations", "unsolved"});
-  gp::bench::print_row({0.0, cold.wall_ms, static_cast<double>(cold.admm_iterations),
+  gp::scenario::print_row({0.0, cold.wall_ms, static_cast<double>(cold.admm_iterations),
                         static_cast<double>(cold.unsolved)});
-  gp::bench::print_row({1.0, cached.wall_ms, static_cast<double>(cached.admm_iterations),
+  gp::scenario::print_row({1.0, cached.wall_ms, static_cast<double>(cached.admm_iterations),
                         static_cast<double>(cached.unsolved)});
   std::printf("# cached-run solver setup: %lld solves, %lld structure hits, "
               "%lld full factors, %lld refactors, %lld factorizations skipped\n",

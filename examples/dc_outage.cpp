@@ -8,46 +8,37 @@
 // migrates back when the site recovers.
 //
 //   $ ./dc_outage
+#include <cmath>
 #include <cstdio>
-#include <memory>
 
-#include "control/mpc_controller.hpp"
 #include "dspp/assignment.hpp"
-#include "workload/demand.hpp"
-#include "workload/price.hpp"
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
 
 int main() {
   using namespace gp;
 
-  const auto sites = topology::default_datacenter_sites(3);
-  const std::vector<topology::City> cities(topology::us_cities24().begin(),
-                                           topology::us_cities24().begin() + 6);
-  dspp::DsppModel model;
-  model.network = topology::NetworkModel::from_geography(sites, cities);
-  model.sla.mu = 100.0;
-  model.sla.max_latency_ms = 60.0;
-  model.sla.reservation_ratio = 1.1;
-  model.reconfig_cost.assign(3, 0.01);
-  model.capacity.assign(3, 2000.0);
+  // 3 DCs x 6 cities (the dc_outage preset); the loop below throttles the
+  // Houston site's quota mid-day.
+  const auto spec = scenario::preset("dc_outage");
+  const auto bundle = scenario::build(spec);
 
-  const auto demand =
-      workload::DemandModel::from_cities(cities, 1.5e-5, workload::DiurnalProfile());
-  const workload::ServerPriceModel prices(sites, workload::VmType::kMedium,
-                                          workload::ElectricityPriceModel());
-
-  control::MpcSettings settings;
-  settings.horizon = 3;
-  settings.soft_demand_penalty = 5.0;  // an outage can make hard demand infeasible
-  control::MpcController controller(model, settings,
-                                    std::make_unique<control::LastValuePredictor>(),
-                                    std::make_unique<control::LastValuePredictor>());
+  scenario::PolicySpec policy;
+  policy.horizon = 3;
+  policy.soft_demand_penalty = 5.0;  // an outage can make hard demand infeasible
+  policy.demand_predictor.kind = "last";
+  policy.price_predictor.kind = "last";
+  auto handle = scenario::make_policy(bundle, spec, policy);
+  control::MpcController& controller = *handle.mpc();
   const auto& pairs = controller.pairs();
+  const auto& model = bundle.model;
+  const auto& sites = bundle.sites;
 
   constexpr double kOutageStart = 11.0, kOutageEnd = 15.0;  // UTC hours
   constexpr std::size_t kFailedDc = 1;                      // Houston (usually cheapest)
 
-  linalg::Vector state = controller.provision_for(demand.mean_rates(0.5),
-                                                  prices.server_prices(0.5));
+  linalg::Vector state = controller.provision_for(bundle.demand.mean_rates(0.5),
+                                                  bundle.prices.server_prices(0.5));
   std::printf("%-5s | %10s %10s %10s | %8s %9s %s\n", "hour", sites[0].name.c_str(),
               sites[1].name.c_str(), sites[2].name.c_str(), "SLA%", "churn", "");
   double total_migration = 0.0;
@@ -60,8 +51,8 @@ int main() {
     } else {
       controller.set_capacity_quota(std::nullopt);
     }
-    const auto demand_now = demand.mean_rates(hour + 0.5);
-    const auto price_now = prices.server_prices(hour + 0.5);
+    const auto demand_now = bundle.demand.mean_rates(hour + 0.5);
+    const auto price_now = bundle.prices.server_prices(hour + 0.5);
     const auto result = controller.step(state, demand_now, price_now);
     if (!result.solved) {
       std::printf("hour %d: solver status %s\n", hour, qp::to_string(result.status).c_str());
@@ -72,7 +63,7 @@ int main() {
     total_migration += churn;
     state = result.next_state;
 
-    const auto next_demand = demand.mean_rates(hour + 1.5);
+    const auto next_demand = bundle.demand.mean_rates(hour + 1.5);
     const auto assignment = dspp::assign_demand(pairs, state, next_demand);
     const auto report = dspp::evaluate_sla(model, pairs, state, assignment);
     linalg::Vector per_dc(3, 0.0);

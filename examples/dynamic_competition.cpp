@@ -9,6 +9,7 @@
 //   $ ./dynamic_competition
 #include <cstdio>
 
+#include "scenario/policy.hpp"
 #include "sim/multi_provider.hpp"
 
 namespace {
@@ -28,7 +29,12 @@ gp::sim::TenantConfig make_tenant(const gp::topology::NetworkModel& network, dou
       workload::DemandModel(
           {{base_rate, utc_offset, workload::DiurnalProfile()},
            {base_rate * 0.7, utc_offset, workload::DiurnalProfile()}}),
-      std::make_unique<control::ArPredictor>(2, 24)};
+      [] {
+        gp::scenario::PredictorSpec ar;
+        ar.kind = "ar";
+        ar.window = 24;
+        return gp::scenario::make_predictor(ar);
+      }()};
 }
 
 }  // namespace

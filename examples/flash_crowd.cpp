@@ -7,44 +7,29 @@
 //
 //   $ ./flash_crowd
 #include <cstdio>
-#include <memory>
 
-#include "sim/engine.hpp"
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
 
 namespace {
 
 gp::sim::SimulationSummary run_with_reservation(double reservation) {
   using namespace gp;
-  const auto sites = topology::default_datacenter_sites(2);
-  const std::vector<topology::City> cities(topology::us_cities24().begin(),
-                                           topology::us_cities24().begin() + 4);
-  dspp::DsppModel model;
-  model.network = topology::NetworkModel::from_geography(sites, cities);
-  model.sla.mu = 100.0;
-  model.sla.max_latency_ms = 120.0;
-  model.sla.reservation_ratio = reservation;
-  model.reconfig_cost.assign(2, 0.001);
-  model.capacity.assign(2, 2000.0);
+  // The flash_crowd preset: 2 DCs x 4 cities with a 5x spike at New York
+  // (index 0) from 10:00 to 13:00 UTC; the cushion is the compared knob.
+  auto spec = scenario::preset("flash_crowd");
+  spec.reservation_ratio = reservation;
+  const auto bundle = scenario::build(spec);
 
-  auto demand = workload::DemandModel::from_cities(cities, 1.5e-5,
-                                                   workload::DiurnalProfile(0.6, 1.0));
-  // 5x spike at New York (index 0) from 10:00 to 13:00 UTC.
-  demand.add_flash_crowd({0, 10.0, 3.0, 5.0});
+  scenario::PolicySpec policy;
+  policy.horizon = 3;
+  policy.demand_predictor.kind = "ar";
+  policy.demand_predictor.window = 24;
+  policy.price_predictor.kind = "last";
+  const auto handle = scenario::make_policy(bundle, spec, policy);
 
-  const workload::ServerPriceModel prices(sites, workload::VmType::kMedium,
-                                          workload::ElectricityPriceModel());
-  control::MpcSettings settings;
-  settings.horizon = 3;
-  control::MpcController controller(model, settings,
-                                    std::make_unique<control::ArPredictor>(2, 24),
-                                    std::make_unique<control::LastValuePredictor>());
-  sim::SimulationConfig config;
-  config.periods = 24;
-  config.period_hours = 1.0;
-  config.noisy_demand = true;
-  config.seed = 7;
-  sim::SimulationEngine engine(model, demand, prices, config);
-  return engine.run(sim::policy_from(controller));
+  auto engine = scenario::make_engine(bundle, spec);
+  return engine.run(handle.policy());
 }
 
 }  // namespace

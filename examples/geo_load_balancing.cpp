@@ -7,47 +7,31 @@
 //
 //   $ ./geo_load_balancing
 #include <cstdio>
-#include <memory>
 
-#include "sim/engine.hpp"
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
 
 int main() {
   using namespace gp;
 
-  const auto sites = topology::default_datacenter_sites(4);
-  const auto& cities = topology::us_cities24();
+  // The registry's full Section VII environment, with a slightly larger
+  // reservation cushion and a tight 32 ms SLA so the price-driven shifts
+  // happen inside latency-feasible subsets instead of everything collapsing
+  // into the cheapest region.
+  auto spec = scenario::preset("paper_full");
+  spec.reservation_ratio = 1.15;
+  const auto bundle = scenario::build(spec);
 
-  dspp::DsppModel model;
-  model.network = topology::NetworkModel::from_geography(sites, cities);
-  model.sla.mu = 100.0;
-  // Tight enough that serving a coastal city from a distant data center
-  // costs visibly more servers (smaller queueing budget -> larger a_lv), so
-  // the price-driven shifts happen inside latency-feasible subsets instead
-  // of everything collapsing into the cheapest region.
-  model.sla.max_latency_ms = 32.0;
-  model.sla.reservation_ratio = 1.15;
-  model.reconfig_cost.assign(4, 0.002);
-  model.capacity.assign(4, 2000.0);  // the paper's per-DC capacity
+  scenario::PolicySpec policy;
+  policy.horizon = 6;
+  policy.demand_predictor.kind = "seasonal";
+  policy.price_predictor.kind = "seasonal";
+  const auto handle = scenario::make_policy(bundle, spec, policy);
 
-  const auto demand =
-      workload::DemandModel::from_cities(cities, 2e-5, workload::DiurnalProfile());
-  const workload::ServerPriceModel prices(sites, workload::VmType::kMedium,
-                                          workload::ElectricityPriceModel());
+  auto engine = scenario::make_engine(bundle, spec);
+  const auto summary = engine.run(handle.policy());
 
-  control::MpcSettings settings;
-  settings.horizon = 6;
-  control::MpcController controller(model, settings,
-                                    std::make_unique<control::SeasonalNaivePredictor>(24),
-                                    std::make_unique<control::SeasonalNaivePredictor>(24));
-
-  sim::SimulationConfig config;
-  config.periods = 48;  // two days: the second day has seasonal history
-  config.noisy_demand = true;
-  config.seed = 2026;
-
-  sim::SimulationEngine engine(model, demand, prices, config);
-  const auto summary = engine.run(sim::policy_from(controller));
-
+  const auto& sites = bundle.sites;
   std::printf("%-6s %10s | %10s %10s %10s %10s | %10s %6s\n", "hour", "demand",
               sites[0].name.c_str(), sites[1].name.c_str(), sites[2].name.c_str(),
               sites[3].name.c_str(), "cost[$]", "SLA%");

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "control/mpc_controller.hpp"
+#include "scenario/policy.hpp"
 #include "dspp/assignment.hpp"
 
 int main() {
@@ -29,8 +30,8 @@ int main() {
   control::MpcSettings settings;
   settings.horizon = 4;  // look 4 periods ahead
   control::MpcController controller(model, settings,
-                                    std::make_unique<control::LastValuePredictor>(),
-                                    std::make_unique<control::LastValuePredictor>());
+                                    scenario::make_predictor("last"),
+                                    scenario::make_predictor("last"));
   const auto& pairs = controller.pairs();
 
   // --- 3. Drive it with a demand ramp and region-dependent prices. ---

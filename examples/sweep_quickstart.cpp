@@ -1,0 +1,42 @@
+// The three-line experiment: pick presets from the registry, describe the
+// policies, hand the grid to SweepRunner. The runner expands
+// (scenario x policy x seed), fans the runs across the thread pool, and
+// aggregates per-cell statistics — bit-identical at any GEOPLACE_THREADS.
+//
+//   $ ./sweep_quickstart            # JSONL per run on stdout, CSV table after
+#include <cstdio>
+#include <iostream>
+
+#include "scenario/sweep.hpp"
+
+int main() {
+  using namespace gp;
+
+  // The advertised three lines: a grid of two presets x two controllers,
+  // five Monte-Carlo seeds per cell, run in parallel.
+  scenario::SweepGrid grid;
+  grid.scenarios = {scenario::preset("ablation_small"), scenario::preset("flash_crowd")};
+  grid.policies = {scenario::PolicySpec{},  // the MPC defaults (horizon 5, last/last)
+                   [] {
+                     scenario::PolicySpec reactive;
+                     reactive.kind = "reactive";
+                     return reactive;
+                   }()};
+  grid.num_seeds = 5;
+  grid.base_seed = 7;
+
+  const auto result = scenario::SweepRunner(grid).run();
+
+  std::printf("# one JSON object per run (%zu runs, %.1f runs/s):\n",
+              result.runs.size(), result.runs_per_s);
+  result.write_jsonl(std::cout);
+
+  std::printf("\n# per-(scenario, policy) aggregates over the seed axis:\n");
+  result.write_csv(std::cout);
+
+  // A sweep is healthy when every grid point solved every period.
+  long long unsolved = 0;
+  for (const auto& cell : result.cells) unsolved += cell.unsolved_periods;
+  std::printf("\n%s\n", unsolved == 0 ? "all periods solved" : "UNSOLVED periods present");
+  return unsolved == 0 ? 0 : 1;
+}

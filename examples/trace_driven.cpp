@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "control/mpc_controller.hpp"
+#include "scenario/policy.hpp"
 #include "topology/isp_map.hpp"
 #include "topology/network.hpp"
 #include "workload/trace_io.hpp"
@@ -63,9 +64,12 @@ int main() {
 
   control::MpcSettings settings;
   settings.horizon = 3;
-  control::MpcController controller(
-      model, settings, std::make_unique<control::OraclePredictor>(loaded.trace.values),
-      std::make_unique<control::LastValuePredictor>());
+  scenario::PredictorSpec oracle;
+  oracle.kind = "oracle";
+  oracle.oracle_wrap = false;  // a measured trace ends; don't replay it cyclically
+  control::MpcController controller(model, settings,
+                                    scenario::make_predictor(oracle, loaded.trace.values),
+                                    scenario::make_predictor("last"));
 
   const linalg::Vector price{0.06, 0.04, 0.05};
   linalg::Vector state = controller.provision_for(loaded.trace.values.front(), price);

@@ -1,0 +1,135 @@
+#include "scenario/policy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace gp::scenario {
+
+using linalg::Vector;
+
+std::unique_ptr<control::SeriesPredictor> make_predictor(const PredictorSpec& spec,
+                                                         std::vector<Vector> oracle_trace) {
+  if (spec.kind == "oracle") {
+    return std::make_unique<control::OraclePredictor>(std::move(oracle_trace),
+                                                      spec.oracle_wrap);
+  }
+  if (spec.kind == "ar") {
+    return std::make_unique<control::ArPredictor>(spec.order, spec.window);
+  }
+  if (spec.kind == "seasonal") {
+    return std::make_unique<control::SeasonalNaivePredictor>(spec.season);
+  }
+  if (spec.kind == "seasonal_ar") {
+    return std::make_unique<control::SeasonalArPredictor>(spec.season, spec.order,
+                                                          spec.window);
+  }
+  require(spec.kind == "last", "make_predictor: unknown predictor kind");
+  return std::make_unique<control::LastValuePredictor>();
+}
+
+std::unique_ptr<control::SeriesPredictor> make_predictor(const std::string& kind,
+                                                         std::vector<Vector> oracle_trace) {
+  PredictorSpec spec;
+  spec.kind = kind;
+  // The historical default tuning of the seasonal+AR hybrid.
+  if (kind == "seasonal_ar") spec.window = 72;
+  return make_predictor(spec, std::move(oracle_trace));
+}
+
+std::vector<Vector> mean_demand_trace(const ScenarioBundle& bundle, const ScenarioSpec& spec,
+                                      std::size_t extra) {
+  std::vector<Vector> trace;
+  trace.reserve(spec.sim.periods + extra + 1);
+  for (std::size_t k = 0; k <= spec.sim.periods + extra; ++k) {
+    const double hour =
+        spec.sim.utc_start_hour + static_cast<double>(k) * spec.sim.period_hours;
+    trace.push_back(bundle.demand.mean_rates(hour + spec.sim.period_hours / 2.0));
+  }
+  return trace;
+}
+
+std::vector<Vector> price_trace(const ScenarioBundle& bundle, const ScenarioSpec& spec,
+                                std::size_t extra) {
+  std::vector<Vector> trace;
+  trace.reserve(spec.sim.periods + extra + 1);
+  for (std::size_t k = 0; k <= spec.sim.periods + extra; ++k) {
+    const double hour =
+        spec.sim.freeze_prices
+            ? spec.sim.utc_start_hour
+            : spec.sim.utc_start_hour + static_cast<double>(k) * spec.sim.period_hours;
+    Vector price = bundle.prices.server_prices(hour + spec.sim.period_hours / 2.0);
+    linalg::scale(spec.sim.period_hours, price);
+    trace.push_back(std::move(price));
+  }
+  return trace;
+}
+
+namespace {
+
+std::unique_ptr<control::SeriesPredictor> predictor_for(const ScenarioBundle& bundle,
+                                                        const ScenarioSpec& spec,
+                                                        const PredictorSpec& predictor,
+                                                        bool demand_series) {
+  if (predictor.kind == "oracle") {
+    return make_predictor(predictor, demand_series ? mean_demand_trace(bundle, spec)
+                                                   : price_trace(bundle, spec));
+  }
+  return make_predictor(predictor);
+}
+
+/// Per-network peak of the mean demand, scanned hourly over one day — the
+/// reference the static baseline provisions for.
+Vector peak_mean_demand(const ScenarioBundle& bundle) {
+  Vector peak(bundle.model.num_access_networks(), 0.0);
+  for (double hour = 0.0; hour < 24.0; hour += 1.0) {
+    const auto rates = bundle.demand.mean_rates(hour);
+    for (std::size_t v = 0; v < peak.size(); ++v) peak[v] = std::max(peak[v], rates[v]);
+  }
+  return peak;
+}
+
+}  // namespace
+
+PolicyHandle make_policy(const ScenarioBundle& bundle, const ScenarioSpec& spec,
+                         const PolicySpec& policy) {
+  PolicyHandle handle;
+  if (policy.kind == "mpc") {
+    control::MpcSettings settings;
+    settings.horizon = policy.horizon;
+    settings.soft_demand_penalty = policy.soft_demand_penalty;
+    settings.reuse_solver_state = policy.reuse_solver_state;
+    handle.mpc_ = std::make_unique<control::MpcController>(
+        bundle.model, settings,
+        predictor_for(bundle, spec, policy.demand_predictor, /*demand_series=*/true),
+        predictor_for(bundle, spec, policy.price_predictor, /*demand_series=*/false));
+    handle.policy_ = sim::policy_from(*handle.mpc_);
+  } else if (policy.kind == "static") {
+    // Price observed the way the engine would at the reference hour.
+    Vector price = bundle.prices.server_prices(policy.static_reference_hour +
+                                               spec.sim.period_hours / 2.0);
+    linalg::scale(spec.sim.period_hours, price);
+    handle.static_ = std::make_unique<control::StaticController>(
+        bundle.model, peak_mean_demand(bundle), price);
+    handle.policy_ = sim::policy_from(*handle.static_);
+  } else if (policy.kind == "reactive") {
+    handle.reactive_ = std::make_unique<control::ReactiveController>(bundle.model);
+    handle.policy_ = sim::policy_from(*handle.reactive_);
+  } else if (policy.kind == "autoscaler") {
+    handle.autoscaler_ = std::make_unique<control::ThresholdAutoscaler>(bundle.model);
+    handle.policy_ = sim::policy_from(*handle.autoscaler_);
+  } else {
+    require(false, "make_policy: unknown policy kind");
+  }
+  if (policy.integerized) {
+    handle.model_ = std::make_unique<dspp::DsppModel>(bundle.model);
+    handle.pairs_ = std::make_unique<dspp::PairIndex>(*handle.model_);
+    handle.policy_ = sim::integerized(std::move(handle.policy_), *handle.model_,
+                                      *handle.pairs_);
+  }
+  return handle;
+}
+
+}  // namespace gp::scenario

@@ -1,0 +1,30 @@
+// Named scenario presets: the Section VII environments behind every figure
+// and ablation, registered once under stable names ("fig04",
+// "fig09_volatile", "ablation_small", ...) so benches, examples, tests and
+// sweep grids all start from the same spec instead of re-assembling it.
+//
+// Presets are returned BY VALUE: fetch, tweak fields, build. The registry
+// itself is immutable after start-up (built on first use, no locking
+// needed afterwards); experiments that need a one-off environment
+// construct a ScenarioSpec directly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace gp::scenario {
+
+/// Sorted names of every registered preset.
+const std::vector<std::string>& preset_names();
+
+/// True when `name` is a registered preset.
+bool has_preset(std::string_view name);
+
+/// Copy of the named preset; throws gp::Error for unknown names (the
+/// message lists what is available).
+ScenarioSpec preset(std::string_view name);
+
+}  // namespace gp::scenario

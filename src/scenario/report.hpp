@@ -1,0 +1,29 @@
+// Plot-ready series printing shared by the figure benches (moved here from
+// bench/scenarios.hpp so every experiment artifact lives in the scenario
+// layer): "# <title>" then CSV rows on stdout.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gp::scenario {
+
+/// Prints "# <title>" then a CSV header line — every bench emits the series
+/// of one paper figure in a directly plottable form.
+inline void print_series_header(const char* title, const std::vector<std::string>& columns) {
+  std::printf("# %s\n", title);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", columns[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void print_row(const std::vector<double>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%.6g", i ? "," : "", cells[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace gp::scenario

@@ -1,0 +1,50 @@
+#include "scenario/spec.hpp"
+
+#include "common/error.hpp"
+
+namespace gp::scenario {
+
+ScenarioSpec section7_spec(std::size_t num_dcs, std::size_t num_cities,
+                           double rate_per_capita, workload::DiurnalProfile profile) {
+  ScenarioSpec spec;
+  spec.num_dcs = num_dcs;
+  spec.num_cities = num_cities;
+  spec.rate_per_capita = rate_per_capita;
+  spec.profile = profile;
+  return spec;
+}
+
+ScenarioBundle build(const ScenarioSpec& spec) {
+  require(spec.num_dcs >= 1, "ScenarioSpec: need at least one data center");
+  const auto& all_cities = topology::us_cities24();
+  require(spec.num_cities >= 1 && spec.num_cities <= all_cities.size(),
+          "ScenarioSpec: num_cities must be in [1, 24]");
+
+  auto sites = topology::default_datacenter_sites(spec.num_dcs);
+  std::vector<topology::City> cities(all_cities.begin(),
+                                     all_cities.begin() +
+                                         static_cast<std::ptrdiff_t>(spec.num_cities));
+
+  ScenarioBundle bundle{
+      .model = {},
+      .demand = workload::DemandModel::from_cities(cities, spec.rate_per_capita,
+                                                   spec.profile),
+      .prices = workload::ServerPriceModel(sites, spec.vm,
+                                           workload::ElectricityPriceModel()),
+      .sites = std::move(sites),
+      .cities = std::move(cities)};
+  bundle.model.network = topology::NetworkModel::from_geography(bundle.sites, bundle.cities);
+  bundle.model.sla.mu = spec.mu;
+  bundle.model.sla.max_latency_ms = spec.max_latency_ms;
+  bundle.model.sla.reservation_ratio = spec.reservation_ratio;
+  bundle.model.reconfig_cost.assign(spec.num_dcs, spec.reconfig_cost);
+  bundle.model.capacity.assign(spec.num_dcs, spec.capacity);
+  for (const auto& crowd : spec.flash_crowds) bundle.demand.add_flash_crowd(crowd);
+  return bundle;
+}
+
+sim::SimulationEngine make_engine(const ScenarioBundle& bundle, const ScenarioSpec& spec) {
+  return sim::SimulationEngine(bundle.model, bundle.demand, bundle.prices, spec.sim);
+}
+
+}  // namespace gp::scenario

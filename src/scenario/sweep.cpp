@@ -1,0 +1,231 @@
+#include "scenario/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <span>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gp::scenario {
+
+namespace {
+
+/// Report label of a grid scenario (specs built by hand may be unnamed).
+std::string scenario_label(const ScenarioSpec& spec, std::size_t index) {
+  if (!spec.name.empty()) return spec.name;
+  return "scenario" + std::to_string(index);
+}
+
+Aggregate aggregate_of(std::span<const double> values) {
+  Aggregate agg;
+  if (values.empty()) return agg;
+  agg.mean = mean(values);
+  agg.stddev = stddev(values);
+  agg.min = *std::min_element(values.begin(), values.end());
+  agg.max = *std::max_element(values.begin(), values.end());
+  return agg;
+}
+
+/// JSON number token: round-trip formatting, null for non-finite values
+/// (JSON has no NaN/inf and downstream parsers choke on them).
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  return CsvWriter::format(value);
+}
+
+std::string json_string(const std::string& text) {
+  std::string quoted = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+/// CSV cell: like CsvWriter::format but empty for non-finite values, the
+/// same convention SimulationSummary::write_csv uses.
+std::string csv_number(double value) {
+  if (!std::isfinite(value)) return "";
+  return CsvWriter::format(value);
+}
+
+}  // namespace
+
+std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t run_index) {
+  // splitmix64 over (base, index): statistically independent per-run
+  // streams from one master seed, computable by any lane.
+  std::uint64_t z =
+      base_seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(run_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(SweepGrid grid, SweepOptions options)
+    : grid_(std::move(grid)), options_(options) {
+  require(!grid_.scenarios.empty(), "SweepRunner: need at least one scenario");
+  require(!grid_.policies.empty(), "SweepRunner: need at least one policy");
+  require(!grid_.seeds.empty() || grid_.num_seeds >= 1,
+          "SweepRunner: need at least one seed");
+  resolved_seeds_ = grid_.seeds;
+}
+
+std::size_t SweepRunner::num_runs() const {
+  const std::size_t seeds = resolved_seeds_.empty() ? grid_.num_seeds
+                                                    : resolved_seeds_.size();
+  return grid_.scenarios.size() * grid_.policies.size() * seeds;
+}
+
+SweepResult SweepRunner::run() {
+  obs::Span sweep_span("sweep.run", static_cast<double>(num_runs()));
+
+  // Bundles are built once per scenario and shared READ-ONLY by the lanes;
+  // every lane copies what it mutates (engine, controller).
+  std::vector<ScenarioBundle> bundles;
+  bundles.reserve(grid_.scenarios.size());
+  for (const auto& spec : grid_.scenarios) bundles.push_back(build(spec));
+
+  const std::size_t num_policies = grid_.policies.size();
+  const std::size_t num_seeds = resolved_seeds_.empty() ? grid_.num_seeds
+                                                        : resolved_seeds_.size();
+  const std::size_t total = num_runs();
+
+  SweepResult result;
+  result.runs.resize(total);
+  parallel_for(
+      0, total,
+      [&](std::size_t index) {
+        obs::Span cell_span("sweep.cell", static_cast<double>(index));
+        const std::size_t scenario_index = index / (num_policies * num_seeds);
+        const std::size_t policy_index = (index / num_seeds) % num_policies;
+        const std::size_t seed_index = index % num_seeds;
+
+        ScenarioSpec spec = grid_.scenarios[scenario_index];
+        spec.sim.seed = resolved_seeds_.empty()
+                            ? derive_run_seed(grid_.base_seed, index)
+                            : resolved_seeds_[seed_index];
+
+        PolicyHandle policy = make_policy(bundles[scenario_index], spec,
+                                          grid_.policies[policy_index]);
+        sim::SimulationEngine engine = make_engine(bundles[scenario_index], spec);
+
+        RunRecord record;
+        record.scenario_index = scenario_index;
+        record.policy_index = policy_index;
+        record.seed_index = seed_index;
+        record.scenario = scenario_label(grid_.scenarios[scenario_index], scenario_index);
+        record.policy = grid_.policies[policy_index].label();
+        record.seed = spec.sim.seed;
+        record.summary = engine.run(policy.policy());
+        if (!options_.keep_periods) {
+          record.summary.periods.clear();
+          record.summary.periods.shrink_to_fit();
+        }
+        record.wall_ms = cell_span.close();
+        if (obs::metrics_enabled()) {
+          auto& registry = obs::Registry::global();
+          registry.counter("sweep.runs").add(1);
+          registry.counter("sweep.unsolved_periods")
+              .add(record.summary.unsolved_periods);
+          registry.histogram("sweep.run_ms").record(record.wall_ms);
+        }
+        // Results land by index, never by completion order (determinism).
+        result.runs[index] = std::move(record);
+      },
+      options_.max_threads);
+
+  // Aggregate the seed axis into per-(scenario, policy) cells.
+  result.cells.reserve(grid_.scenarios.size() * num_policies);
+  std::vector<double> total_cost, resource_cost, reconfig_cost, mean_compliance,
+      worst_compliance, churn, policy_wall;
+  for (std::size_t si = 0; si < grid_.scenarios.size(); ++si) {
+    for (std::size_t pi = 0; pi < num_policies; ++pi) {
+      total_cost.clear(); resource_cost.clear(); reconfig_cost.clear();
+      mean_compliance.clear(); worst_compliance.clear(); churn.clear();
+      policy_wall.clear();
+      SweepCell cell;
+      cell.scenario = scenario_label(grid_.scenarios[si], si);
+      cell.policy = grid_.policies[pi].label();
+      for (std::size_t ki = 0; ki < num_seeds; ++ki) {
+        const RunRecord& record = result.runs[(si * num_policies + pi) * num_seeds + ki];
+        const sim::SimulationSummary& summary = record.summary;
+        total_cost.push_back(summary.total_cost);
+        resource_cost.push_back(summary.total_resource_cost);
+        reconfig_cost.push_back(summary.total_reconfig_cost);
+        mean_compliance.push_back(summary.mean_compliance);
+        worst_compliance.push_back(summary.worst_compliance);
+        churn.push_back(summary.total_churn);
+        policy_wall.push_back(summary.policy_wall_ms);
+        cell.unsolved_periods += summary.unsolved_periods;
+        cell.wall_ms += record.wall_ms;
+        ++cell.runs;
+      }
+      cell.total_cost = aggregate_of(total_cost);
+      cell.resource_cost = aggregate_of(resource_cost);
+      cell.reconfig_cost = aggregate_of(reconfig_cost);
+      cell.mean_compliance = aggregate_of(mean_compliance);
+      cell.worst_compliance = aggregate_of(worst_compliance);
+      cell.churn = aggregate_of(churn);
+      cell.policy_wall_ms = aggregate_of(policy_wall);
+      result.cells.push_back(std::move(cell));
+    }
+  }
+
+  result.wall_ms = sweep_span.close();
+  result.runs_per_s =
+      result.wall_ms > 0.0 ? 1000.0 * static_cast<double>(total) / result.wall_ms : 0.0;
+  if (obs::metrics_enabled()) {
+    obs::Registry::global().gauge("sweep.runs_per_s").set(result.runs_per_s);
+  }
+  return result;
+}
+
+// The JSONL export is the determinism artifact: it must be bit-identical at
+// any thread count, so it carries only simulation results — wall-clock
+// timings live in the CSV aggregates and SweepResult::wall_ms.
+void SweepResult::write_jsonl(std::ostream& out) const {
+  for (const RunRecord& record : runs) {
+    const sim::SimulationSummary& summary = record.summary;
+    out << "{\"scenario\":" << json_string(record.scenario)
+        << ",\"policy\":" << json_string(record.policy)
+        << ",\"seed\":" << record.seed << ",\"seed_index\":" << record.seed_index
+        << ",\"total_cost\":" << json_number(summary.total_cost)
+        << ",\"resource_cost\":" << json_number(summary.total_resource_cost)
+        << ",\"reconfig_cost\":" << json_number(summary.total_reconfig_cost)
+        << ",\"total_churn\":" << json_number(summary.total_churn)
+        << ",\"mean_compliance\":" << json_number(summary.mean_compliance)
+        << ",\"worst_compliance\":" << json_number(summary.worst_compliance)
+        << ",\"unsolved_periods\":" << summary.unsolved_periods << "}\n";
+  }
+}
+
+void SweepResult::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.header({"scenario", "policy", "runs",
+              "total_cost_mean", "total_cost_stddev", "total_cost_min", "total_cost_max",
+              "resource_cost_mean", "reconfig_cost_mean",
+              "mean_compliance_mean", "mean_compliance_stddev", "worst_compliance_min",
+              "churn_mean", "churn_stddev", "unsolved_periods",
+              "policy_wall_ms_mean", "cell_wall_ms"});
+  for (const SweepCell& cell : cells) {
+    csv.row(std::vector<std::string>{
+        cell.scenario, cell.policy, std::to_string(cell.runs),
+        csv_number(cell.total_cost.mean), csv_number(cell.total_cost.stddev),
+        csv_number(cell.total_cost.min), csv_number(cell.total_cost.max),
+        csv_number(cell.resource_cost.mean), csv_number(cell.reconfig_cost.mean),
+        csv_number(cell.mean_compliance.mean), csv_number(cell.mean_compliance.stddev),
+        csv_number(cell.worst_compliance.min),
+        csv_number(cell.churn.mean), csv_number(cell.churn.stddev),
+        std::to_string(cell.unsolved_periods),
+        csv_number(cell.policy_wall_ms.mean), csv_number(cell.wall_ms)});
+  }
+}
+
+}  // namespace gp::scenario

@@ -1,0 +1,125 @@
+// Batched experiment sweeps: expand a (scenario x policy x seed) grid and
+// fan the runs across the process-wide thread pool — the experiment-harness
+// shape the figure reproductions, the ablations, and Monte-Carlo
+// confidence intervals all share.
+//
+// Determinism contract (matching common/thread_pool): the grid expands to a
+// fixed run order (scenario-major, then policy, then seed), every run's
+// SimulationConfig seed is derived purely from (base seed, run index), and
+// each lane writes its result by run index — so the full SweepResult,
+// including the JSONL/CSV exports, is BIT-identical at every thread count.
+//
+// Observability: the sweep emits gp::obs spans ("sweep.run" around the
+// grid, "sweep.cell" per run) and, when metrics are enabled, counters
+// (sweep.runs, sweep.unsolved_periods), a run-wall-time histogram
+// (sweep.run_ms) and a runs-per-second gauge.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace gp::scenario {
+
+/// The three sweep axes. Seeds: `seeds` when non-empty (exact
+/// SimulationConfig seeds, e.g. to reproduce a legacy bench), otherwise
+/// `num_seeds` values derived from `base_seed` via derive_run_seed().
+struct SweepGrid {
+  std::vector<ScenarioSpec> scenarios;
+  std::vector<PolicySpec> policies;
+  std::vector<std::uint64_t> seeds;
+  std::size_t num_seeds = 1;
+  std::uint64_t base_seed = 1;
+};
+
+struct SweepOptions {
+  /// Lanes used on the global pool (0 = all). Results never depend on this.
+  std::size_t max_threads = 0;
+  /// Keep the per-period rows of every run. Off by default: a large grid's
+  /// summaries are the product, the periods are per-run bulk.
+  bool keep_periods = false;
+};
+
+/// One grid point's outcome. `summary.periods` is empty unless
+/// SweepOptions::keep_periods was set.
+struct RunRecord {
+  std::size_t scenario_index = 0;
+  std::size_t policy_index = 0;
+  std::size_t seed_index = 0;
+  std::string scenario;  ///< report label of the scenario
+  std::string policy;    ///< PolicySpec::label()
+  std::uint64_t seed = 0;
+  sim::SimulationSummary summary;
+  double wall_ms = 0.0;
+};
+
+/// mean/stddev/min/max over the seed axis of one metric.
+struct Aggregate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Per-(scenario, policy) aggregation over seeds — the Monte-Carlo cell.
+struct SweepCell {
+  std::string scenario;
+  std::string policy;
+  std::size_t runs = 0;
+  Aggregate total_cost;
+  Aggregate resource_cost;
+  Aggregate reconfig_cost;
+  Aggregate mean_compliance;
+  Aggregate worst_compliance;
+  Aggregate churn;
+  Aggregate policy_wall_ms;
+  long long unsolved_periods = 0;  ///< summed over the cell's runs
+  double wall_ms = 0.0;            ///< summed run wall time (cell work)
+};
+
+/// Everything a sweep produced, in deterministic grid order.
+struct SweepResult {
+  std::vector<RunRecord> runs;
+  std::vector<SweepCell> cells;   ///< scenario-major, then policy
+  double wall_ms = 0.0;           ///< wall clock of the whole sweep
+  double runs_per_s = 0.0;
+
+  /// One JSON object per run (grid order): scenario, policy, seed, and the
+  /// summary scalars. Non-finite values are emitted as null.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Per-cell aggregate table (mean/stddev/min/max columns) as CSV.
+  void write_csv(std::ostream& out) const;
+};
+
+/// The per-run SimulationConfig seed for run `run_index` under `base_seed`
+/// (splitmix64 over the pair) — pure, so any lane can compute any run.
+std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t run_index);
+
+/// Expands and executes a SweepGrid (see file comment).
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepGrid grid, SweepOptions options = {});
+
+  /// scenarios x policies x seeds.
+  std::size_t num_runs() const;
+
+  /// Executes the grid across the thread pool and aggregates. Scenario
+  /// bundles are built once per scenario and shared read-only by the lanes;
+  /// every lane owns its engine and policy.
+  SweepResult run();
+
+  const SweepGrid& grid() const { return grid_; }
+
+ private:
+  SweepGrid grid_;
+  SweepOptions options_;
+  std::vector<std::uint64_t> resolved_seeds_;
+};
+
+}  // namespace gp::scenario

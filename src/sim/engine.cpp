@@ -15,34 +15,6 @@ namespace gp::sim {
 
 using linalg::Vector;
 
-PlacementPolicy policy_from(control::MpcController& controller) {
-  return [&controller](const Vector& state, const Vector& demand, const Vector& price) {
-    const auto result = controller.step(state, demand, price);
-    return PolicyOutcome{result.solved, result.control, result.next_state};
-  };
-}
-
-PlacementPolicy policy_from(control::StaticController& controller) {
-  return [&controller](const Vector& state, const Vector& demand, const Vector& price) {
-    const auto result = controller.step(state, demand, price);
-    return PolicyOutcome{result.solved, result.control, result.next_state};
-  };
-}
-
-PlacementPolicy policy_from(control::ReactiveController& controller) {
-  return [&controller](const Vector& state, const Vector& demand, const Vector& price) {
-    const auto result = controller.step(state, demand, price);
-    return PolicyOutcome{result.solved, result.control, result.next_state};
-  };
-}
-
-PlacementPolicy policy_from(control::ThresholdAutoscaler& controller) {
-  return [&controller](const Vector& state, const Vector& demand, const Vector& price) {
-    const auto result = controller.step(state, demand, price);
-    return PolicyOutcome{true, result.control, result.next_state};
-  };
-}
-
 PlacementPolicy integerized(PlacementPolicy inner, const dspp::DsppModel& model,
                             const dspp::PairIndex& pairs) {
   return [inner = std::move(inner), &model, &pairs](const Vector& state, const Vector& demand,
@@ -70,13 +42,18 @@ void SimulationSummary::write_csv(std::ostream& out) const {
     }
   }
   csv.header(header);
+  // Unsolved periods carry NaN latencies/compliance; "nan" tokens break
+  // most CSV consumers, so non-finite cells are written empty instead.
+  const auto cell = [](double value) {
+    return std::isfinite(value) ? CsvWriter::format(value) : std::string();
+  };
   for (const auto& period : periods) {
-    std::vector<double> row{period.utc_hour,      period.total_demand,
-                            period.total_servers, period.resource_cost,
-                            period.reconfig_cost, period.sla_compliance,
-                            period.mean_latency_ms, period.unserved_rate,
-                            period.solved ? 1.0 : 0.0};
-    for (double s : period.servers_per_dc) row.push_back(s);
+    std::vector<std::string> row{cell(period.utc_hour),      cell(period.total_demand),
+                                 cell(period.total_servers), cell(period.resource_cost),
+                                 cell(period.reconfig_cost), cell(period.sla_compliance),
+                                 cell(period.mean_latency_ms), cell(period.unserved_rate),
+                                 period.solved ? "1" : "0"};
+    for (double s : period.servers_per_dc) row.push_back(cell(s));
     csv.row(row);
   }
 }

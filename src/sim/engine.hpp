@@ -28,14 +28,23 @@ struct PolicyOutcome {
 using PlacementPolicy = std::function<PolicyOutcome(
     const linalg::Vector& state, const linalg::Vector& demand, const linalg::Vector& price)>;
 
-/// Wraps an MpcController as a PlacementPolicy (controller must outlive it).
-PlacementPolicy policy_from(control::MpcController& controller);
-/// Wraps a StaticController.
-PlacementPolicy policy_from(control::StaticController& controller);
-/// Wraps a ReactiveController.
-PlacementPolicy policy_from(control::ReactiveController& controller);
-/// Wraps a ThresholdAutoscaler.
-PlacementPolicy policy_from(control::ThresholdAutoscaler& controller);
+/// Wraps any controller exposing `step(state, demand, price)` — the MPC
+/// controller, both baselines, the threshold autoscaler, or a user-supplied
+/// one — as a PlacementPolicy (the controller must outlive the closure).
+/// Controllers whose step result has no `solved` flag (e.g. the autoscaler,
+/// whose rule table always yields a state) report solved = true.
+template <typename Controller>
+PlacementPolicy policy_from(Controller& controller) {
+  return [&controller](const linalg::Vector& state, const linalg::Vector& demand,
+                       const linalg::Vector& price) {
+    const auto result = controller.step(state, demand, price);
+    if constexpr (requires { result.solved; }) {
+      return PolicyOutcome{result.solved, result.control, result.next_state};
+    } else {
+      return PolicyOutcome{true, result.control, result.next_state};
+    }
+  };
+}
 
 /// Decorates a policy so every applied allocation is INTEGRAL: the inner
 /// policy's next state is rounded up per pair with capacity repair (the

@@ -1,0 +1,201 @@
+// Scenario layer: presets reproduce the legacy bench assembly bit-for-bit,
+// SweepRunner is deterministic at any thread count, and the exported
+// artifacts (JSONL / CSV) are well-formed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+#include "sim/engine.hpp"
+#include "topology/geo.hpp"
+#include "workload/demand.hpp"
+#include "workload/price.hpp"
+
+namespace {
+
+using namespace gp;
+
+TEST(ScenarioRegistry, KnowsThePaperPresets) {
+  const auto names = scenario::preset_names();
+  EXPECT_GE(names.size(), 10u);
+  for (const char* name : {"paper_full", "fig04", "fig09_volatile", "ablation_small"}) {
+    EXPECT_TRUE(scenario::has_preset(name)) << name;
+    EXPECT_EQ(scenario::preset(name).name, name);
+  }
+  EXPECT_FALSE(scenario::has_preset("no_such_preset"));
+  EXPECT_THROW(scenario::preset("no_such_preset"), PreconditionError);
+}
+
+// The exact environment the figure benches assembled by hand before the
+// scenario layer existed (bench/scenarios.hpp::paper_scenario, 2 DCs x 4
+// cities). build(section7_spec(...)) must reproduce it bit-for-bit — the
+// figures in the paper replication depend on it.
+TEST(ScenarioBuild, MatchesLegacyBenchAssemblyBitForBit) {
+  const std::size_t num_dcs = 2, num_cities = 4;
+  const double rate_per_capita = 2e-5;
+
+  // Legacy assembly, inlined verbatim.
+  auto sites = topology::default_datacenter_sites(num_dcs);
+  const auto& all = topology::us_cities24();
+  std::vector<topology::City> cities(all.begin(),
+                                     all.begin() + static_cast<std::ptrdiff_t>(num_cities));
+  dspp::DsppModel legacy_model;
+  legacy_model.network = topology::NetworkModel::from_geography(sites, cities);
+  legacy_model.sla.mu = 100.0;
+  legacy_model.sla.max_latency_ms = 32.0;
+  legacy_model.sla.reservation_ratio = 1.1;
+  legacy_model.reconfig_cost.assign(num_dcs, 0.002);
+  legacy_model.capacity.assign(num_dcs, 2000.0);
+  auto legacy_demand = workload::DemandModel::from_cities(cities, rate_per_capita, {});
+  workload::ServerPriceModel legacy_prices(sites, workload::VmType::kMedium,
+                                           workload::ElectricityPriceModel());
+
+  const auto bundle = scenario::build(scenario::section7_spec(num_dcs, num_cities));
+
+  EXPECT_EQ(bundle.model.sla.mu, legacy_model.sla.mu);
+  EXPECT_EQ(bundle.model.sla.max_latency_ms, legacy_model.sla.max_latency_ms);
+  EXPECT_EQ(bundle.model.sla.reservation_ratio, legacy_model.sla.reservation_ratio);
+  ASSERT_EQ(bundle.model.reconfig_cost, legacy_model.reconfig_cost);
+  ASSERT_EQ(bundle.model.capacity, legacy_model.capacity);
+  ASSERT_EQ(bundle.model.network.num_datacenters(), num_dcs);
+  ASSERT_EQ(bundle.model.network.num_access_networks(), num_cities);
+  for (std::size_t l = 0; l < num_dcs; ++l) {
+    for (std::size_t v = 0; v < num_cities; ++v) {
+      EXPECT_EQ(bundle.model.network.latency_ms(l, v), legacy_model.network.latency_ms(l, v));
+    }
+  }
+  for (double hour : {0.0, 6.5, 13.0, 23.0}) {
+    EXPECT_EQ(bundle.demand.mean_rates(hour), legacy_demand.mean_rates(hour));
+    EXPECT_EQ(bundle.prices.server_prices(hour), legacy_prices.server_prices(hour));
+  }
+}
+
+scenario::SweepGrid small_grid() {
+  scenario::SweepGrid grid;
+  auto spec = scenario::preset("ablation_small");
+  spec.sim.periods = 8;  // enough periods to exercise aggregation, still fast
+  grid.scenarios = {spec};
+  grid.policies = {scenario::PolicySpec{}, [] {
+                     scenario::PolicySpec reactive;
+                     reactive.kind = "reactive";
+                     return reactive;
+                   }()};
+  grid.num_seeds = 3;
+  grid.base_seed = 11;
+  return grid;
+}
+
+std::string jsonl_at(const scenario::SweepGrid& grid, std::size_t threads) {
+  scenario::SweepOptions options;
+  options.max_threads = threads;
+  std::ostringstream out;
+  scenario::SweepRunner(grid, options).run().write_jsonl(out);
+  return out.str();
+}
+
+TEST(SweepRunner, BitIdenticalAcrossThreadCounts) {
+  const auto grid = small_grid();
+  EXPECT_EQ(jsonl_at(grid, 1), jsonl_at(grid, 4));
+}
+
+TEST(SweepRunner, DerivedSeedsAreStableAndDistinct) {
+  EXPECT_EQ(scenario::derive_run_seed(11, 0), scenario::derive_run_seed(11, 0));
+  EXPECT_NE(scenario::derive_run_seed(11, 0), scenario::derive_run_seed(11, 1));
+  EXPECT_NE(scenario::derive_run_seed(11, 0), scenario::derive_run_seed(12, 0));
+}
+
+TEST(SweepRunner, ExplicitSeedsOverrideDerivation) {
+  auto grid = small_grid();
+  grid.seeds = {42, 43};
+  const auto result = scenario::SweepRunner(grid).run();
+  ASSERT_EQ(result.runs.size(), grid.policies.size() * grid.seeds.size());
+  for (const auto& record : result.runs) {
+    EXPECT_EQ(record.seed, grid.seeds[record.seed_index]);
+  }
+}
+
+TEST(SweepRunner, CellsAggregateTheSeedAxis) {
+  const auto grid = small_grid();
+  const auto result = scenario::SweepRunner(grid).run();
+  ASSERT_EQ(result.runs.size(), 2u * 3u);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (std::size_t pi = 0; pi < result.cells.size(); ++pi) {
+    const auto& cell = result.cells[pi];
+    EXPECT_EQ(cell.runs, 3);
+    double mean = 0.0, lo = 1e300, hi = -1e300;
+    for (std::size_t ki = 0; ki < 3; ++ki) {
+      const double cost = result.runs[pi * 3 + ki].summary.total_cost;
+      mean += cost / 3.0;
+      lo = std::min(lo, cost);
+      hi = std::max(hi, cost);
+    }
+    EXPECT_NEAR(cell.total_cost.mean, mean, 1e-9 * std::abs(mean));
+    EXPECT_EQ(cell.total_cost.min, lo);
+    EXPECT_EQ(cell.total_cost.max, hi);
+    EXPECT_GE(cell.total_cost.stddev, 0.0);
+  }
+}
+
+TEST(SweepRunner, ExportsAreWellFormed) {
+  const auto grid = small_grid();
+  const auto result = scenario::SweepRunner(grid).run();
+
+  std::ostringstream jsonl;
+  result.write_jsonl(jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"scenario\":\"ablation_small\""), std::string::npos);
+    EXPECT_NE(line.find("\"total_cost\":"), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, result.runs.size());
+
+  std::ostringstream csv;
+  result.write_csv(csv);
+  std::istringstream csv_lines(csv.str());
+  std::size_t csv_count = 0;
+  while (std::getline(csv_lines, line)) ++csv_count;
+  EXPECT_EQ(csv_count, 1 + result.cells.size());  // header + one row per cell
+}
+
+TEST(SweepRunner, RejectsEmptyGridAxes) {
+  scenario::SweepGrid grid;
+  EXPECT_THROW(scenario::SweepRunner(grid).run(), PreconditionError);
+}
+
+// Regression: unsolved periods carry NaN latency/compliance; those cells
+// must be exported empty, never as "nan" tokens that break CSV consumers.
+TEST(SimulationSummaryCsv, UnsolvedPeriodsWriteEmptyCellsNotNaN) {
+  sim::SimulationSummary summary;
+  sim::PeriodMetrics good;
+  good.utc_hour = 0.0;
+  good.total_demand = 10.0;
+  good.servers_per_dc = linalg::Vector{3.0, 2.0};
+  good.total_servers = 5.0;
+  good.mean_latency_ms = 12.5;
+  sim::PeriodMetrics bad = good;
+  bad.utc_hour = 1.0;
+  bad.sla_compliance = std::nan("");
+  bad.mean_latency_ms = std::nan("");
+  bad.solved = false;
+  summary.periods = {good, bad};
+
+  std::ostringstream out;
+  summary.write_csv(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_NE(text.find(",,"), std::string::npos) << text;  // the blanked cells
+  EXPECT_NE(text.find(",0,"), std::string::npos);         // solved column "0"
+}
+
+}  // namespace

@@ -4,16 +4,24 @@
 Usage:
     bench_check.py BASELINE.json CANDIDATE.json [BASELINE2.json CANDIDATE2.json ...]
                    [--threshold 0.15]
+    bench_check.py --internal FILE.json [FILE2.json ...]
     bench_check.py --self-test
 
 Files are consumed in (baseline, candidate) pairs, so one invocation can
 gate several benchmark suites at once (e.g. BENCH_parallel.json and
 BENCH_admm.json). For each pair, walks both JSON trees and compares every
-numeric leaf whose key ends in "wall_ms" at the same path. The check fails
-(exit 1) when any candidate wall time exceeds its baseline by more than the
-threshold (default 15%, sized for wall-clock noise on shared CI boxes).
-Ratio-style keys ("wall_ratio", "speedup") and counters are reported but
-never gate.
+numeric leaf at the same path whose key ends in "wall_ms" (lower is better)
+or "runs_per_s" (higher is better). The check fails (exit 1) when any
+candidate wall time exceeds its baseline by more than the threshold, or any
+candidate throughput falls below its baseline by more than the threshold
+(default 15%, sized for wall-clock noise on shared CI boxes). Ratio-style
+keys ("wall_ratio", "speedup") and counters are reported but never gate.
+
+--internal checks a single file against ITSELF: every numeric leaf "X_min"
+declares a floor for its sibling leaf "X" (e.g. BENCH_sweep.json writes
+"thread_scaling_ratio" next to "thread_scaling_ratio_min"). This is how
+machine-dependent gates travel inside the artifact — the bench decides the
+floor (0.0 = not gated on this box), the checker enforces it anywhere.
 
 Times below --floor-ms (default 5 ms) are skipped: at that scale the
 scheduler jitter exceeds any real regression.
@@ -37,6 +45,17 @@ def walk(tree, path=()):
         yield ".".join(path), float(tree)
 
 
+def leaf_kind(path):
+    """Gate direction for a leaf: "time" (lower wins), "throughput" (higher
+    wins), or None (not gated)."""
+    leaf = path.split(".")[-1]
+    if leaf.endswith("wall_ms"):
+        return "time"
+    if leaf.endswith("runs_per_s"):
+        return "throughput"
+    return None
+
+
 def compare(baseline, candidate, threshold, floor_ms):
     """Returns (regressions, rows); rows are (path, base, cand, ratio, gating)."""
     base_leaves = dict(walk(baseline))
@@ -44,33 +63,85 @@ def compare(baseline, candidate, threshold, floor_ms):
     rows = []
     regressions = []
     for path in sorted(base_leaves.keys() & cand_leaves.keys()):
-        if not path.split(".")[-1].endswith("wall_ms"):
+        kind = leaf_kind(path)
+        if kind is None:
             continue
         base, cand = base_leaves[path], cand_leaves[path]
         ratio = cand / base if base > 0 else float("inf")
-        gating = base >= floor_ms or cand >= floor_ms
+        # The jitter floor only makes sense for times; throughputs always gate.
+        gating = kind == "throughput" or base >= floor_ms or cand >= floor_ms
         rows.append((path, base, cand, ratio, gating))
-        if gating and cand > base * (1.0 + threshold):
+        if not gating:
+            continue
+        worse = (cand > base * (1.0 + threshold) if kind == "time"
+                 else cand < base * (1.0 - threshold))
+        if worse:
             regressions.append((path, base, cand, ratio))
     return regressions, rows
+
+
+def check_internal(tree):
+    """Enforces every "X_min" floor against its sibling leaf "X" within one
+    tree. Returns (violations, rows); rows are (path, value, floor, ok)."""
+    leaves = dict(walk(tree))
+    rows = []
+    violations = []
+    for path in sorted(leaves):
+        if not path.endswith("_min"):
+            continue
+        target = path[: -len("_min")]
+        if target not in leaves:
+            continue
+        value, floor = leaves[target], leaves[path]
+        ok = value >= floor
+        rows.append((target, value, floor, ok))
+        if not ok:
+            violations.append((target, value, floor))
+    return violations, rows
+
+
+def run_internal_files(paths):
+    """Checks each file's X >= X_min constraints; worst exit code wins."""
+    worst = 0
+    for path in paths:
+        try:
+            with open(path) as f:
+                tree = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_check: {err}", file=sys.stderr)
+            return 2
+        label = f" [{os.path.basename(path)}]"
+        violations, rows = check_internal(tree)
+        for target, value, floor, ok in rows:
+            print(f"  {target}  {value:.3f} >= {floor:.3f}  "
+                  f"{'ok' if ok else 'VIOLATION'}")
+        if violations:
+            print(f"bench_check{label}: {len(violations)} internal floor "
+                  f"violation(s)", file=sys.stderr)
+            worst = max(worst, 1)
+        else:
+            print(f"bench_check{label}: OK ({len(rows)} internal floor(s) held)")
+    return worst
 
 
 def run_check(baseline, candidate, threshold, floor_ms, label=""):
     regressions, rows = compare(baseline, candidate, threshold, floor_ms)
     if not rows:
-        print(f"bench_check{label}: no comparable wall_ms keys found", file=sys.stderr)
+        print(f"bench_check{label}: no comparable wall_ms/runs_per_s keys found",
+              file=sys.stderr)
         return 1
     width = max(len(r[0]) for r in rows)
     for path, base, cand, ratio, gating in rows:
+        unit = "ms" if leaf_kind(path) == "time" else "runs/s"
         flag = "REGRESSION" if any(path == r[0] for r in regressions) else (
             "ok" if gating else "skipped (< floor)")
-        print(f"  {path:<{width}}  {base:10.3f} -> {cand:10.3f} ms  "
+        print(f"  {path:<{width}}  {base:10.3f} -> {cand:10.3f} {unit}  "
               f"x{ratio:5.2f}  {flag}")
     if regressions:
-        print(f"bench_check{label}: {len(regressions)} wall-time regression(s) "
+        print(f"bench_check{label}: {len(regressions)} regression(s) "
               f"beyond {threshold:.0%}", file=sys.stderr)
         return 1
-    print(f"bench_check{label}: OK ({len(rows)} wall_ms keys within "
+    print(f"bench_check{label}: OK ({len(rows)} gated keys within "
           f"{threshold:.0%})")
     return 0
 
@@ -101,6 +172,7 @@ def self_test():
                           {"threads": 2, "wall_ms": 70.0, "speedup": 1.71}]},
         "mpc": {"cold": {"wall_ms": 900.0}, "cached": {"wall_ms": 300.0},
                 "wall_ratio": 0.33, "tiny": {"wall_ms": 0.5}},
+        "sweep": {"runs_per_s": 40.0},
     }
     improved = json.loads(json.dumps(baseline))
     improved["mpc"]["cached"]["wall_ms"] = 250.0
@@ -108,6 +180,10 @@ def self_test():
     regressed["game"]["runs"][1]["wall_ms"] = 95.0  # +36%
     noisy_tiny = json.loads(json.dumps(baseline))
     noisy_tiny["mpc"]["tiny"]["wall_ms"] = 4.0  # 8x, but below the 5 ms floor
+    slow_sweep = json.loads(json.dumps(baseline))
+    slow_sweep["sweep"]["runs_per_s"] = 25.0  # -37.5% throughput
+    fast_sweep = json.loads(json.dumps(baseline))
+    fast_sweep["sweep"]["runs_per_s"] = 80.0  # throughput gain must pass
 
     failures = 0
 
@@ -126,8 +202,25 @@ def self_test():
            "the same diff passes at a 50% threshold")
     expect(run_check(baseline, noisy_tiny, 0.15, 5.0, " [tiny]"), 0,
            "sub-floor timings must not gate")
+    expect(run_check(baseline, slow_sweep, 0.15, 5.0, " [slow-sweep]"), 1,
+           "a 37% throughput drop must fail")
+    expect(run_check(baseline, fast_sweep, 0.15, 5.0, " [fast-sweep]"), 0,
+           "a throughput gain must pass")
     expect(run_check({"a": 1}, {"a": 2}, 0.15, 5.0, " [no-keys]"), 1,
            "no wall_ms keys is an error")
+
+    # Internal X >= X_min floors, the BENCH_sweep.json shape.
+    sweep_ok = {"bit": True, "thread_scaling_ratio": 2.6,
+                "thread_scaling_ratio_min": 2.0}
+    sweep_bad = {"thread_scaling_ratio": 1.4, "thread_scaling_ratio_min": 2.0}
+    sweep_ungated = {"thread_scaling_ratio": 0.9,
+                     "thread_scaling_ratio_min": 0.0}  # small box: floor off
+    expect(1 if check_internal(sweep_ok)[0] else 0, 0,
+           "a ratio above its floor must pass the internal check")
+    expect(1 if check_internal(sweep_bad)[0] else 0, 1,
+           "a ratio below its floor must fail the internal check")
+    expect(1 if check_internal(sweep_ungated)[0] else 0, 0,
+           "a 0.0 floor disables the internal gate")
 
     # Multi-pair: one good pair plus one regressed pair must fail as a whole,
     # and two good pairs must pass.
@@ -149,6 +242,14 @@ def self_test():
         expect(run_file_pairs([base_a, os.path.join(tmp, "missing.json")],
                               0.15, 5.0), 2,
                "an unreadable file is a usage error")
+        ok_file = dump("sweep_ok.json", sweep_ok)
+        bad_file = dump("sweep_bad.json", sweep_bad)
+        expect(run_internal_files([ok_file]), 0,
+               "--internal passes a file whose floors hold")
+        expect(run_internal_files([ok_file, bad_file]), 1,
+               "--internal fails when any file violates a floor")
+        expect(run_internal_files([os.path.join(tmp, "missing.json")]), 2,
+               "--internal on an unreadable file is a usage error")
     if failures == 0:
         print("bench_check self-test OK")
     return 0 if failures == 0 else 1
@@ -163,12 +264,19 @@ def main():
                         help="allowed relative slowdown (default 0.15 = 15%%)")
     parser.add_argument("--floor-ms", type=float, default=5.0,
                         help="ignore timings below this many ms (default 5)")
+    parser.add_argument("--internal", action="store_true",
+                        help="check each file's own X >= X_min floors instead "
+                             "of comparing baseline/candidate pairs")
     parser.add_argument("--self-test", action="store_true",
                         help="run built-in fixtures instead of reading files")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.internal:
+        if not args.files:
+            parser.error("--internal requires at least one file")
+        return run_internal_files(args.files)
     if len(args.files) < 2 or len(args.files) % 2 != 0:
         parser.error("an even number (>= 2) of files is required: "
                      "BASELINE CANDIDATE [BASELINE2 CANDIDATE2 ...] "
