@@ -32,6 +32,7 @@
 
 #include "common/alloc_probe.hpp"
 #include "dspp/window_program.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "qp/admm_solver.hpp"
 #include "scenario/registry.hpp"
@@ -450,7 +451,9 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_admm.json", "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"problem\": {\"n\": %zu, \"m\": %zu, \"nnz_a\": %lld, "
+    std::fprintf(json, "{\n  \"manifest\": %s,\n",
+                 gp::obs::RunManifest::capture("micro_admm_kernels").to_json_object().c_str());
+    std::fprintf(json, "  \"problem\": {\"n\": %zu, \"m\": %zu, \"nnz_a\": %lld, "
                  "\"nnz_p\": %lld, \"horizon\": %zu},\n",
                  n, m, static_cast<long long>(problem.a.nnz()),
                  static_cast<long long>(problem.p.nnz()), kHorizon);

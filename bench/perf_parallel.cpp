@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "game/competition.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/policy.hpp"
 #include "scenario/registry.hpp"
@@ -219,7 +220,9 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_parallel.json", "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"cpus\": %u,\n  \"game\": {\n", cpus);
+    std::fprintf(json, "{\n  \"manifest\": %s,\n",
+                 gp::obs::RunManifest::capture("perf_parallel").to_json_object().c_str());
+    std::fprintf(json, "  \"cpus\": %u,\n  \"game\": {\n", cpus);
     std::fprintf(json, "    \"providers\": 8,\n    \"bit_identical\": %s,\n",
                  all_identical ? "true" : "false");
     std::fprintf(json, "    \"speedup_valid\": %s,\n", speedup_valid ? "true" : "false");

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/manifest.hpp"
 #include "scenario/sweep.hpp"
 
 int main() {
@@ -35,16 +36,26 @@ int main() {
   auto sweep_at = [&grid](std::size_t threads) {
     gp::scenario::SweepOptions options;
     options.max_threads = threads;
+    // Any cell that fails here leaves a replay bundle behind (CI uploads the
+    // directory on a red run); a healthy sweep writes nothing.
+    options.failures_dir = "sweep_failures";
     return gp::scenario::SweepRunner(grid, options).run();
   };
 
   const auto result1 = sweep_at(1);
   const auto result4 = sweep_at(4);
 
+  // The leading manifest line records host facts (lane count among them),
+  // so the determinism identity is checked on the stripped body — that is
+  // the part that must not depend on GEOPLACE_THREADS.
   std::ostringstream jsonl1, jsonl4;
   result1.write_jsonl(jsonl1);
   result4.write_jsonl(jsonl4);
-  const bool bit_identical = jsonl1.str() == jsonl4.str();
+  const bool manifest_first = gp::obs::is_manifest_line(jsonl1.str()) &&
+                              gp::obs::is_manifest_line(jsonl4.str());
+  const bool bit_identical =
+      manifest_first && gp::obs::strip_manifest_lines(jsonl1.str()) ==
+                            gp::obs::strip_manifest_lines(jsonl4.str());
 
   const double ratio =
       result1.runs_per_s > 0.0 ? result4.runs_per_s / result1.runs_per_s : 0.0;
@@ -65,7 +76,9 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_sweep.json", "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"cpus\": %u,\n  \"runs\": %zu,\n", cpus, result1.runs.size());
+    std::fprintf(json, "{\n  \"manifest\": %s,\n",
+                 result1.manifest.to_json_object().c_str());
+    std::fprintf(json, "  \"cpus\": %u,\n  \"runs\": %zu,\n", cpus, result1.runs.size());
     std::fprintf(json, "  \"threads1\": {\"wall_ms\": %.3f, \"runs_per_s\": %.3f},\n",
                  result1.wall_ms, result1.runs_per_s);
     std::fprintf(json, "  \"threads4\": {\"wall_ms\": %.3f, \"runs_per_s\": %.3f},\n",

@@ -13,9 +13,11 @@
 
 #include "control/mpc_controller.hpp"
 #include "scenario/policy.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/trace.hpp"
+#include "sim/engine.hpp"
 #include "topology/isp_map.hpp"
 #include "topology/network.hpp"
-#include "workload/trace_io.hpp"
 
 int main() {
   using namespace gp;
@@ -33,26 +35,11 @@ int main() {
   const auto topo = topology::augment_with_access_networks(parsed.map, 2, 3, rng);
   const auto network = topology::NetworkModel::from_transit_stub(topo, 3, 4, rng);
 
-  // --- 2. Demand trace: normally load_trace_csv(file); here, embedded. ---
-  const char* kTrace =
-      "# requests/s per access network, one row per 30-minute period\n"
-      "an0,an1,an2,an3\n"
-      "220,150,90,60\n"
-      "260,180,110,75\n"
-      "340,230,140,90\n"
-      "420,300,180,120\n"
-      "460,330,200,130\n"
-      "450,320,195,125\n"
-      "380,260,160,105\n"
-      "290,200,120,80\n";
-  std::istringstream trace_file(kTrace);
-  const auto loaded = workload::load_trace_csv(trace_file);
-  if (!loaded.ok) {
-    std::printf("failed to parse trace: %s\n", loaded.error.c_str());
-    return 1;
-  }
+  // --- 2. Demand trace. Any CSV path works ("builtin:demo" resolves to
+  // the embedded demo trace the trace_driven preset uses). ---
+  const workload::Trace trace = scenario::load_spec_trace(scenario::kBuiltinDemoTrace);
   std::printf("loaded demand trace: %zu periods x %zu access networks\n\n",
-              loaded.trace.periods(), loaded.trace.width());
+              trace.periods(), trace.width());
 
   // --- 3. Controller driven straight from the trace. ---
   dspp::DsppModel model;
@@ -68,27 +55,38 @@ int main() {
   oracle.kind = "oracle";
   oracle.oracle_wrap = false;  // a measured trace ends; don't replay it cyclically
   control::MpcController controller(model, settings,
-                                    scenario::make_predictor(oracle, loaded.trace.values),
+                                    scenario::make_predictor(oracle, trace.values),
                                     scenario::make_predictor("last"));
 
   const linalg::Vector price{0.06, 0.04, 0.05};
-  linalg::Vector state = controller.provision_for(loaded.trace.values.front(), price);
+  linalg::Vector state = controller.provision_for(trace.values.front(), price);
   std::printf("%-8s %12s %14s %12s\n", "period", "demand", "servers", "cost[$]");
-  for (std::size_t k = 0; k < loaded.trace.periods(); ++k) {
-    const auto result = controller.step(state, loaded.trace.values[k], price);
+  for (std::size_t k = 0; k < trace.periods(); ++k) {
+    const auto result = controller.step(state, trace.values[k], price);
     if (!result.solved) {
       std::printf("period %zu: %s\n", k, qp::to_string(result.status).c_str());
       return 1;
     }
     state = result.next_state;
     double total_demand = 0.0, total_servers = 0.0, cost = 0.0;
-    for (double d : loaded.trace.values[k]) total_demand += d;
+    for (double d : trace.values[k]) total_demand += d;
     for (std::size_t p = 0; p < controller.pairs().num_pairs(); ++p) {
       total_servers += state[p];
       cost += price[controller.pairs().datacenter_of(p)] * state[p];
     }
     std::printf("%-8zu %12.0f %14.2f %12.4f\n", k, total_demand, total_servers, cost);
   }
-  std::puts("\nSwap the embedded strings for std::ifstream to replay real traces.");
-  return 0;
+
+  // --- 4. The same trace as a registry preset: the full simulation path
+  // (ScenarioSpec::demand_trace_csv -> DemandModel::from_trace). ---
+  const scenario::ScenarioSpec spec = scenario::preset("trace_driven");
+  const scenario::ScenarioBundle bundle = scenario::build(spec);
+  scenario::PolicyHandle policy = scenario::make_policy(bundle, spec, {});
+  sim::SimulationEngine engine = scenario::make_engine(bundle, spec);
+  const sim::SimulationSummary summary = engine.run(policy.policy());
+  std::printf("\ntrace_driven preset: %zu periods, total cost $%.2f, "
+              "mean compliance %.3f\n",
+              summary.periods.size(), summary.total_cost, summary.mean_compliance);
+  std::puts("Point ScenarioSpec::demand_trace_csv at a CSV file to replay real traces.");
+  return summary.unsolved_periods == 0 ? 0 : 1;
 }

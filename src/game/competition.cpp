@@ -5,7 +5,9 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace gp::game {
@@ -138,6 +140,19 @@ GameResult CompetitionGame::run(std::optional<std::vector<Vector>> initial_quota
     if (obs::tracing_enabled()) {
       obs::Tracer::global().counter("game.total_cost", total_cost);
     }
+    if (obs::recording_enabled()) {
+      obs::ConvergenceRecorder::local().push(
+          "game.round", iteration + 1, total_cost,
+          std::isfinite(previous_cost) ? total_cost - previous_cost : 0.0);
+    }
+    if (obs::audit::enabled() && std::isfinite(previous_cost)) {
+      // Algorithm 2's descent property: a Jacobi round should not INCREASE
+      // total cost beyond the convergence tolerance (quota exchange can
+      // plateau, never climb, once responses are exact).
+      const double slack = 10.0 * settings_.epsilon * std::abs(previous_cost) + 1e-9;
+      obs::audit::check("game_monotone_cost", total_cost <= previous_cost + slack, total_cost,
+                        previous_cost + slack);
+    }
     if (obs::metrics_enabled() && std::isfinite(previous_cost)) {
       // Per-round best-response delta: how far the Jacobi round moved the
       // total cost, relative — the quantity the convergence test watches.
@@ -209,6 +224,11 @@ GameResult CompetitionGame::run(std::optional<std::vector<Vector>> initial_quota
     }
   }
 
+  if (obs::recording_enabled() && !result.converged) {
+    obs::ConvergenceRecorder::local().push("game.max_rounds", result.iterations,
+                                           result.total_cost);
+    obs::ConvergenceRecorder::dump_failure("game.max_rounds");
+  }
   result.quotas = std::move(quotas);
   for (const auto& solution : result.solutions) {
     for (const auto& per_period : solution.unserved) {

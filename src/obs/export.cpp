@@ -15,10 +15,15 @@ void write_escaped(std::ostream& out, const std::string& text) {
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events) {
+void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events,
+                        const RunManifest* manifest) {
   out << "[\n";
   out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
          "\"args\":{\"name\":\"geoplace\"}}";
+  if (manifest != nullptr) {
+    out << ",\n{\"ph\":\"M\",\"name\":\"run_manifest\",\"pid\":0,\"args\":"
+        << manifest->to_json_object() << "}";
+  }
   for (const TraceEvent& event : events) {
     out << ",\n";
     const auto dot = event.name.find('.');
@@ -45,7 +50,8 @@ void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events) {
 }
 
 void write_jsonl_trace(std::ostream& out, std::span<const TraceEvent> events,
-                       const Registry* registry) {
+                       const Registry* registry, const RunManifest* manifest) {
+  if (manifest != nullptr) out << manifest->to_jsonl_line() << "\n";
   for (const TraceEvent& event : events) {
     if (event.dur_us < 0.0) {
       out << "{\"type\":\"counter_sample\",\"name\":\"";

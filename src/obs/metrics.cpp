@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/manifest.hpp"
 
 namespace gp::obs {
 
@@ -251,7 +252,9 @@ void Registry::reset_values() {
 Registry::~Registry() {
   if (dump_path_.empty()) return;
   std::ofstream out(dump_path_);
-  if (out) write_jsonl(out);
+  if (!out) return;
+  out << RunManifest::capture("registry").to_jsonl_line() << "\n";
+  write_jsonl(out);
 }
 
 }  // namespace gp::obs

@@ -166,6 +166,11 @@ class Registry {
   /// cached references stay valid). For tests and benchmarks.
   void reset_values();
 
+  /// reset_values() on the global registry — the one-liner tests and
+  /// gp_replay use to isolate a measurement without constructing a private
+  /// registry (which would invalidate references instrumented code caches).
+  static void reset_all() { global().reset_values(); }
+
   ~Registry();
 
  private:

@@ -1,0 +1,103 @@
+#include "obs/recorder.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.hpp"  // current_thread_id for dump attribution
+
+namespace gp::obs {
+
+namespace {
+
+/// GEOPLACE_RECORD parse, same grammar as GEOPLACE_METRICS: {enabled, path}.
+std::pair<bool, std::string> record_env() {
+  const char* raw = std::getenv("GEOPLACE_RECORD");
+  if (raw == nullptr) return {false, {}};
+  const std::string value(raw);
+  if (value.empty() || value == "0" || value == "false" || value == "off") return {false, {}};
+  if (value == "1" || value == "true" || value == "on") return {true, {}};
+  return {true, value};
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{record_env().first};
+  return flag;
+}
+
+}  // namespace
+
+bool ConvergenceRecorder::enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void ConvergenceRecorder::set_enabled(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+const std::string& ConvergenceRecorder::dump_path() {
+  static const std::string path = record_env().second;
+  return path;
+}
+
+ConvergenceRecorder& ConvergenceRecorder::local() {
+  thread_local ConvergenceRecorder recorder;
+  return recorder;
+}
+
+ConvergenceRecorder::ConvergenceRecorder(std::size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+void ConvergenceRecorder::push(const char* stream, long long step, double a, double b,
+                               double c) {
+  ConvergenceSample& slot = ring_[head_];
+  slot.stream = stream;
+  slot.step = step;
+  slot.a = a;
+  slot.b = b;
+  slot.c = c;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  ++count_;
+}
+
+void ConvergenceRecorder::clear() {
+  head_ = 0;
+  count_ = 0;
+}
+
+std::vector<ConvergenceSample> ConvergenceRecorder::tail(std::size_t max_samples) const {
+  const std::size_t retained = size();
+  const std::size_t take = retained < max_samples ? retained : max_samples;
+  std::vector<ConvergenceSample> out;
+  out.reserve(take);
+  // Oldest retained sample sits at head_ when the ring has wrapped, else 0.
+  const std::size_t oldest = count_ >= ring_.size() ? head_ : 0;
+  for (std::size_t i = retained - take; i < retained; ++i) {
+    out.push_back(ring_[(oldest + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void ConvergenceRecorder::write_jsonl(std::ostream& out) const {
+  for (const ConvergenceSample& sample : tail(capacity())) {
+    out << "{\"type\":\"record\",\"stream\":\"" << sample.stream
+        << "\",\"step\":" << sample.step << ",\"a\":" << sample.a << ",\"b\":" << sample.b
+        << ",\"c\":" << sample.c << "}\n";
+  }
+}
+
+void ConvergenceRecorder::dump_failure(const char* reason) {
+  const std::string& path = dump_path();
+  if (path.empty()) return;
+  static std::mutex file_mutex;
+  std::lock_guard<std::mutex> lock(file_mutex);
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  const ConvergenceRecorder& recorder = local();
+  out << "{\"type\":\"record_dump\",\"reason\":\"" << reason
+      << "\",\"tid\":" << current_thread_id() << ",\"samples\":" << recorder.size() << "}\n";
+  recorder.write_jsonl(out);
+}
+
+}  // namespace gp::obs

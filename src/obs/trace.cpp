@@ -68,10 +68,11 @@ void Tracer::export_locked() {
   if (path_.empty() || events_.empty()) return;
   std::ofstream out(path_);
   if (!out) return;
+  const RunManifest manifest = RunManifest::capture("trace");
   if (format_ == TraceFormat::kChrome) {
-    write_chrome_trace(out, events_);
+    write_chrome_trace(out, events_, &manifest);
   } else {
-    write_jsonl_trace(out, events_, &Registry::global());
+    write_jsonl_trace(out, events_, &Registry::global(), &manifest);
   }
 }
 

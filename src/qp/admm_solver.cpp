@@ -6,7 +6,9 @@
 
 #include "common/alloc_probe.hpp"
 #include "common/error.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace gp::qp {
@@ -224,6 +226,25 @@ QpResult AdmmSolver::solve(const QpProblem& original) {
     }
   }
   if (!solved) result = solve_with(original, /*use_cache=*/false);
+
+  if (obs::recording_enabled() && result.status != SolveStatus::kOptimal) {
+    // Leave a terminal marker in the ring and append its tail to the
+    // GEOPLACE_RECORD dump path (if one is set) — a failed solve inside a
+    // sweep lane now carries its last check iterations with it.
+    obs::ConvergenceRecorder::local().push("admm.unsolved", result.iterations,
+                                           result.primal_residual, result.dual_residual,
+                                           static_cast<double>(result.status));
+    obs::ConvergenceRecorder::dump_failure("admm.unsolved");
+  }
+  if (obs::audit::enabled() && result.status == SolveStatus::kOptimal) {
+    // Primal feasibility of the RETURNED (unscaled, possibly polished)
+    // solution, against the OSQP-style tolerance the loop converged under.
+    const double violation = original.constraint_violation(result.x);
+    const linalg::Vector ax = original.a.multiply(result.x);
+    const double tolerance =
+        10.0 * (settings_.eps_abs + settings_.eps_rel * linalg::norm_inf(ax));
+    obs::audit::check("qp_primal_feasibility", violation <= tolerance, violation, tolerance);
+  }
 
   auto& registry = obs::Registry::global();
   if (registry.enabled()) {
@@ -480,6 +501,15 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
       obs::Tracer::global().counter("admm.dual_residual", dual_res);
       excluded_allocs += gp::alloc_probe_count() - trace_allocs_before;
     }
+    if (obs::recording_enabled()) {
+      // Flight-recorder sample at the check cadence. push() itself is
+      // allocation-free; only the thread's FIRST recorded sample allocates
+      // the ring (a recorder cost, not an iteration cost — excluded).
+      const long long record_allocs_before = gp::alloc_probe_count();
+      obs::ConvergenceRecorder::local().push("admm.residual", iteration + 1, prim_res,
+                                             dual_res, rho.empty() ? 0.0 : rho[0]);
+      excluded_allocs += gp::alloc_probe_count() - record_allocs_before;
+    }
 
     if (prim_res <= eps_prim && dual_res <= eps_dual) {
       result.status = SolveStatus::kOptimal;
@@ -543,8 +573,15 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
       const double factor = std::sqrt(prim_ratio / std::max(dual_ratio, 1e-10));
       if (factor > settings_.adaptive_rho_tolerance ||
           factor < 1.0 / settings_.adaptive_rho_tolerance) {
+        const double rho_before = rho.empty() ? 0.0 : rho[0];
         for (std::size_t i = 0; i < m; ++i) {
           rho[i] = std::min(std::max(rho[i] * factor, 1e-6), 1e6);
+        }
+        if (obs::recording_enabled()) {
+          const long long record_allocs_before = gp::alloc_probe_count();
+          obs::ConvergenceRecorder::local().push("admm.rho", iteration + 1, rho_before,
+                                                 rho.empty() ? 0.0 : rho[0], factor);
+          excluded_allocs += gp::alloc_probe_count() - record_allocs_before;
         }
         // Rewrite the -1/rho diagonal of the cached KKT upper triangle in
         // place: the diagonal of column n+i is its LAST entry (all A^T-block

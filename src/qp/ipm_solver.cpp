@@ -7,6 +7,7 @@
 #include "linalg/dense_factor.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace gp::qp {
@@ -166,6 +167,11 @@ QpResult IpmSolver::solve(const QpProblem& problem) {
     const double mu = mi > 0 ? linalg::dot(s, z) / static_cast<double>(mi) : 0.0;
     const double norm_scale =
         1.0 + std::max({linalg::norm_inf(problem.q), linalg::norm_inf(h), linalg::norm_inf(f)});
+    if (obs::recording_enabled()) {
+      obs::ConvergenceRecorder::local().push(
+          "ipm.residual", iteration + 1, linalg::norm_inf(rd),
+          std::max(linalg::norm_inf(re), linalg::norm_inf(rp)), mu);
+    }
     if (linalg::norm_inf(rd) <= settings_.tolerance * norm_scale &&
         linalg::norm_inf(re) <= settings_.tolerance * norm_scale &&
         linalg::norm_inf(rp) <= settings_.tolerance * norm_scale &&
@@ -276,6 +282,12 @@ QpResult IpmSolver::solve(const QpProblem& problem) {
       dual_res = std::max(dual_res, std::abs(px[j] + problem.q[j] + aty[j]));
     }
     result.dual_residual = dual_res;
+  }
+  if (obs::recording_enabled() && result.status != SolveStatus::kOptimal) {
+    obs::ConvergenceRecorder::local().push("ipm.unsolved", iteration, result.primal_residual,
+                                           result.dual_residual,
+                                           static_cast<double>(result.status));
+    obs::ConvergenceRecorder::dump_failure("ipm.unsolved");
   }
   // One dense KKT factorization per Mehrotra iteration; the structure cache
   // only saves the setup materializations, never a factor.

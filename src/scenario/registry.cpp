@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "scenario/trace.hpp"
 
 namespace gp::scenario {
 
@@ -151,6 +152,23 @@ PresetMap build_presets() {
     spec.sim.noisy_demand = true;
     spec.sim.seed = 7;
     add(named("flash_crowd", spec));
+  }
+
+  // Trace-driven: demand replayed from the embedded demo trace (8 half-hour
+  // periods x 4 access networks) through two cycles — the recorded-workload
+  // path of DESIGN.md; point demand_trace_csv/price_trace_csv at real CSVs
+  // to replay measured data. Latency/capacity are relaxed like fig04's so
+  // the 2-DC geography stays feasible at the trace's absolute rates.
+  {
+    ScenarioSpec spec = section7_spec(2, 4);
+    spec.demand_trace_csv = kBuiltinDemoTrace;
+    spec.max_latency_ms = 60.0;
+    spec.reconfig_cost = 0.01;
+    spec.reservation_ratio = 1.3;  // cushion for the trace's steep ramps
+    spec.sim.periods = 16;  // 2 cycles of the 8-period trace (trace_wrap)
+    spec.sim.period_hours = 0.5;
+    spec.sim.seed = 17;
+    add(named("trace_driven", spec));
   }
 
   // Outage drill: 3 DCs x 6 cities (the dc_outage example throttles one

@@ -1,6 +1,7 @@
 #include "scenario/spec.hpp"
 
 #include "common/error.hpp"
+#include "scenario/trace.hpp"
 
 namespace gp::scenario {
 
@@ -25,12 +26,34 @@ ScenarioBundle build(const ScenarioSpec& spec) {
                                      all_cities.begin() +
                                          static_cast<std::ptrdiff_t>(spec.num_cities));
 
+  const auto trace_values = [&spec](const std::string& path, std::size_t expected_width,
+                                    const char* what) {
+    const workload::Trace trace = load_spec_trace(path);
+    require(trace.width() == expected_width,
+            std::string("ScenarioSpec: ") + what + " trace " + path + " has " +
+                std::to_string(trace.width()) + " columns, expected " +
+                std::to_string(expected_width));
+    std::vector<std::vector<double>> values;
+    values.reserve(trace.values.size());
+    for (const auto& row : trace.values) values.emplace_back(row.begin(), row.end());
+    return values;
+  };
+
   ScenarioBundle bundle{
       .model = {},
-      .demand = workload::DemandModel::from_cities(cities, spec.rate_per_capita,
-                                                   spec.profile),
-      .prices = workload::ServerPriceModel(sites, spec.vm,
-                                           workload::ElectricityPriceModel()),
+      .demand = spec.demand_trace_csv.empty()
+                    ? workload::DemandModel::from_cities(cities, spec.rate_per_capita,
+                                                         spec.profile)
+                    : workload::DemandModel::from_trace(
+                          trace_values(spec.demand_trace_csv, spec.num_cities, "demand"),
+                          spec.sim.period_hours, spec.sim.utc_start_hour, spec.trace_wrap),
+      .prices = spec.price_trace_csv.empty()
+                    ? workload::ServerPriceModel(sites, spec.vm,
+                                                 workload::ElectricityPriceModel())
+                    : workload::ServerPriceModel::from_trace(
+                          sites, spec.vm,
+                          trace_values(spec.price_trace_csv, spec.num_dcs, "price"),
+                          spec.sim.period_hours, spec.sim.utc_start_hour, spec.trace_wrap),
       .sites = std::move(sites),
       .cities = std::move(cities)};
   bundle.model.network = topology::NetworkModel::from_geography(bundle.sites, bundle.cities);

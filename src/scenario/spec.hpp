@@ -49,6 +49,18 @@ struct ScenarioSpec {
   // Prices: regional electricity through the chosen VM flavor.
   workload::VmType vm = workload::VmType::kMedium;
 
+  // Trace-driven workloads (ROADMAP item): a non-empty demand_trace_csv
+  // makes build() replay that CSV (one row per sim period, one column per
+  // access network, requests/s; column count must equal num_cities) through
+  // DemandModel::from_trace instead of the synthetic diurnal generator;
+  // price_trace_csv similarly overrides server prices ($/server-hour, one
+  // column per data center). The magic path "builtin:demo" resolves to the
+  // embedded demo trace (scenario/trace.hpp), so the preset builds without
+  // touching the filesystem. Both paths land in the run's RunManifest.
+  std::string demand_trace_csv;
+  std::string price_trace_csv;
+  bool trace_wrap = true;  ///< replay traces cyclically past their end
+
   /// Simulation-run parameters (periods, noise, seed, initial state).
   sim::SimulationConfig sim;
 };

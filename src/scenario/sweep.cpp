@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <ostream>
 #include <span>
 
@@ -9,8 +11,10 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "scenario/serialize.hpp"
 
 namespace gp::scenario {
 
@@ -56,6 +60,17 @@ std::string csv_number(double value) {
   return CsvWriter::format(value);
 }
 
+/// Filesystem-safe token for bundle file names.
+std::string sanitize_filename(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t run_index) {
@@ -98,6 +113,27 @@ SweepResult SweepRunner::run() {
   const std::size_t total = num_runs();
 
   SweepResult result;
+  result.manifest = obs::RunManifest::capture("sweep");
+  result.manifest.seeds =
+      resolved_seeds_.empty() ? std::vector<std::uint64_t>{grid_.base_seed}
+                              : resolved_seeds_;
+  {
+    // The grid fingerprint: one digest over every scenario and policy in
+    // canonical JSON, so two sweeps with equal hashes ran the same grid.
+    std::string canonical;
+    for (const auto& spec : grid_.scenarios) {
+      canonical += to_json(spec);
+      if (!spec.demand_trace_csv.empty()) {
+        result.manifest.trace_paths.push_back(spec.demand_trace_csv);
+      }
+      if (!spec.price_trace_csv.empty()) {
+        result.manifest.trace_paths.push_back(spec.price_trace_csv);
+      }
+    }
+    for (const auto& policy : grid_.policies) canonical += to_json(policy);
+    result.manifest.spec_hash = fnv1a_hex(canonical);
+  }
+
   result.runs.resize(total);
   parallel_for(
       0, total,
@@ -123,7 +159,22 @@ SweepResult SweepRunner::run() {
         record.scenario = scenario_label(grid_.scenarios[scenario_index], scenario_index);
         record.policy = grid_.policies[policy_index].label();
         record.seed = spec.sim.seed;
+        // A lane runs one cell at a time, so its thread-local audit table
+        // and recorder ring give exact per-run deltas when zeroed here.
+        if (obs::audit::enabled()) obs::audit::reset_thread_counts();
+        if (obs::recording_enabled()) obs::ConvergenceRecorder::local().clear();
         record.summary = engine.run(policy.policy());
+        if (obs::audit::enabled()) record.audit_violations = obs::audit::thread_counts();
+        if (record.summary.unsolved_periods > 0 || !record.audit_violations.empty()) {
+          for (std::size_t k = 0; k < record.summary.periods.size(); ++k) {
+            if (!record.summary.periods[k].solved) {
+              record.failed_periods.push_back(static_cast<int>(k));
+            }
+          }
+          if (obs::recording_enabled()) {
+            record.recorder_tail = obs::ConvergenceRecorder::local().tail();
+          }
+        }
         if (!options_.keep_periods) {
           record.summary.periods.clear();
           record.summary.periods.shrink_to_fit();
@@ -140,6 +191,44 @@ SweepResult SweepRunner::run() {
         result.runs[index] = std::move(record);
       },
       options_.max_threads);
+
+  // Failure capture: write a ReplayBundle per failed run, sequentially and
+  // in grid order, so the set of bundle files is thread-count independent.
+  if (!options_.failures_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.failures_dir, ec);
+    for (const RunRecord& record : result.runs) {
+      const bool failed =
+          record.summary.unsolved_periods > 0 || !record.audit_violations.empty();
+      if (!failed) continue;
+      ReplayBundle bundle;
+      bundle.manifest = result.manifest;
+      bundle.scenario = grid_.scenarios[record.scenario_index];
+      bundle.scenario.sim.seed = record.seed;
+      bundle.manifest.spec_hash = spec_hash(bundle.scenario);
+      bundle.manifest.seeds = {record.seed};
+      bundle.policy = grid_.policies[record.policy_index];
+      bundle.seed = record.seed;
+      bundle.audits_enabled = obs::audit::enabled();
+      bundle.unsolved_periods = record.summary.unsolved_periods;
+      bundle.failed_periods = record.failed_periods;
+      bundle.audit_violations = record.audit_violations;
+      for (const obs::ConvergenceSample& sample : record.recorder_tail) {
+        RecordedSample owned;
+        owned.stream = sample.stream;
+        owned.step = sample.step;
+        owned.a = sample.a;
+        owned.b = sample.b;
+        owned.c = sample.c;
+        bundle.records.push_back(std::move(owned));
+      }
+      const std::string file = sanitize_filename(record.scenario) + "_" +
+                               sanitize_filename(record.policy) + "_seed" +
+                               std::to_string(record.seed) + ".replay.json";
+      write_bundle(bundle, (std::filesystem::path(options_.failures_dir) / file).string());
+      ++result.failure_bundles;
+    }
+  }
 
   // Aggregate the seed axis into per-(scenario, policy) cells.
   result.cells.reserve(grid_.scenarios.size() * num_policies);
@@ -187,10 +276,14 @@ SweepResult SweepRunner::run() {
   return result;
 }
 
-// The JSONL export is the determinism artifact: it must be bit-identical at
-// any thread count, so it carries only simulation results — wall-clock
-// timings live in the CSV aggregates and SweepResult::wall_ms.
+// The JSONL export is the determinism artifact: everything after the
+// manifest line must be bit-identical at any thread count, so run lines
+// carry only simulation results — wall-clock timings live in the CSV
+// aggregates and SweepResult::wall_ms. (The manifest line itself records
+// host facts like the lane count; obs::strip_manifest_lines removes it for
+// cross-thread-count identity checks.)
 void SweepResult::write_jsonl(std::ostream& out) const {
+  out << manifest.to_jsonl_line() << "\n";
   for (const RunRecord& record : runs) {
     const sim::SimulationSummary& summary = record.summary;
     out << "{\"scenario\":" << json_string(record.scenario)
@@ -226,6 +319,13 @@ void SweepResult::write_csv(std::ostream& out) const {
         std::to_string(cell.unsolved_periods),
         csv_number(cell.policy_wall_ms.mean), csv_number(cell.wall_ms)});
   }
+}
+
+void SweepResult::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "SweepResult::write_csv_file: cannot open " + path);
+  write_csv(out);
+  manifest.write_sidecar(path);
 }
 
 }  // namespace gp::scenario

@@ -13,13 +13,23 @@
 // grid, "sweep.cell" per run) and, when metrics are enabled, counters
 // (sweep.runs, sweep.unsolved_periods), a run-wall-time histogram
 // (sweep.run_ms) and a runs-per-second gauge.
+//
+// Flight recorder: every SweepResult carries the RunManifest captured at
+// run() time, which write_jsonl emits as the first line and write_csv_file
+// writes as a `.manifest.json` sidecar. With SweepOptions::failures_dir
+// set, each run that ends with unsolved periods or audit violations is
+// captured as a ReplayBundle (manifest + resolved spec + policy + seed +
+// the lane's recorder tail) that tools/gp_replay re-runs deterministically.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/manifest.hpp"
+#include "obs/recorder.hpp"
 #include "scenario/policy.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
@@ -43,6 +53,11 @@ struct SweepOptions {
   /// Keep the per-period rows of every run. Off by default: a large grid's
   /// summaries are the product, the periods are per-run bulk.
   bool keep_periods = false;
+  /// When non-empty, every failed run (unsolved periods or audit
+  /// violations) writes a ReplayBundle `<scenario>_<policy>_seed<N>.replay.json`
+  /// into this directory (created if missing). Bundles are written after
+  /// the parallel phase, in grid order.
+  std::string failures_dir;
 };
 
 /// One grid point's outcome. `summary.periods` is empty unless
@@ -56,6 +71,12 @@ struct RunRecord {
   std::uint64_t seed = 0;
   sim::SimulationSummary summary;
   double wall_ms = 0.0;
+  /// Flight-recorder capture (failed runs only; empty otherwise). The
+  /// recorder tail keeps obs::ConvergenceSample's static-literal stream
+  /// pointers — valid for the process lifetime by construction.
+  std::vector<int> failed_periods;  ///< indices of !solved periods
+  std::vector<std::pair<std::string, long long>> audit_violations;
+  std::vector<obs::ConvergenceSample> recorder_tail;
 };
 
 /// mean/stddev/min/max over the seed axis of one metric.
@@ -88,13 +109,21 @@ struct SweepResult {
   std::vector<SweepCell> cells;   ///< scenario-major, then policy
   double wall_ms = 0.0;           ///< wall clock of the whole sweep
   double runs_per_s = 0.0;
+  obs::RunManifest manifest;      ///< provenance captured at run() time
+  std::size_t failure_bundles = 0;  ///< bundles written to failures_dir
 
-  /// One JSON object per run (grid order): scenario, policy, seed, and the
-  /// summary scalars. Non-finite values are emitted as null.
+  /// The manifest line, then one JSON object per run (grid order):
+  /// scenario, policy, seed, and the summary scalars. Non-finite values
+  /// are emitted as null. Everything after the manifest line is
+  /// bit-identical at every thread count.
   void write_jsonl(std::ostream& out) const;
 
   /// Per-cell aggregate table (mean/stddev/min/max columns) as CSV.
   void write_csv(std::ostream& out) const;
+
+  /// write_csv to `path` plus the manifest sidecar `path + ".manifest.json"`
+  /// (CSV has no comment syntax to embed provenance in-band).
+  void write_csv_file(const std::string& path) const;
 };
 
 /// The per-run SimulationConfig seed for run `run_index` under `base_seed`

@@ -1,0 +1,37 @@
+#include "scenario/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gp::scenario {
+
+const char* demo_demand_trace_text() {
+  return "# requests/s per access network, one row per 30-minute period\n"
+         "an0,an1,an2,an3\n"
+         "220,150,90,60\n"
+         "260,180,110,75\n"
+         "340,230,140,90\n"
+         "420,300,180,120\n"
+         "460,330,200,130\n"
+         "450,320,195,125\n"
+         "380,260,160,105\n"
+         "290,200,120,80\n";
+}
+
+workload::Trace load_spec_trace(const std::string& path) {
+  workload::TraceResult result;
+  if (path == kBuiltinDemoTrace) {
+    std::istringstream in(demo_demand_trace_text());
+    result = workload::load_trace_csv(in);
+  } else {
+    std::ifstream in(path);
+    require(in.good(), "load_spec_trace: cannot open trace " + path);
+    result = workload::load_trace_csv(in);
+  }
+  require(result.ok, "load_spec_trace: " + path + ": " + result.error);
+  return std::move(result.trace);
+}
+
+}  // namespace gp::scenario

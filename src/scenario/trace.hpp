@@ -1,0 +1,28 @@
+// Trace loading for trace-driven scenarios: resolves the CSV paths a
+// ScenarioSpec references (lifted out of examples/trace_driven.cpp so
+// recorded workloads are registry presets and sweepable grid axes, not
+// example-local glue). Parsing itself is workload::load_trace_csv; this
+// layer adds path resolution — including the embedded "builtin:demo" trace
+// — and turns parse failures into exceptions carrying the path.
+#pragma once
+
+#include <string>
+
+#include "workload/trace_io.hpp"
+
+namespace gp::scenario {
+
+/// The path prefix of embedded traces ("builtin:demo" is the only one).
+inline constexpr const char* kBuiltinDemoTrace = "builtin:demo";
+
+/// The embedded demo demand trace: 8 half-hour periods x 4 access networks,
+/// requests/s (the trace the trace_driven example ships). CSV text with a
+/// header row, ready for workload::load_trace_csv.
+const char* demo_demand_trace_text();
+
+/// Loads the trace a spec path references: kBuiltinDemoTrace resolves to
+/// the embedded text, anything else is opened as a file. Throws
+/// PreconditionError with the path on open or parse failure.
+workload::Trace load_spec_trace(const std::string& path);
+
+}  // namespace gp::scenario

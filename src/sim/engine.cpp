@@ -8,7 +8,9 @@
 #include "common/error.hpp"
 #include "dspp/integer.hpp"
 #include "dspp/provisioning.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace gp::sim {
@@ -140,7 +142,13 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
     metrics.demand = demand;
     for (double d : demand) metrics.total_demand += d;
     metrics.solved = outcome.solved;
-    if (!outcome.solved) ++summary.unsolved_periods;
+    if (!outcome.solved) {
+      ++summary.unsolved_periods;
+      if (obs::recording_enabled()) {
+        obs::ConvergenceRecorder::local().push("sim.unsolved_period",
+                                               static_cast<long long>(k), hour);
+      }
+    }
 
     const Vector next_state = outcome.solved ? outcome.next_state : state;
     const Vector control = outcome.solved ? outcome.control
@@ -159,6 +167,22 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
       const double c = model_.reconfig_cost[pairs_.datacenter_of(pair)];
       metrics.reconfig_cost += c * control[pair] * control[pair];
       summary.total_churn += std::abs(control[pair]);
+    }
+    if (obs::audit::enabled()) {
+      // Capacity conservation: the allocation the engine carries into the
+      // next period must fit every DC (an unsolved period that keeps an
+      // oversized previous state shows up here).
+      double worst_excess = 0.0, worst_capacity = 0.0;
+      for (std::size_t l = 0; l < model_.num_datacenters(); ++l) {
+        const double excess = metrics.servers_per_dc[l] - model_.capacity[l];
+        if (excess > worst_excess) {
+          worst_excess = excess;
+          worst_capacity = model_.capacity[l];
+        }
+      }
+      const double tolerance = 1e-6 * (1.0 + worst_capacity);
+      obs::audit::check("capacity_conservation", worst_excess <= tolerance, worst_excess,
+                        tolerance);
     }
 
     {
@@ -183,6 +207,19 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
   }
   summary.total_cost = summary.total_resource_cost + summary.total_reconfig_cost;
   summary.mean_compliance = compliance_sum / static_cast<double>(config_.periods);
+  if (obs::audit::enabled()) {
+    // Cost-accounting identity of eq. (3): the reported total must equal
+    // the sum of the per-period hosting/energy and reconfiguration terms.
+    double resource = 0.0, reconfig = 0.0;
+    for (const auto& period : summary.periods) {
+      resource += period.resource_cost;
+      reconfig += period.reconfig_cost;
+    }
+    const double recomposed = resource + reconfig;
+    const double tolerance = 1e-9 * (1.0 + std::abs(recomposed));
+    obs::audit::check("cost_identity", std::abs(summary.total_cost - recomposed) <= tolerance,
+                      summary.total_cost, recomposed);
+  }
   if (obs::metrics_enabled()) {
     auto& registry = obs::Registry::global();
     registry.counter("sim.runs").add(1);

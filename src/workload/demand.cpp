@@ -1,5 +1,6 @@
 #include "workload/demand.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -24,6 +25,26 @@ DemandModel DemandModel::from_cities(const std::vector<topology::City>& cities,
   return DemandModel(std::move(sources));
 }
 
+DemandModel DemandModel::from_trace(std::vector<std::vector<double>> rates,
+                                    double period_hours, double start_hour, bool wrap) {
+  require(!rates.empty(), "from_trace: empty trace");
+  require(period_hours > 0.0, "from_trace: non-positive period length");
+  const std::size_t width = rates.front().size();
+  require(width >= 1, "from_trace: trace has no columns");
+  for (const auto& row : rates) {
+    require(row.size() == width, "from_trace: ragged trace rows");
+    for (double value : row) require(value >= 0.0, "from_trace: negative rate");
+  }
+  // Placeholder sources carry the access-network count; the replayed rows
+  // replace their base-rate/profile arithmetic entirely.
+  DemandModel model(std::vector<DemandSource>(width, DemandSource{0.0, 0, {}}));
+  model.trace_rates_ = std::move(rates);
+  model.trace_period_hours_ = period_hours;
+  model.trace_start_hour_ = start_hour;
+  model.trace_wrap_ = wrap;
+  return model;
+}
+
 void DemandModel::add_flash_crowd(const FlashCrowd& event) {
   require(event.access_network < sources_.size(), "add_flash_crowd: bad access network");
   require(event.duration_hours > 0.0, "add_flash_crowd: non-positive duration");
@@ -33,9 +54,23 @@ void DemandModel::add_flash_crowd(const FlashCrowd& event) {
 
 double DemandModel::mean_rate(std::size_t v, double utc_hour) const {
   require(v < sources_.size(), "mean_rate: access network out of range");
-  const auto& source = sources_[v];
-  double rate = source.base_rate *
-                source.profile.multiplier(local_hour(utc_hour, source.utc_offset_hours));
+  double rate;
+  if (trace_backed()) {
+    const auto rows = static_cast<long long>(trace_rates_.size());
+    auto row = static_cast<long long>(
+        std::floor((utc_hour - trace_start_hour_) / trace_period_hours_));
+    if (trace_wrap_) {
+      row %= rows;
+      if (row < 0) row += rows;
+    } else {
+      row = std::clamp(row, 0LL, rows - 1);
+    }
+    rate = trace_rates_[static_cast<std::size_t>(row)][v];
+  } else {
+    const auto& source = sources_[v];
+    rate = source.base_rate *
+           source.profile.multiplier(local_hour(utc_hour, source.utc_offset_hours));
+  }
   for (const auto& crowd : flash_crowds_) {
     if (crowd.access_network != v) continue;
     if (utc_hour >= crowd.start_hour && utc_hour < crowd.start_hour + crowd.duration_hours) {

@@ -41,6 +41,15 @@ class DemandModel {
   static DemandModel from_cities(const std::vector<topology::City>& cities,
                                  double rate_per_capita, const DiurnalProfile& profile);
 
+  /// Builds a trace-replaying model: mean_rate(v, utc_hour) returns
+  /// rates[k][v] for the period k of length `period_hours` (starting at
+  /// `start_hour`) containing utc_hour — measured workloads drive the same
+  /// engine/controller paths as the synthetic generator. `wrap` replays the
+  /// trace cyclically past its end; otherwise the last row holds. Flash
+  /// crowds and sample_rate noise still apply on top of the replayed mean.
+  static DemandModel from_trace(std::vector<std::vector<double>> rates, double period_hours,
+                                double start_hour = 0.0, bool wrap = true);
+
   std::size_t num_access_networks() const { return sources_.size(); }
 
   void add_flash_crowd(const FlashCrowd& event);
@@ -63,9 +72,17 @@ class DemandModel {
   std::vector<std::vector<double>> trace(std::size_t periods, double period_hours,
                                          double utc_start_hour, bool noisy, Rng& rng) const;
 
+  /// True when this model replays a trace instead of the diurnal generator.
+  bool trace_backed() const { return !trace_rates_.empty(); }
+
  private:
   std::vector<DemandSource> sources_;
   std::vector<FlashCrowd> flash_crowds_;
+  // Trace replay (from_trace): rates[k][v] per period; empty = synthetic.
+  std::vector<std::vector<double>> trace_rates_;
+  double trace_period_hours_ = 0.0;
+  double trace_start_hour_ = 0.0;
+  bool trace_wrap_ = true;
 };
 
 }  // namespace gp::workload

@@ -24,6 +24,9 @@ class DiurnalProfile {
 
   double low() const { return low_; }
   double high() const { return high_; }
+  double busy_start_hour() const { return busy_start_; }
+  double busy_end_hour() const { return busy_end_; }
+  double ramp_hours() const { return ramp_; }
 
  private:
   double low_;

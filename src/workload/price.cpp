@@ -87,6 +87,25 @@ ServerPriceModel::ServerPriceModel(std::vector<topology::DataCenterSite> sites, 
   require(base_price_per_hour_ >= 0.0, "ServerPriceModel: negative base price");
 }
 
+ServerPriceModel ServerPriceModel::from_trace(std::vector<topology::DataCenterSite> sites,
+                                              VmType vm,
+                                              std::vector<std::vector<double>> prices,
+                                              double period_hours, double start_hour,
+                                              bool wrap) {
+  require(!prices.empty(), "from_trace: empty price trace");
+  require(period_hours > 0.0, "from_trace: non-positive period length");
+  for (const auto& row : prices) {
+    require(row.size() == sites.size(), "from_trace: price columns != data centers");
+    for (double value : row) require(value >= 0.0, "from_trace: negative price");
+  }
+  ServerPriceModel model(std::move(sites), vm, ElectricityPriceModel());
+  model.trace_prices_ = std::move(prices);
+  model.trace_period_hours_ = period_hours;
+  model.trace_start_hour_ = start_hour;
+  model.trace_wrap_ = wrap;
+  return model;
+}
+
 double ServerPriceModel::electricity_price(std::size_t l, double utc_hour) const {
   require(l < sites_.size(), "electricity_price: site out of range");
   const auto& site = sites_[l];
@@ -95,6 +114,19 @@ double ServerPriceModel::electricity_price(std::size_t l, double utc_hour) const
 }
 
 double ServerPriceModel::server_price(std::size_t l, double utc_hour) const {
+  if (trace_backed()) {
+    require(l < sites_.size(), "server_price: site out of range");
+    const auto rows = static_cast<long long>(trace_prices_.size());
+    auto row = static_cast<long long>(
+        std::floor((utc_hour - trace_start_hour_) / trace_period_hours_));
+    if (trace_wrap_) {
+      row %= rows;
+      if (row < 0) row += rows;
+    } else {
+      row = std::clamp(row, 0LL, rows - 1);
+    }
+    return trace_prices_[static_cast<std::size_t>(row)][l];
+  }
   // watts -> MWh per hour = W / 1e6; $/server-hour = $/MWh * MW.
   const double megawatts = vm_watts(vm_) * overhead_factor_ / 1e6;
   return base_price_per_hour_ + electricity_price(l, utc_hour) * megawatts;

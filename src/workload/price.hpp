@@ -51,7 +51,20 @@ class ServerPriceModel {
                    ElectricityPriceModel electricity, double overhead_factor = 1.3,
                    double base_price_per_hour = 0.0);
 
+  /// Builds a trace-replaying model: server_price(l, utc_hour) returns
+  /// prices[k][l] ($/server-hour) for the period k of length `period_hours`
+  /// (starting at `start_hour`) containing utc_hour; `wrap` replays
+  /// cyclically past the end, else the last row holds. electricity_price()
+  /// still reports the synthetic regional curves.
+  static ServerPriceModel from_trace(std::vector<topology::DataCenterSite> sites, VmType vm,
+                                     std::vector<std::vector<double>> prices,
+                                     double period_hours, double start_hour = 0.0,
+                                     bool wrap = true);
+
   std::size_t num_datacenters() const { return sites_.size(); }
+
+  /// True when this model replays a trace instead of the electricity curves.
+  bool trace_backed() const { return !trace_prices_.empty(); }
 
   /// Price of running one server in data center l for one hour, at the given
   /// UTC hour ($/server-hour).
@@ -73,6 +86,11 @@ class ServerPriceModel {
   ElectricityPriceModel electricity_;
   double overhead_factor_;
   double base_price_per_hour_;
+  // Trace replay (from_trace): prices[k][l] per period; empty = synthetic.
+  std::vector<std::vector<double>> trace_prices_;
+  double trace_period_hours_ = 0.0;
+  double trace_start_hour_ = 0.0;
+  bool trace_wrap_ = true;
 };
 
 }  // namespace gp::workload

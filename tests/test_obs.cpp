@@ -16,6 +16,7 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/export.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "qp/admm_solver.hpp"
@@ -147,9 +148,31 @@ TEST(RegistryTest, FindOrCreateReturnsStableReferences) {
   EXPECT_THROW(registry.counter("a.ms"), std::exception);
 }
 
+TEST(RegistryTest, ResetAllZeroesGlobalWithoutInvalidatingReferences) {
+  // reset_all() is the test/bench-friendly reset: values go to zero but
+  // every previously handed-out reference stays valid and registered.
+  auto& registry = Registry::global();
+  auto& counter = registry.counter("resetall.count");
+  auto& gauge = registry.gauge("resetall.gauge");
+  auto& histogram = registry.histogram("resetall.ms");
+  counter.add(5);
+  gauge.set(2.5);
+  histogram.record(1.0);
+  Registry::reset_all();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_EQ(&counter, &registry.counter("resetall.count"));
+  EXPECT_EQ(&histogram, &registry.histogram("resetall.ms"));
+}
+
 TEST(RegistryTest, ConcurrentLookupAndUpdateFromPoolLanes) {
-  Registry registry;
+  // Runs on the GLOBAL registry — reset_all() gives the exact-count
+  // assertions a clean slate without the fresh-registry workaround.
+  auto& registry = Registry::global();
+  const bool was_enabled = registry.enabled();
   registry.set_enabled(true);
+  Registry::reset_all();
   constexpr std::size_t kLanes = 8;
   constexpr int kPerLane = 2000;
   gp::parallel_for(0, kLanes, [&](std::size_t lane) {
@@ -171,6 +194,8 @@ TEST(RegistryTest, ConcurrentLookupAndUpdateFromPoolLanes) {
   for (std::size_t lane = 0; lane < kLanes; ++lane) {
     EXPECT_EQ(registry.counter("lane." + std::to_string(lane)).value(), kPerLane);
   }
+  Registry::reset_all();
+  registry.set_enabled(was_enabled);
 }
 
 TEST(RegistryTest, RowsAndJsonlExport) {
@@ -306,6 +331,89 @@ TEST(ExportTest, JsonlRoundTripsThroughTheFile) {
   EXPECT_TRUE(saw_span) << all;
 }
 
+TEST(ExportTest, PathExtensionSelectsChromeVersusJsonl) {
+  // ".json" exports the Chrome trace array, anything else the JSONL log;
+  // both carry the run manifest (metadata event vs header line).
+  auto run_traced = [](const char* path) {
+    gp::obs::start_tracing(path);
+    {
+      Span span("fmt.work");
+    }
+    gp::obs::stop_tracing();
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    in.close();
+    std::remove(path);
+    return buffer.str();
+  };
+
+  const std::string chrome = run_traced("test_obs_fmt.json");
+  EXPECT_EQ(chrome.front(), '[');
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"run_manifest\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"git_sha\""), std::string::npos);
+
+  const std::string jsonl = run_traced("test_obs_fmt.jsonl");
+  EXPECT_TRUE(gp::obs::is_manifest_line(jsonl));  // manifest is line 1
+  EXPECT_NE(jsonl.find("\"type\":\"span\""), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"ph\":"), std::string::npos);  // not Chrome events
+  // Stripping the manifest removes exactly the header line.
+  const std::string stripped = gp::obs::strip_manifest_lines(jsonl);
+  EXPECT_FALSE(gp::obs::is_manifest_line(stripped));
+  EXPECT_NE(stripped.find("\"type\":\"span\""), std::string::npos);
+}
+
+TEST(ExportTest, JsonlExportAppendsRegistryAfterSpans) {
+  // The registry outlives the tracer (both are process-wide statics, and
+  // the tracer's export reads the registry): a stop_tracing() export must
+  // be able to include live metric lines after the span events.
+  auto& registry = Registry::global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  Registry::reset_all();
+  registry.counter("exporder.count").add(7);
+
+  const char* path = "test_obs_order.jsonl";
+  gp::obs::start_tracing(path);
+  {
+    Span span("exporder.work");
+  }
+  gp::obs::stop_tracing();
+  registry.set_enabled(was_enabled);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::remove(path);
+  const std::string text = buffer.str();
+  const std::size_t span_at = text.find("exporder.work");
+  const std::size_t metric_at = text.find("\"name\":\"exporder.count\"");
+  EXPECT_NE(span_at, std::string::npos);
+  EXPECT_NE(metric_at, std::string::npos);
+  EXPECT_LT(span_at, metric_at);  // spans first, then the registry block
+  Registry::reset_all();
+}
+
+TEST(ManifestTest, CaptureCarriesProvenanceAndEscapes) {
+  gp::obs::RunManifest manifest = gp::obs::RunManifest::capture("test");
+  EXPECT_EQ(manifest.tool, "test");
+  EXPECT_FALSE(manifest.git_sha.empty());
+  EXPECT_GE(manifest.threads, 1u);
+  manifest.seeds = {1, 2};
+  manifest.spec_hash = "00ff";
+  manifest.trace_paths = {"a\"b"};
+  const std::string line = manifest.to_jsonl_line();
+  EXPECT_TRUE(gp::obs::is_manifest_line(line));
+  EXPECT_NE(line.find("\"seeds\":[1,2]"), std::string::npos);
+  EXPECT_NE(line.find("\"spec_hash\":\"00ff\""), std::string::npos);
+  EXPECT_NE(line.find("a\\\"b"), std::string::npos);  // quote escaping
+  EXPECT_EQ(gp::obs::strip_manifest_lines(line + "\n{\"x\":1}\n"), "{\"x\":1}\n");
+}
+
 TEST(SolveInfoTest, AdmmExportsHotLoopCountersToGlobalRegistry) {
   // The solver mirrors SolveInfo::hot_loop_allocations and
   // ::residual_spmv_ns into the global registry as admm.allocs /
@@ -323,7 +431,7 @@ TEST(SolveInfoTest, AdmmExportsHotLoopCountersToGlobalRegistry) {
   auto& registry = Registry::global();
   const bool was_enabled = registry.enabled();
   registry.set_enabled(true);
-  registry.reset_values();
+  Registry::reset_all();
 
   gp::qp::AdmmSolver solver;
   const auto result = solver.solve(problem);

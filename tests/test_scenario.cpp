@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/manifest.hpp"
 #include "scenario/policy.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/sweep.hpp"
@@ -148,7 +149,8 @@ TEST(SweepRunner, ExportsAreWellFormed) {
 
   std::ostringstream jsonl;
   result.write_jsonl(jsonl);
-  std::istringstream lines(jsonl.str());
+  ASSERT_TRUE(obs::is_manifest_line(jsonl.str()));  // provenance header first
+  std::istringstream lines(obs::strip_manifest_lines(jsonl.str()));
   std::string line;
   std::size_t count = 0;
   while (std::getline(lines, line)) {

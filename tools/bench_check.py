@@ -33,6 +33,22 @@ import os
 import sys
 
 
+def strip_manifest(tree, label=""):
+    """Removes the flight-recorder "manifest" provenance object from a BENCH
+    tree so its fields (threads, capture timings, ...) never participate in
+    gating. Validates the header on the way out: a manifest without tool and
+    git_sha is malformed and gets a warning (but never fails the check —
+    provenance is advisory here)."""
+    if not isinstance(tree, dict) or "manifest" not in tree:
+        return tree
+    manifest = tree["manifest"]
+    if not (isinstance(manifest, dict)
+            and "tool" in manifest and "git_sha" in manifest):
+        print(f"bench_check{label}: malformed manifest (no tool/git_sha)",
+              file=sys.stderr)
+    return {key: value for key, value in tree.items() if key != "manifest"}
+
+
 def walk(tree, path=()):
     """Yields (dotted_path, value) for every numeric leaf."""
     if isinstance(tree, dict):
@@ -111,7 +127,7 @@ def run_internal_files(paths):
             print(f"bench_check: {err}", file=sys.stderr)
             return 2
         label = f" [{os.path.basename(path)}]"
-        violations, rows = check_internal(tree)
+        violations, rows = check_internal(strip_manifest(tree, label))
         for target, value, floor, ok in rows:
             print(f"  {target}  {value:.3f} >= {floor:.3f}  "
                   f"{'ok' if ok else 'VIOLATION'}")
@@ -125,6 +141,8 @@ def run_internal_files(paths):
 
 
 def run_check(baseline, candidate, threshold, floor_ms, label=""):
+    baseline = strip_manifest(baseline, label)
+    candidate = strip_manifest(candidate, label)
     regressions, rows = compare(baseline, candidate, threshold, floor_ms)
     if not rows:
         print(f"bench_check{label}: no comparable wall_ms/runs_per_s keys found",
@@ -208,6 +226,28 @@ def self_test():
            "a throughput gain must pass")
     expect(run_check({"a": 1}, {"a": 2}, 0.15, 5.0, " [no-keys]"), 1,
            "no wall_ms keys is an error")
+
+    # Manifest-bearing files: the provenance header travels inside the
+    # artifact but must never gate — here the capture timing it carries
+    # regresses 100x while the real keys are clean.
+    with_manifest = json.loads(json.dumps(baseline))
+    with_manifest["manifest"] = {"tool": "bench", "git_sha": "abc123def456",
+                                 "threads": 4, "capture_wall_ms": 10.0}
+    manifest_candidate = json.loads(json.dumps(with_manifest))
+    manifest_candidate["manifest"]["capture_wall_ms"] = 1000.0
+    manifest_candidate["manifest"]["threads"] = 32
+    expect(run_check(with_manifest, manifest_candidate, 0.15, 5.0,
+                     " [manifest]"), 0,
+           "manifest fields must be skipped, not gated")
+    bad_manifest = {"sweep": {"runs_per_s": 40.0}, "manifest": {"threads": 4}}
+    expect(run_check(bad_manifest, bad_manifest, 0.15, 5.0, " [bad-manifest]"),
+           0, "a malformed manifest warns but does not fail")
+    internal_manifest = {"manifest": {"tool": "bench", "git_sha": "abc",
+                                      "threads": 2, "threads_min": 16},
+                         "thread_scaling_ratio": 2.6,
+                         "thread_scaling_ratio_min": 2.0}
+    expect(1 if check_internal(strip_manifest(internal_manifest))[0] else 0, 0,
+           "manifest fields must not create internal floors")
 
     # Internal X >= X_min floors, the BENCH_sweep.json shape.
     sweep_ok = {"bit": True, "thread_scaling_ratio": 2.6,

@@ -92,12 +92,38 @@ struct Report {
   std::map<std::string, SpanGroup> by_name;
   std::size_t lines = 0;
   std::size_t spans = 0;
+  std::size_t manifests = 0;       ///< run-manifest header lines seen
+  std::size_t bad_manifests = 0;   ///< manifest lines missing tool/git_sha
+  std::string manifest_tool;       ///< provenance of the FIRST manifest
+  std::string manifest_git;
 };
+
+/// Flight-recorder provenance headers ({"type":"manifest",...}) are not
+/// span events: validate the fields gp_replay and humans rely on, remember
+/// the first one for the report footer, and skip the line.
+bool consume_manifest(const std::string& line, Report& report) {
+  const auto type = raw_value(line, "type");
+  if (!type || *type != "manifest") return false;
+  ++report.manifests;
+  const auto tool = raw_value(line, "tool");
+  const auto git = raw_value(line, "git_sha");
+  if (!tool || !git) {
+    ++report.bad_manifests;
+    std::fprintf(stderr, "trace_report: malformed manifest line (no tool/git_sha)\n");
+    return true;
+  }
+  if (report.manifest_tool.empty()) {
+    report.manifest_tool = *tool;
+    report.manifest_git = *git;
+  }
+  return true;
+}
 
 void consume(std::istream& in, Report& report) {
   std::string line;
   while (std::getline(in, line)) {
     ++report.lines;
+    if (consume_manifest(line, report)) continue;
     std::string name;
     double dur_ms = 0.0;
     if (!parse_span(line, name, dur_ms)) continue;
@@ -127,6 +153,10 @@ void print_table(const Report& report) {
                 gp::percentile(sorted, 99.0));
   }
   std::printf("# %zu span events from %zu lines\n", report.spans, report.lines);
+  if (!report.manifest_tool.empty()) {
+    std::printf("# recorded by %s at git %s\n", report.manifest_tool.c_str(),
+                report.manifest_git.c_str());
+  }
 }
 
 /// Feeds synthetic lines of both formats through the parser and checks the
@@ -143,6 +173,11 @@ int self_test() {
   }
   fixture << ",\n{\"ph\":\"C\",\"name\":\"admm.primal_residual\",\"ts\":5,"
              "\"args\":{\"value\":0.25}}\n]\n";
+  // A JSONL log starts with the flight-recorder manifest header: it must
+  // be recognized, validated, and NOT counted as a span.
+  fixture << "{\"type\":\"manifest\",\"schema\":1,\"tool\":\"trace\","
+             "\"git_sha\":\"abc123def456\",\"build\":\"Release\","
+             "\"threads\":4,\"seeds\":[7],\"spec_hash\":\"00ff\"}\n";
   // JSONL events for a second module.
   fixture << "{\"type\":\"span\",\"name\":\"mpc.step\",\"ts_us\":0.0,"
              "\"dur_us\":2500.0,\"tid\":1,\"depth\":0}\n";
@@ -167,6 +202,10 @@ int self_test() {
   expect(report.by_name.count("admm.solve") == 1, "admm.solve group present");
   expect(report.by_name.count("mpc.step") == 1, "mpc.step group present");
   expect(report.by_name.size() == 2, "counters/metadata not counted as spans");
+  expect(report.manifests == 1, "manifest header recognized");
+  expect(report.bad_manifests == 0, "manifest header validated");
+  expect(report.manifest_tool == "trace" && report.manifest_git == "abc123def456",
+         "manifest provenance extracted");
 
   const auto& admm = report.by_name.at("admm.solve");
   std::vector<double> sorted = admm.durations_ms;
