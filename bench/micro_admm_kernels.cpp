@@ -6,32 +6,46 @@
 //  1. Kernel A/B: the pre-PR iteration body (per-iteration result-vector
 //     allocations, CSC products, scalar loops with in-loop divisions) against
 //     the fused workspace path (AdmmWorkspace buffers, vector_ops kernels,
-//     RowMajorMirror products). Both run the identical arithmetic on
-//     identical synthetic KKT-solve outputs — the triangular solve itself is
-//     excluded, it is shared by both paths — so the final iterates must be
-//     BIT-identical; the speedup is the iteration-throughput gate (>= 1.3x).
+//     mirror products), run once per AVAILABLE SIMD tier (scalar / avx2 /
+//     avx512, forced via simd::set_active_tier and routed through the SELL
+//     mirrors exactly like the solver). All runs consume identical synthetic
+//     KKT-solve outputs — the triangular solve itself is excluded, it is
+//     shared by both paths — so the final iterates must be BIT-identical on
+//     EVERY tier; the speedup is the iteration-throughput gate (>= 1.3x).
+//     dot_reassoc, the one documented-tolerance kernel, gets a cross-check
+//     lane against the exact single-chain dot instead.
 //  2. Full-solver timing: a cold solve (structure build) and a warm re-solve
 //     (structure + factorization reuse) with ns/iteration and the alloc-probe
 //     count of heap allocations inside the hot loop. This binary installs
 //     operator new/delete hooks, so the warm count must be exactly zero.
 //  3. SpMV bandwidth: cold CSC A^T y (allocating, column-gather) vs the CSR
-//     mirror's A^T y (row-streaming) and A x (row-gather), in effective GB/s
-//     with bytes = 12 * nnz + 8 * (rows + cols) per product.
+//     mirror's A^T y (row-streaming) and A x (row-gather) vs the SELL
+//     mirrors on each tier, in effective GB/s with
+//     bytes = 12 * nnz + 8 * (rows + cols) per product. On hardware with a
+//     vector tier, the best SELL tier must beat the scalar-mirror pair by
+//     >= 1.25x (the floor travels as spmv.vector_speedup_min, 0.0 — i.e.
+//     informational — when no vector ISA is available).
 //
-// The `wall_ms` keys in BENCH_admm.json are the ones tools/bench_check.py
-// gates on; ratios and counters are informational.
+// The `wall_ms` / `gb_s` keys in BENCH_admm.json are the ones
+// tools/bench_check.py gates on in pair mode, and the `*_min` keys are the
+// machine-aware floors `bench_check.py --internal` enforces; other ratios
+// and counters are informational.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <span>
 #include <vector>
 
 #include "common/alloc_probe.hpp"
 #include "dspp/window_program.hpp"
+#include "linalg/simd_dispatch.hpp"
+#include "linalg/sparse_simd.hpp"
+#include "linalg/vector_ops.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "qp/admm_solver.hpp"
@@ -247,6 +261,15 @@ KernelRun run_fused(const gp::qp::QpProblem& problem, const gp::qp::AdmmSettings
   gp::qp::AdmmWorkspace ws;
   ws.resize(n, m);
   const RowMajorMirror mirror(problem.a);
+  // Route the A products exactly as the solver does: SELL mirrors on the
+  // vector tiers, the CSR mirror on scalar (built OUTSIDE the timed loop).
+  const bool vector_spmv =
+      gp::linalg::simd::active_tier() != gp::linalg::simd::Tier::kScalar;
+  gp::linalg::SellMirror a_sell, at_sell;
+  if (vector_spmv) {
+    a_sell.build(problem.a);
+    at_sell.build_transposed(problem.a);
+  }
   for (std::size_t j = 0; j < n; ++j) ws.inv_d[j] = 1.0 / d_scale[j];
   for (std::size_t i = 0; i < m; ++i) ws.inv_e[i] = 1.0 / e_scale[i];
   const double inv_c = 1.0 / cost_scale;
@@ -276,11 +299,19 @@ KernelRun run_fused(const gp::qp::QpProblem& problem, const gp::qp::AdmmSettings
         linalg::admm_dual_update_delta(rho, ws.z_candidate, ws.z_next, ws.y, ws.delta_y);
     std::swap(ws.z, ws.z_next);
 
-    mirror.multiply_into(1.0, ws.x, ws.ax);
+    if (vector_spmv) {
+      a_sell.multiply_into(1.0, ws.x, ws.ax);
+    } else {
+      mirror.multiply_into(1.0, ws.x, ws.ax);
+    }
     std::fill(ws.px.begin(), ws.px.end(), 0.0);
     problem.p.multiply_accumulate(1.0, ws.x, ws.px);
-    std::fill(ws.aty.begin(), ws.aty.end(), 0.0);
-    mirror.multiply_transposed_accumulate(1.0, ws.y, ws.aty);
+    if (vector_spmv) {
+      at_sell.multiply_into(1.0, ws.y, ws.aty);
+    } else {
+      std::fill(ws.aty.begin(), ws.aty.end(), 0.0);
+      mirror.multiply_transposed_accumulate(1.0, ws.y, ws.aty);
+    }
 
     double prim_res = 0.0, prim_norm = 0.0;
     linalg::inf_norm_scaled_residual(ws.ax, ws.z, ws.inv_e, prim_res, prim_norm);
@@ -290,8 +321,12 @@ KernelRun run_fused(const gp::qp::QpProblem& problem, const gp::qp::AdmmSettings
     sink += prim_res + prim_norm + dual_res + dual_norm;
 
     if (delta_y_norm > settings.eps_infeasible) {
-      std::fill(ws.at_dy.begin(), ws.at_dy.end(), 0.0);
-      mirror.multiply_transposed_accumulate(1.0, ws.delta_y, ws.at_dy);
+      if (vector_spmv) {
+        at_sell.multiply_into(1.0, ws.delta_y, ws.at_dy);
+      } else {
+        std::fill(ws.at_dy.begin(), ws.at_dy.end(), 0.0);
+        mirror.multiply_transposed_accumulate(1.0, ws.delta_y, ws.at_dy);
+      }
       double support = 0.0;
       for (std::size_t i = 0; i < m; ++i) {
         const double dy = ws.delta_y[i];
@@ -303,7 +338,11 @@ KernelRun run_fused(const gp::qp::QpProblem& problem, const gp::qp::AdmmSettings
     if (delta_x_norm > settings.eps_infeasible) {
       std::fill(ws.p_dx.begin(), ws.p_dx.end(), 0.0);
       problem.p.multiply_accumulate(1.0, ws.delta_x, ws.p_dx);
-      mirror.multiply_into(1.0, ws.delta_x, ws.a_dx);
+      if (vector_spmv) {
+        a_sell.multiply_into(1.0, ws.delta_x, ws.a_dx);
+      } else {
+        mirror.multiply_into(1.0, ws.delta_x, ws.a_dx);
+      }
       sink += linalg::norm_inf(ws.p_dx) + linalg::norm_inf(ws.a_dx) +
               linalg::dot(problem.q, ws.delta_x);
     }
@@ -330,10 +369,19 @@ double gbps(const gp::linalg::SparseMatrix& a, double wall_ms, int reps) {
 }  // namespace
 
 int main() {
+  namespace simd = gp::linalg::simd;
   constexpr std::size_t kHorizon = 20;
   constexpr int kIters = 300;
   constexpr int kReps = 5;
   constexpr int kSpmvReps = 400;
+
+  // The tier the dispatcher picked at startup (GEOPLACE_SIMD respected);
+  // every forced-tier experiment below restores it when done.
+  const simd::Tier entry_tier = simd::active_tier();
+  std::vector<simd::Tier> tiers;
+  for (simd::Tier t : {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (simd::tier_available(t)) tiers.push_back(t);
+  }
 
   const gp::dspp::WindowProgram program = build_window(kHorizon);
   const gp::qp::QpProblem& problem = program.problem();
@@ -361,16 +409,44 @@ int main() {
               "(4 DCs x 24 cities, K=%zu): n=%zu m=%zu nnz(A)=%lld nnz(P)=%lld\n",
               kHorizon, n, m, static_cast<long long>(problem.a.nnz()),
               static_cast<long long>(problem.p.nnz()));
+  std::printf("# simd: detected %s, active %s, tiers:",
+              simd::tier_name(simd::detected_tier()), simd::tier_name(entry_tier));
+  for (simd::Tier t : tiers) std::printf(" %s", simd::tier_name(t));
+  std::printf("\n");
 
-  // --- 1. Kernel A/B, best of kReps timed runs of kIters iterations. ---
-  KernelRun legacy, fused;
+  // --- 1. Kernel A/B, best of kReps timed runs of kIters iterations, the
+  //        fused path once per available SIMD tier. Reps interleave the
+  //        variants so they see the same cache/frequency conditions. ---
+  struct TierAb {
+    simd::Tier tier = simd::Tier::kScalar;
+    KernelRun run;
+  };
+  KernelRun legacy;
+  std::vector<TierAb> tier_ab(tiers.size());
   for (int rep = 0; rep < kReps; ++rep) {
     KernelRun l = run_legacy(problem, settings, rho, e_scale, d_scale, 1.0, solves, kIters);
-    KernelRun f = run_fused(problem, settings, rho, e_scale, d_scale, 1.0, solves, kIters);
     if (rep == 0 || l.wall_ms < legacy.wall_ms) legacy = std::move(l);
-    if (rep == 0 || f.wall_ms < fused.wall_ms) fused = std::move(f);
+    for (std::size_t k = 0; k < tiers.size(); ++k) {
+      simd::set_active_tier(tiers[k]);
+      KernelRun f = run_fused(problem, settings, rho, e_scale, d_scale, 1.0, solves, kIters);
+      tier_ab[k].tier = tiers[k];
+      if (rep == 0 || f.wall_ms < tier_ab[k].run.wall_ms) tier_ab[k].run = std::move(f);
+    }
   }
-  const bool kernels_identical = bit_identical(legacy, fused) && std::isfinite(legacy.sink);
+  simd::set_active_tier(entry_tier);
+
+  // Every tier must reproduce the legacy iterates bit-for-bit.
+  bool kernels_identical = std::isfinite(legacy.sink);
+  for (const TierAb& ab : tier_ab) {
+    kernels_identical = kernels_identical && bit_identical(legacy, ab.run);
+  }
+  // The headline fused numbers (and the 1.3x gate) use the ENTRY tier — the
+  // path a real solve on this machine/configuration takes.
+  const KernelRun* fused_ptr = &tier_ab.front().run;
+  for (const TierAb& ab : tier_ab) {
+    if (ab.tier == entry_tier) fused_ptr = &ab.run;
+  }
+  const KernelRun& fused = *fused_ptr;
   const double speedup = fused.wall_ms > 0.0 ? legacy.wall_ms / fused.wall_ms : 0.0;
   const double legacy_ns = legacy.wall_ms * 1e6 / kIters;
   const double fused_ns = fused.wall_ms * 1e6 / kIters;
@@ -379,10 +455,37 @@ int main() {
                                  {"path", "ns_per_iter", "allocs_per_iter"});
   std::printf("legacy,%.0f,%.1f\n", legacy_ns,
               static_cast<double>(legacy.loop_allocs) / kIters);
-  std::printf("fused,%.0f,%.1f\n", fused_ns,
-              static_cast<double>(fused.loop_allocs) / kIters);
-  std::printf("# speedup x%.2f, bit_identical %s\n", speedup,
+  for (const TierAb& ab : tier_ab) {
+    std::printf("fused_%s,%.0f,%.1f\n", simd::tier_name(ab.tier),
+                ab.run.wall_ms * 1e6 / kIters,
+                static_cast<double>(ab.run.loop_allocs) / kIters);
+  }
+  std::printf("# speedup x%.2f (entry tier %s), bit_identical %s (all tiers)\n",
+              speedup, simd::tier_name(entry_tier),
               kernels_identical ? "true" : "false");
+
+  // --- 1b. dot_reassoc cross-check lane: the one reassociated (documented-
+  //         tolerance) kernel, checked on every tier against the exact
+  //         single-chain dot with the bound |err| <= n * eps * sum|a_i b_i|.
+  const Vector dot_a = synth_solution(n + m, 101);
+  const Vector dot_b = synth_solution(n + m, 202);
+  const double dot_exact = gp::linalg::dot(dot_a, dot_b);
+  double dot_abs_sum = 0.0;
+  for (std::size_t i = 0; i < dot_a.size(); ++i) {
+    dot_abs_sum += std::abs(dot_a[i] * dot_b[i]);
+  }
+  const double dot_tolerance = static_cast<double>(dot_a.size()) *
+                               std::numeric_limits<double>::epsilon() * dot_abs_sum;
+  double dot_max_err = 0.0;
+  for (simd::Tier t : tiers) {
+    simd::set_active_tier(t);
+    dot_max_err = std::max(dot_max_err,
+                           std::abs(gp::linalg::dot_reassoc(dot_a, dot_b) - dot_exact));
+  }
+  simd::set_active_tier(entry_tier);
+  const bool dot_ok = dot_max_err <= dot_tolerance;
+  std::printf("# dot_reassoc cross-check: max |err| %.3g <= tol %.3g across tiers -- %s\n",
+              dot_max_err, dot_tolerance, dot_ok ? "ok" : "FAILED");
 
   // --- 2. Full solver: cold solve, then a warm structure-cache re-solve. ---
   gp::qp::AdmmSolver solver(settings);
@@ -404,6 +507,7 @@ int main() {
   (void)solver.solve(problem);
   const long long obs_allocs = registry.counter("admm.allocs").value();
   const long long obs_spmv_ns = registry.counter("admm.spmv_ns").value();
+  const double obs_spmv_gb_s = registry.gauge("admm.spmv_gb_s").value();
   registry.set_enabled(registry_was_enabled);
 
   std::printf("\n# solver: cold %.3f ms (%d iters, %lld hot-loop allocs), "
@@ -412,14 +516,19 @@ int main() {
               warm.iterations, warm.info.hot_loop_allocations,
               warm.info.factorization_skipped ? 1 : 0);
   std::printf("# obs counters (instrumented warm solve): admm.allocs=%lld "
-              "admm.spmv_ns=%lld\n",
-              obs_allocs, obs_spmv_ns);
+              "admm.spmv_ns=%lld admm.spmv_gb_s=%.2f\n",
+              obs_allocs, obs_spmv_ns, obs_spmv_gb_s);
 
-  // --- 3. SpMV bandwidth: cold CSC A^T vs the CSR mirror. ---
+  // --- 3. SpMV bandwidth: cold CSC A^T vs the CSR mirror vs the SELL
+  //        mirrors on every tier (both orientations, bitwise-checked). ---
   const RowMajorMirror mirror(problem.a);
+  gp::linalg::SellMirror a_sell, at_sell;
+  a_sell.build(problem.a);
+  at_sell.build_transposed(problem.a);
   const Vector yv = synth_solution(m, 7);
   const Vector xv = synth_solution(n, 9);
   Vector acc_n(n, 0.0), acc_m(m, 0.0);
+  Vector sell_n(n, 0.0), sell_m(m, 0.0);
   double guard = 0.0;
 
   auto t0 = Clock::now();
@@ -449,6 +558,61 @@ int main() {
               gbps(problem.a, mirror_at_ms, kSpmvReps), mirror_ax_ms,
               gbps(problem.a, mirror_ax_ms, kSpmvReps), guard);
 
+  // SELL per tier: the layout is tier-independent, only the kernel changes.
+  struct TierSpmv {
+    simd::Tier tier = simd::Tier::kScalar;
+    double ax_ms = 0.0, at_ms = 0.0;
+  };
+  std::vector<TierSpmv> tier_spmv;
+  bool sell_identical = true;
+  for (simd::Tier t : tiers) {
+    simd::set_active_tier(t);
+    TierSpmv row;
+    row.tier = t;
+    a_sell.multiply_into(1.0, xv, sell_m);
+    at_sell.multiply_into(1.0, yv, sell_n);
+    sell_identical = sell_identical && sell_m == acc_m && sell_n == acc_n;
+    t0 = Clock::now();
+    for (int r = 0; r < kSpmvReps; ++r) {
+      a_sell.multiply_into(1.0, xv, sell_m);
+      guard += sell_m[static_cast<std::size_t>(r) % m];
+    }
+    row.ax_ms = ms_since(t0);
+    t0 = Clock::now();
+    for (int r = 0; r < kSpmvReps; ++r) {
+      at_sell.multiply_into(1.0, yv, sell_n);
+      guard += sell_n[static_cast<std::size_t>(r) % n];
+    }
+    row.at_ms = ms_since(t0);
+    std::printf("# spmv sell[%s]: Ax %.3f ms (%.2f GB/s), A^T %.3f ms (%.2f GB/s)\n",
+                simd::tier_name(t), row.ax_ms, gbps(problem.a, row.ax_ms, kSpmvReps),
+                row.at_ms, gbps(problem.a, row.at_ms, kSpmvReps));
+    tier_spmv.push_back(row);
+  }
+  simd::set_active_tier(entry_tier);
+
+  // Machine-aware bandwidth gate: the best vector SELL tier against the
+  // scalar CSR-mirror pair (one Ax + one A^T y — the per-check work the
+  // solver's residual section does). 0.0 floor = informational only.
+  const double mirror_pair_ms = mirror_ax_ms + mirror_at_ms;
+  double best_vector_pair_ms = 0.0;
+  for (const TierSpmv& row : tier_spmv) {
+    if (row.tier == simd::Tier::kScalar) continue;
+    const double pair = row.ax_ms + row.at_ms;
+    if (best_vector_pair_ms == 0.0 || pair < best_vector_pair_ms) {
+      best_vector_pair_ms = pair;
+    }
+  }
+  const bool has_vector_tier = simd::tier_available(simd::Tier::kAvx2) ||
+                               simd::tier_available(simd::Tier::kAvx512);
+  const double vector_speedup =
+      best_vector_pair_ms > 0.0 ? mirror_pair_ms / best_vector_pair_ms : 0.0;
+  const double vector_speedup_min = has_vector_tier ? 1.25 : 0.0;
+  std::printf("# spmv vector speedup x%.2f (best sell tier vs scalar mirror, "
+              "floor %.2f%s) [guard %.3g]\n",
+              vector_speedup, vector_speedup_min,
+              has_vector_tier ? "" : " = informational", guard);
+
   std::FILE* json = std::fopen("BENCH_admm.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"manifest\": %s,\n",
@@ -457,6 +621,8 @@ int main() {
                  "\"nnz_p\": %lld, \"horizon\": %zu},\n",
                  n, m, static_cast<long long>(problem.a.nnz()),
                  static_cast<long long>(problem.p.nnz()), kHorizon);
+    std::fprintf(json, "  \"simd\": {\"detected\": \"%s\", \"active\": \"%s\"},\n",
+                 simd::tier_name(simd::detected_tier()), simd::tier_name(entry_tier));
     std::fprintf(json, "  \"kernels\": {\n    \"iterations\": %d,\n", kIters);
     std::fprintf(json,
                  "    \"legacy\": {\"wall_ms\": %.3f, \"ns_per_iteration\": %.0f, "
@@ -467,6 +633,20 @@ int main() {
                  "    \"fused\": {\"wall_ms\": %.3f, \"ns_per_iteration\": %.0f, "
                  "\"allocs_per_iteration\": %.1f},\n",
                  fused.wall_ms, fused_ns, static_cast<double>(fused.loop_allocs) / kIters);
+    std::fprintf(json, "    \"tiers\": {");
+    for (std::size_t k = 0; k < tier_ab.size(); ++k) {
+      std::fprintf(json,
+                   "%s\n      \"%s\": {\"wall_ms\": %.3f, \"ns_per_iteration\": %.0f, "
+                   "\"bit_identical\": %s}",
+                   k > 0 ? "," : "", simd::tier_name(tier_ab[k].tier),
+                   tier_ab[k].run.wall_ms, tier_ab[k].run.wall_ms * 1e6 / kIters,
+                   bit_identical(legacy, tier_ab[k].run) ? "true" : "false");
+    }
+    std::fprintf(json, "\n    },\n");
+    std::fprintf(json,
+                 "    \"dot_reassoc\": {\"max_abs_err\": %.6g, \"tolerance\": %.6g, "
+                 "\"within_tolerance\": %s},\n",
+                 dot_max_err, dot_tolerance, dot_ok ? "true" : "false");
     std::fprintf(json, "    \"speedup\": %.3f,\n    \"bit_identical\": %s\n  },\n",
                  speedup, kernels_identical ? "true" : "false");
     std::fprintf(json,
@@ -479,29 +659,55 @@ int main() {
                  "\"factorization_skipped\": %s},\n",
                  warm_ms, warm.iterations, warm.info.hot_loop_allocations,
                  warm_ns_per_iter, warm.info.factorization_skipped ? "true" : "false");
-    std::fprintf(json, "    \"obs\": {\"admm_allocs\": %lld, \"admm_spmv_ns\": %lld}\n  },\n",
-                 obs_allocs, obs_spmv_ns);
+    std::fprintf(json,
+                 "    \"obs\": {\"admm_allocs\": %lld, \"admm_spmv_ns\": %lld, "
+                 "\"admm_spmv_gb_s\": %.2f}\n  },\n",
+                 obs_allocs, obs_spmv_ns, obs_spmv_gb_s);
     std::fprintf(json,
                  "  \"spmv\": {\"reps\": %d,\n    \"csc_at\": {\"wall_ms\": %.3f, "
-                 "\"gbps\": %.2f},\n",
+                 "\"gb_s\": %.2f},\n",
                  kSpmvReps, csc_at_ms, gbps(problem.a, csc_at_ms, kSpmvReps));
-    std::fprintf(json, "    \"mirror_at\": {\"wall_ms\": %.3f, \"gbps\": %.2f},\n",
+    std::fprintf(json, "    \"mirror_at\": {\"wall_ms\": %.3f, \"gb_s\": %.2f},\n",
                  mirror_at_ms, gbps(problem.a, mirror_at_ms, kSpmvReps));
-    std::fprintf(json, "    \"mirror_ax\": {\"wall_ms\": %.3f, \"gbps\": %.2f}\n  }\n}\n",
+    std::fprintf(json, "    \"mirror_ax\": {\"wall_ms\": %.3f, \"gb_s\": %.2f},\n",
                  mirror_ax_ms, gbps(problem.a, mirror_ax_ms, kSpmvReps));
+    std::fprintf(json, "    \"sell\": {");
+    for (std::size_t k = 0; k < tier_spmv.size(); ++k) {
+      std::fprintf(json,
+                   "%s\n      \"%s\": {\"ax\": {\"wall_ms\": %.3f, \"gb_s\": %.2f}, "
+                   "\"at\": {\"wall_ms\": %.3f, \"gb_s\": %.2f}}",
+                   k > 0 ? "," : "", simd::tier_name(tier_spmv[k].tier),
+                   tier_spmv[k].ax_ms, gbps(problem.a, tier_spmv[k].ax_ms, kSpmvReps),
+                   tier_spmv[k].at_ms, gbps(problem.a, tier_spmv[k].at_ms, kSpmvReps));
+    }
+    std::fprintf(json, "\n    },\n    \"sell_bit_identical\": %s,\n",
+                 sell_identical ? "true" : "false");
+    std::fprintf(json,
+                 "    \"vector_speedup\": %.3f,\n    \"vector_speedup_min\": %.2f\n  }\n}\n",
+                 vector_speedup, vector_speedup_min);
     std::fclose(json);
   }
 
-  // Gate: bit-identity, the >= 1.3x kernel throughput target, zero fused
-  // hot-loop allocations (both in the A/B and in the real warm solve), and
-  // both real solves reaching optimality.
-  const bool ok = kernels_identical && speedup >= 1.3 && fused.loop_allocs == 0 &&
+  // Gate: cross-tier bit-identity (A/B and SELL products), the >= 1.3x
+  // kernel throughput target, the machine-aware vector SpMV floor (0.0 when
+  // no vector ISA — then it never fails), the dot_reassoc tolerance lane,
+  // zero fused hot-loop allocations (both in the A/B and in the real warm
+  // solve), and both real solves reaching optimality.
+  bool tier_allocs_zero = true;
+  for (const TierAb& ab : tier_ab) {
+    tier_allocs_zero = tier_allocs_zero && ab.run.loop_allocs == 0;
+  }
+  const bool ok = kernels_identical && sell_identical && dot_ok && speedup >= 1.3 &&
+                  vector_speedup >= vector_speedup_min && tier_allocs_zero &&
                   warm.info.hot_loop_allocations == 0 && solves_ok;
-  std::printf("\n# gate: speedup x%.2f (>= 1.3), fused loop allocs %lld (== 0), "
+  std::printf("\n# gate: speedup x%.2f (>= 1.3), spmv vector x%.2f (>= %.2f), "
+              "fused loop allocs zero on all tiers %s, "
               "warm-solve hot-loop allocs %lld (== 0), bit_identical %s, "
-              "solves %s -- %s\n",
-              speedup, fused.loop_allocs, warm.info.hot_loop_allocations,
-              kernels_identical ? "true" : "false", solves_ok ? "ok" : "FAILED",
+              "sell_bit_identical %s, dot_reassoc %s, solves %s -- %s\n",
+              speedup, vector_speedup, vector_speedup_min,
+              tier_allocs_zero ? "true" : "false", warm.info.hot_loop_allocations,
+              kernels_identical ? "true" : "false", sell_identical ? "true" : "false",
+              dot_ok ? "ok" : "FAILED", solves_ok ? "ok" : "FAILED",
               ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,69 @@
+// Internal kernel table shared between the dispatcher (simd_dispatch.cpp),
+// the per-ISA translation units (simd_kernels_{scalar,avx2,avx512}.cpp) and
+// the dispatching wrappers (vector_ops.cpp, sparse_simd.cpp). Not part of
+// the public linalg surface.
+//
+// Signatures are raw-pointer + length so the per-ISA TUs stay free of any
+// header that might inline code compiled with the wrong ISA flags.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gp::linalg::simd {
+
+/// Borrowed view of a SellMirror's layout (sparse_simd.hpp) for the SpMV
+/// kernels. Chunks of kSellChunk rows; entries j-major within a chunk
+/// (entry (j, lane) at chunk_ptr[c] + j * kSellChunk + lane), padded with
+/// value 0.0 and an in-range column index.
+inline constexpr int kSellChunk = 8;
+
+struct SellView {
+  const std::int64_t* chunk_ptr = nullptr;  // size num_chunks + 1, entry offsets
+  const std::int32_t* col_idx = nullptr;
+  const double* values = nullptr;
+  std::int32_t rows = 0;
+  std::int32_t num_chunks = 0;
+};
+
+struct KernelTable {
+  double (*norm_inf)(const double* a, std::size_t n);
+  double (*inf_norm_scaled)(const double* a, const double* scale, std::size_t n);
+  double (*inf_norm_scaled_diff)(const double* a, const double* b, const double* scale,
+                                 std::size_t n);
+  double (*inf_norm_scaled_sum3)(const double* a, const double* b, const double* c,
+                                 const double* scale, double post, std::size_t n);
+  double (*diff_norm_inf)(const double* a, const double* b, double* out, std::size_t n);
+  void (*inf_norm_scaled_residual)(const double* a, const double* b, const double* scale,
+                                   std::size_t n, double* res, double* norm);
+  void (*inf_norm_scaled_residual3)(const double* a, const double* b, const double* c,
+                                    const double* scale, double post, std::size_t n,
+                                    double* res, double* norm);
+  void (*axpby)(double av, const double* x, double bv, double* y, std::size_t n);
+  double (*axpby_delta)(double av, const double* src, double bv, double* x, double* delta,
+                        std::size_t n);
+  void (*project_box_into)(const double* x, const double* lo, const double* hi, double* out,
+                           std::size_t n);
+  void (*admm_z_tilde)(const double* z, const double* nu, const double* y, const double* rho,
+                       double* out, std::size_t n);
+  void (*admm_z_candidate_cached)(double alpha, const double* z_tilde, const double* z,
+                                  const double* y_over_rho, double* out, std::size_t n);
+  void (*admm_dual_update)(const double* rho, const double* zc, const double* zn, double* y,
+                           std::size_t n);
+  double (*admm_dual_update_delta)(const double* rho, const double* zc, const double* zn,
+                                   double* y, double* delta, std::size_t n);
+  double (*dot_reassoc)(const double* a, const double* b, std::size_t n);
+  void (*sell_multiply_into)(const SellView& m, double alpha, const double* x, double* y);
+};
+
+/// Per-tier tables. The scalar table always exists; the vector tables are
+/// null when their TU was compiled without the ISA (non-x86 target or a
+/// compiler lacking the -m flags).
+const KernelTable& scalar_table();
+const KernelTable* avx2_table();
+const KernelTable* avx512_table();
+
+/// Table for active_tier(); the hot-path entry point for the wrappers.
+const KernelTable& kernels();
+
+}  // namespace gp::linalg::simd

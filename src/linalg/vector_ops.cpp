@@ -4,6 +4,13 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/simd_kernels.hpp"
+
+// Every kernel with a vectorized variant routes through the active tier's
+// table (simd_dispatch.hpp): one relaxed atomic load plus an indirect call,
+// amortized over the O(n) loop. The scalar tier lives in
+// simd_kernels_scalar.cpp; the AVX2/AVX-512 tiers are bit-identical to it
+// for every kernel except dot_reassoc (documented tolerance).
 
 namespace gp::linalg {
 
@@ -14,28 +21,15 @@ double dot(std::span<const double> a, std::span<const double> b) {
   return total;
 }
 
+double dot_reassoc(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "dot_reassoc: size mismatch");
+  return simd::kernels().dot_reassoc(a.data(), b.data(), a.size());
+}
+
 double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
 
-// The max-norm reductions below run four independent running maxima and
-// combine them at the end. A single running maximum is a loop-carried
-// dependence of ~4-5 cycles per element (FP max cannot be auto-vectorized
-// without -ffast-math because of its NaN ordering); four lanes make the loop
-// throughput-bound instead. The reassociation is EXACT: max over
-// non-negative values is associative and commutative and introduces no
-// rounding, and NaN operands are dropped by std::max(best, x) in every lane
-// exactly as in the single-chain loop — so results are bit-identical.
-
 double norm_inf(std::span<const double> a) {
-  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= a.size(); i += 4) {
-    m0 = std::max(m0, std::abs(a[i]));
-    m1 = std::max(m1, std::abs(a[i + 1]));
-    m2 = std::max(m2, std::abs(a[i + 2]));
-    m3 = std::max(m3, std::abs(a[i + 3]));
-  }
-  for (; i < a.size(); ++i) m0 = std::max(m0, std::abs(a[i]));
-  return std::max(std::max(m0, m1), std::max(m2, m3));
+  return simd::kernels().norm_inf(a.data(), a.size());
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
@@ -80,66 +74,32 @@ Vector project_box(std::span<const double> x, std::span<const double> lo,
 
 void axpby(double a, std::span<const double> x, double b, std::span<double> y) {
   require(x.size() == y.size(), "axpby: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = a * x[i] + b * y[i];
+  simd::kernels().axpby(a, x.data(), b, y.data(), x.size());
 }
 
 double diff_norm_inf(std::span<const double> a, std::span<const double> b,
                      std::span<double> out) {
   require(a.size() == b.size() && a.size() == out.size(), "diff_norm_inf: size mismatch");
-  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= a.size(); i += 4) {
-    out[i] = a[i] - b[i];
-    out[i + 1] = a[i + 1] - b[i + 1];
-    out[i + 2] = a[i + 2] - b[i + 2];
-    out[i + 3] = a[i + 3] - b[i + 3];
-    m0 = std::max(m0, std::abs(out[i]));
-    m1 = std::max(m1, std::abs(out[i + 1]));
-    m2 = std::max(m2, std::abs(out[i + 2]));
-    m3 = std::max(m3, std::abs(out[i + 3]));
-  }
-  for (; i < a.size(); ++i) {
-    out[i] = a[i] - b[i];
-    m0 = std::max(m0, std::abs(out[i]));
-  }
-  return std::max(std::max(m0, m1), std::max(m2, m3));
+  return simd::kernels().diff_norm_inf(a.data(), b.data(), out.data(), a.size());
 }
 
 void project_box_into(std::span<const double> x, std::span<const double> lo,
                       std::span<const double> hi, std::span<double> out) {
   require(x.size() == lo.size() && x.size() == hi.size() && x.size() == out.size(),
           "project_box_into: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::min(std::max(x[i], lo[i]), hi[i]);
+  simd::kernels().project_box_into(x.data(), lo.data(), hi.data(), out.data(), x.size());
 }
 
 double inf_norm_scaled(std::span<const double> a, std::span<const double> scale) {
   require(a.size() == scale.size(), "inf_norm_scaled: size mismatch");
-  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= a.size(); i += 4) {
-    m0 = std::max(m0, std::abs(a[i]) * scale[i]);
-    m1 = std::max(m1, std::abs(a[i + 1]) * scale[i + 1]);
-    m2 = std::max(m2, std::abs(a[i + 2]) * scale[i + 2]);
-    m3 = std::max(m3, std::abs(a[i + 3]) * scale[i + 3]);
-  }
-  for (; i < a.size(); ++i) m0 = std::max(m0, std::abs(a[i]) * scale[i]);
-  return std::max(std::max(m0, m1), std::max(m2, m3));
+  return simd::kernels().inf_norm_scaled(a.data(), scale.data(), a.size());
 }
 
 double inf_norm_scaled_diff(std::span<const double> a, std::span<const double> b,
                             std::span<const double> scale) {
   require(a.size() == b.size() && a.size() == scale.size(),
           "inf_norm_scaled_diff: size mismatch");
-  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= a.size(); i += 4) {
-    m0 = std::max(m0, std::abs(a[i] - b[i]) * scale[i]);
-    m1 = std::max(m1, std::abs(a[i + 1] - b[i + 1]) * scale[i + 1]);
-    m2 = std::max(m2, std::abs(a[i + 2] - b[i + 2]) * scale[i + 2]);
-    m3 = std::max(m3, std::abs(a[i + 3] - b[i + 3]) * scale[i + 3]);
-  }
-  for (; i < a.size(); ++i) m0 = std::max(m0, std::abs(a[i] - b[i]) * scale[i]);
-  return std::max(std::max(m0, m1), std::max(m2, m3));
+  return simd::kernels().inf_norm_scaled_diff(a.data(), b.data(), scale.data(), a.size());
 }
 
 double inf_norm_scaled_sum3(std::span<const double> a, std::span<const double> b,
@@ -147,41 +107,16 @@ double inf_norm_scaled_sum3(std::span<const double> a, std::span<const double> b
                             double post) {
   require(a.size() == b.size() && a.size() == c.size() && a.size() == scale.size(),
           "inf_norm_scaled_sum3: size mismatch");
-  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= a.size(); i += 4) {
-    m0 = std::max(m0, std::abs(a[i] + b[i] + c[i]) * scale[i] * post);
-    m1 = std::max(m1, std::abs(a[i + 1] + b[i + 1] + c[i + 1]) * scale[i + 1] * post);
-    m2 = std::max(m2, std::abs(a[i + 2] + b[i + 2] + c[i + 2]) * scale[i + 2] * post);
-    m3 = std::max(m3, std::abs(a[i + 3] + b[i + 3] + c[i + 3]) * scale[i + 3] * post);
-  }
-  for (; i < a.size(); ++i) m0 = std::max(m0, std::abs(a[i] + b[i] + c[i]) * scale[i] * post);
-  return std::max(std::max(m0, m1), std::max(m2, m3));
+  return simd::kernels().inf_norm_scaled_sum3(a.data(), b.data(), c.data(), scale.data(), post,
+                                              a.size());
 }
 
 void inf_norm_scaled_residual(std::span<const double> a, std::span<const double> b,
                               std::span<const double> scale, double& res, double& norm) {
   require(a.size() == b.size() && a.size() == scale.size(),
           "inf_norm_scaled_residual: size mismatch");
-  double r0 = 0.0, r1 = 0.0, r2 = 0.0, r3 = 0.0;
-  double n0 = 0.0, n1 = 0.0, n2 = 0.0, n3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= a.size(); i += 4) {
-    r0 = std::max(r0, std::abs(a[i] - b[i]) * scale[i]);
-    r1 = std::max(r1, std::abs(a[i + 1] - b[i + 1]) * scale[i + 1]);
-    r2 = std::max(r2, std::abs(a[i + 2] - b[i + 2]) * scale[i + 2]);
-    r3 = std::max(r3, std::abs(a[i + 3] - b[i + 3]) * scale[i + 3]);
-    n0 = std::max(n0, std::max(std::abs(a[i]), std::abs(b[i])) * scale[i]);
-    n1 = std::max(n1, std::max(std::abs(a[i + 1]), std::abs(b[i + 1])) * scale[i + 1]);
-    n2 = std::max(n2, std::max(std::abs(a[i + 2]), std::abs(b[i + 2])) * scale[i + 2]);
-    n3 = std::max(n3, std::max(std::abs(a[i + 3]), std::abs(b[i + 3])) * scale[i + 3]);
-  }
-  for (; i < a.size(); ++i) {
-    r0 = std::max(r0, std::abs(a[i] - b[i]) * scale[i]);
-    n0 = std::max(n0, std::max(std::abs(a[i]), std::abs(b[i])) * scale[i]);
-  }
-  res = std::max(std::max(r0, r1), std::max(r2, r3));
-  norm = std::max(std::max(n0, n1), std::max(n2, n3));
+  simd::kernels().inf_norm_scaled_residual(a.data(), b.data(), scale.data(), a.size(), &res,
+                                           &norm);
 }
 
 void inf_norm_scaled_residual3(std::span<const double> a, std::span<const double> b,
@@ -189,38 +124,8 @@ void inf_norm_scaled_residual3(std::span<const double> a, std::span<const double
                                double post, double& res, double& norm) {
   require(a.size() == b.size() && a.size() == c.size() && a.size() == scale.size(),
           "inf_norm_scaled_residual3: size mismatch");
-  double r0 = 0.0, r1 = 0.0, r2 = 0.0, r3 = 0.0;
-  double n0 = 0.0, n1 = 0.0, n2 = 0.0, n3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= a.size(); i += 4) {
-    r0 = std::max(r0, std::abs(a[i] + b[i] + c[i]) * scale[i] * post);
-    r1 = std::max(r1, std::abs(a[i + 1] + b[i + 1] + c[i + 1]) * scale[i + 1] * post);
-    r2 = std::max(r2, std::abs(a[i + 2] + b[i + 2] + c[i + 2]) * scale[i + 2] * post);
-    r3 = std::max(r3, std::abs(a[i + 3] + b[i + 3] + c[i + 3]) * scale[i + 3] * post);
-    n0 = std::max(n0, std::max(std::max(std::abs(a[i]), std::abs(b[i])), std::abs(c[i])) *
-                          scale[i]);
-    n1 = std::max(n1,
-                  std::max(std::max(std::abs(a[i + 1]), std::abs(b[i + 1])),
-                           std::abs(c[i + 1])) *
-                      scale[i + 1]);
-    n2 = std::max(n2,
-                  std::max(std::max(std::abs(a[i + 2]), std::abs(b[i + 2])),
-                           std::abs(c[i + 2])) *
-                      scale[i + 2]);
-    n3 = std::max(n3,
-                  std::max(std::max(std::abs(a[i + 3]), std::abs(b[i + 3])),
-                           std::abs(c[i + 3])) *
-                      scale[i + 3]);
-  }
-  for (; i < a.size(); ++i) {
-    r0 = std::max(r0, std::abs(a[i] + b[i] + c[i]) * scale[i] * post);
-    n0 = std::max(n0, std::max(std::max(std::abs(a[i]), std::abs(b[i])), std::abs(c[i])) *
-                          scale[i]);
-  }
-  res = std::max(std::max(r0, r1), std::max(r2, r3));
-  // max-then-scale equals scale-then-max bitwise for post > 0 (monotone
-  // rounding), matching the unfused per-element |.| * scale * post form.
-  norm = std::max(std::max(n0, n1), std::max(n2, n3)) * post;
+  simd::kernels().inf_norm_scaled_residual3(a.data(), b.data(), c.data(), scale.data(), post,
+                                            a.size(), &res, &norm);
 }
 
 void admm_z_tilde(std::span<const double> z, std::span<const double> nu,
@@ -229,7 +134,8 @@ void admm_z_tilde(std::span<const double> z, std::span<const double> nu,
   require(z.size() == nu.size() && z.size() == y.size() && z.size() == rho.size() &&
               z.size() == out.size(),
           "admm_z_tilde: size mismatch");
-  for (std::size_t i = 0; i < z.size(); ++i) out[i] = z[i] + (nu[i] - y[i]) / rho[i];
+  simd::kernels().admm_z_tilde(z.data(), nu.data(), y.data(), rho.data(), out.data(),
+                               z.size());
 }
 
 void admm_z_candidate(double alpha, std::span<const double> z_tilde,
@@ -249,9 +155,8 @@ void admm_z_candidate_cached(double alpha, std::span<const double> z_tilde,
   require(z_tilde.size() == z.size() && z_tilde.size() == y_over_rho.size() &&
               z_tilde.size() == out.size(),
           "admm_z_candidate_cached: size mismatch");
-  for (std::size_t i = 0; i < z.size(); ++i) {
-    out[i] = alpha * z_tilde[i] + (1.0 - alpha) * z[i] + y_over_rho[i];
-  }
+  simd::kernels().admm_z_candidate_cached(alpha, z_tilde.data(), z.data(), y_over_rho.data(),
+                                          out.data(), z.size());
 }
 
 void admm_dual_update(std::span<const double> rho, std::span<const double> z_candidate,
@@ -259,40 +164,15 @@ void admm_dual_update(std::span<const double> rho, std::span<const double> z_can
   require(rho.size() == z_candidate.size() && rho.size() == z_next.size() &&
               rho.size() == y.size(),
           "admm_dual_update: size mismatch");
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] = rho[i] * (z_candidate[i] - z_next[i]);
+  simd::kernels().admm_dual_update(rho.data(), z_candidate.data(), z_next.data(), y.data(),
+                                   y.size());
 }
 
 double axpby_delta(double a, std::span<const double> src, double b, std::span<double> x,
                    std::span<double> delta) {
   require(src.size() == x.size() && src.size() == delta.size(),
           "axpby_delta: size mismatch");
-  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= x.size(); i += 4) {
-    const double n0 = a * src[i] + b * x[i];
-    const double n1 = a * src[i + 1] + b * x[i + 1];
-    const double n2 = a * src[i + 2] + b * x[i + 2];
-    const double n3 = a * src[i + 3] + b * x[i + 3];
-    delta[i] = n0 - x[i];
-    delta[i + 1] = n1 - x[i + 1];
-    delta[i + 2] = n2 - x[i + 2];
-    delta[i + 3] = n3 - x[i + 3];
-    x[i] = n0;
-    x[i + 1] = n1;
-    x[i + 2] = n2;
-    x[i + 3] = n3;
-    m0 = std::max(m0, std::abs(delta[i]));
-    m1 = std::max(m1, std::abs(delta[i + 1]));
-    m2 = std::max(m2, std::abs(delta[i + 2]));
-    m3 = std::max(m3, std::abs(delta[i + 3]));
-  }
-  for (; i < x.size(); ++i) {
-    const double next = a * src[i] + b * x[i];
-    delta[i] = next - x[i];
-    x[i] = next;
-    m0 = std::max(m0, std::abs(delta[i]));
-  }
-  return std::max(std::max(m0, m1), std::max(m2, m3));
+  return simd::kernels().axpby_delta(a, src.data(), b, x.data(), delta.data(), x.size());
 }
 
 double admm_dual_update_delta(std::span<const double> rho, std::span<const double> z_candidate,
@@ -301,33 +181,8 @@ double admm_dual_update_delta(std::span<const double> rho, std::span<const doubl
   require(rho.size() == z_candidate.size() && rho.size() == z_next.size() &&
               rho.size() == y.size() && rho.size() == delta.size(),
           "admm_dual_update_delta: size mismatch");
-  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= y.size(); i += 4) {
-    const double n0 = rho[i] * (z_candidate[i] - z_next[i]);
-    const double n1 = rho[i + 1] * (z_candidate[i + 1] - z_next[i + 1]);
-    const double n2 = rho[i + 2] * (z_candidate[i + 2] - z_next[i + 2]);
-    const double n3 = rho[i + 3] * (z_candidate[i + 3] - z_next[i + 3]);
-    delta[i] = n0 - y[i];
-    delta[i + 1] = n1 - y[i + 1];
-    delta[i + 2] = n2 - y[i + 2];
-    delta[i + 3] = n3 - y[i + 3];
-    y[i] = n0;
-    y[i + 1] = n1;
-    y[i + 2] = n2;
-    y[i + 3] = n3;
-    m0 = std::max(m0, std::abs(delta[i]));
-    m1 = std::max(m1, std::abs(delta[i + 1]));
-    m2 = std::max(m2, std::abs(delta[i + 2]));
-    m3 = std::max(m3, std::abs(delta[i + 3]));
-  }
-  for (; i < y.size(); ++i) {
-    const double next = rho[i] * (z_candidate[i] - z_next[i]);
-    delta[i] = next - y[i];
-    y[i] = next;
-    m0 = std::max(m0, std::abs(delta[i]));
-  }
-  return std::max(std::max(m0, m1), std::max(m2, m3));
+  return simd::kernels().admm_dual_update_delta(rho.data(), z_candidate.data(), z_next.data(),
+                                                y.data(), delta.data(), y.size());
 }
 
 }  // namespace gp::linalg

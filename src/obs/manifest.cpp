@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "linalg/simd_dispatch.hpp"
 
 #ifndef GEOPLACE_GIT_SHA
 #define GEOPLACE_GIT_SHA "unknown"
@@ -54,6 +55,7 @@ RunManifest RunManifest::capture(std::string tool_name) {
   if (::gethostname(hostname, sizeof(hostname) - 1) == 0) manifest.host = hostname;
   manifest.threads = ThreadPool::default_lanes();
   manifest.cpus = std::thread::hardware_concurrency();
+  manifest.simd = linalg::simd::tier_name(linalg::simd::active_tier());
   for (char** entry = environ; entry != nullptr && *entry != nullptr; ++entry) {
     const char* var = *entry;
     if (std::strncmp(var, "GEOPLACE_", 9) != 0) continue;
@@ -77,6 +79,8 @@ std::string RunManifest::to_json_object() const {
   out += ",";
   append_string_field(out, "host", host);
   out += ",\"threads\":" + std::to_string(threads) + ",\"cpus\":" + std::to_string(cpus);
+  out += ",";
+  append_string_field(out, "simd", simd);
   out += ",\"seeds\":[";
   for (std::size_t i = 0; i < seeds.size(); ++i) {
     if (i > 0) out += ",";

@@ -13,7 +13,8 @@
 // caller-supplied opaque string (src/scenario/serialize.hpp computes it);
 // capture() fills only what the obs layer can see on its own — git SHA and
 // build flags (baked in at configure time), thread count, CPU count, host,
-// and the GEOPLACE_* environment.
+// the dispatched SIMD tier (obs sits above linalg), and the GEOPLACE_*
+// environment.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +26,7 @@
 namespace gp::obs {
 
 struct RunManifest {
-  int schema = 1;            ///< manifest line format version
+  int schema = 2;            ///< manifest line format version (2: + "simd")
   std::string tool;          ///< artifact producer ("sweep", "trace", ...)
   std::string git_sha;       ///< build provenance (configure-time git rev-parse)
   std::string build_type;    ///< CMAKE_BUILD_TYPE the binary was built with
@@ -33,6 +34,11 @@ struct RunManifest {
   std::string host;          ///< hostname (excluded from identity checks)
   std::size_t threads = 0;   ///< ThreadPool::default_lanes() at capture time
   unsigned cpus = 0;         ///< hardware_concurrency at capture time
+  /// Dispatched SIMD kernel tier ("scalar" / "avx2" / "avx512") at capture
+  /// time — vectorization provenance for every artifact. A GEOPLACE_SIMD
+  /// override shows up both here (it changes the active tier) and verbatim
+  /// in `env` below.
+  std::string simd;
   std::vector<std::uint64_t> seeds;       ///< run seed(s); caller-supplied
   std::string spec_hash;                  ///< ScenarioSpec hash; caller-supplied
   std::vector<std::string> trace_paths;   ///< demand/price traces referenced

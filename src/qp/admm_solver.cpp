@@ -6,6 +6,7 @@
 
 #include "common/alloc_probe.hpp"
 #include "common/error.hpp"
+#include "linalg/simd_dispatch.hpp"
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -333,6 +334,22 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
   } else {
     a_mirror_.build(problem.a);
   }
+  // On the vector SIMD tiers the same products run through SELL mirrors of
+  // A and A^T instead (bit-identical to the CSR paths — sparse_simd.hpp);
+  // pattern once, values refreshed per solve, never built on scalar runs.
+  const bool vector_spmv = linalg::simd::active_tier() != linalg::simd::Tier::kScalar;
+  if (vector_spmv) {
+    if (a_sell_.pattern_matches(problem.a)) {
+      a_sell_.update_values(problem.a);
+    } else {
+      a_sell_.build(problem.a);
+    }
+    if (at_sell_.pattern_matches(problem.a)) {
+      at_sell_.update_values(problem.a);
+    } else {
+      at_sell_.build_transposed(problem.a);
+    }
+  }
 
   // Per-row rho: stiffer on equality rows, zero-safe on free rows. When the
   // row classification is unchanged, a cache hit carries the previous
@@ -420,6 +437,7 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
   const long long allocs_at_loop_entry = gp::alloc_probe_count();
   long long excluded_allocs = 0;
   long long spmv_ns = 0;
+  long long spmv_sections = 0;
 
   int iteration = 0;
   for (; iteration < settings_.max_iterations; ++iteration) {
@@ -468,15 +486,25 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     // --- Residuals in UNSCALED quantities, via the CSR mirror. ---
     std::chrono::steady_clock::time_point spmv_start{};
     if (time_spmv) spmv_start = std::chrono::steady_clock::now();
-    a_mirror_.multiply_into(1.0, x, ws.ax);
+    if (vector_spmv) {
+      a_sell_.multiply_into(1.0, x, ws.ax);
+    } else {
+      a_mirror_.multiply_into(1.0, x, ws.ax);
+    }
     std::fill(ws.px.begin(), ws.px.end(), 0.0);
     problem.p.multiply_accumulate(1.0, x, ws.px);
-    std::fill(ws.aty.begin(), ws.aty.end(), 0.0);
-    a_mirror_.multiply_transposed_accumulate(1.0, y, ws.aty);
+    if (vector_spmv) {
+      // SELL overwrite == zero-fill + transposed-accumulate, bitwise.
+      at_sell_.multiply_into(1.0, y, ws.aty);
+    } else {
+      std::fill(ws.aty.begin(), ws.aty.end(), 0.0);
+      a_mirror_.multiply_transposed_accumulate(1.0, y, ws.aty);
+    }
     if (time_spmv) {
       spmv_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
                      std::chrono::steady_clock::now() - spmv_start)
                      .count();
+      ++spmv_sections;
     }
 
     // One pass over the rows and one over the columns; bitwise equal to the
@@ -520,8 +548,12 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     // --- Infeasibility certificates (on scaled deltas, normalized; the
     // deltas and their norms came out of the *_delta update kernels). ---
     if (delta_y_norm > settings_.eps_infeasible) {
-      std::fill(ws.at_dy.begin(), ws.at_dy.end(), 0.0);
-      a_mirror_.multiply_transposed_accumulate(1.0, ws.delta_y, ws.at_dy);
+      if (vector_spmv) {
+        at_sell_.multiply_into(1.0, ws.delta_y, ws.at_dy);
+      } else {
+        std::fill(ws.at_dy.begin(), ws.at_dy.end(), 0.0);
+        a_mirror_.multiply_transposed_accumulate(1.0, ws.delta_y, ws.at_dy);
+      }
       double support = 0.0;
       bool valid = true;
       for (std::size_t i = 0; i < m; ++i) {
@@ -544,7 +576,11 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
     if (delta_x_norm > settings_.eps_infeasible) {
       std::fill(ws.p_dx.begin(), ws.p_dx.end(), 0.0);
       problem.p.multiply_accumulate(1.0, ws.delta_x, ws.p_dx);
-      a_mirror_.multiply_into(1.0, ws.delta_x, ws.a_dx);
+      if (vector_spmv) {
+        a_sell_.multiply_into(1.0, ws.delta_x, ws.a_dx);
+      } else {
+        a_mirror_.multiply_into(1.0, ws.delta_x, ws.a_dx);
+      }
       const double q_dx = linalg::dot(problem.q, ws.delta_x);
       bool certificate = linalg::norm_inf(ws.p_dx) <= settings_.eps_infeasible * delta_x_norm &&
                          q_dx <= -settings_.eps_infeasible * delta_x_norm;
@@ -610,6 +646,21 @@ QpResult AdmmSolver::solve_with(const QpProblem& original, bool use_cache) {
   result.info.hot_loop_allocations =
       gp::alloc_probe_count() - allocs_at_loop_entry - excluded_allocs;
   result.info.residual_spmv_ns = spmv_ns;
+  if (time_spmv && spmv_ns > 0 && spmv_sections > 0) {
+    // Effective bandwidth of the residual-cadence SpMV section, using the
+    // same per-product cost model as micro_admm_kernels' gbps() (12 bytes
+    // per stored entry + 8 per input/output element, true nnz — pads on the
+    // vector tiers are throughput, not work). bytes / ns == GB/s.
+    const auto nnz_a = static_cast<double>(problem.a.nnz());
+    const auto nnz_p = static_cast<double>(problem.p.nnz());
+    const double dm = static_cast<double>(m);
+    const double dn = static_cast<double>(n);
+    const double bytes_per_section =
+        2.0 * (12.0 * nnz_a + 8.0 * (dm + dn)) + 12.0 * nnz_p + 16.0 * dn;
+    registry.gauge("admm.spmv_gb_s")
+        .set(static_cast<double>(spmv_sections) * bytes_per_section /
+             static_cast<double>(spmv_ns));
+  }
   // Unscale the solution: x = D x_s, y = E y_s / c.
   result.x.assign(n, 0.0);
   for (std::size_t j = 0; j < n; ++j) result.x[j] = scaling.d[j] * x[j];

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "linalg/sparse_ldlt.hpp"
+#include "linalg/sparse_simd.hpp"
 #include "qp/scaling.hpp"
 #include "qp/solver.hpp"
 
@@ -142,6 +143,13 @@ class AdmmSolver final : public QpSolver {
   // products run through it (pattern built once per structure, values
   // refreshed allocation-free per solve).
   linalg::RowMajorMirror a_mirror_;
+  // SELL mirrors of the SCALED constraint matrix (A and A^T orientations)
+  // for the vector SIMD tiers: the residual and certificate products route
+  // through them when active_tier() != scalar. Bit-identical to the CSR
+  // mirror paths (see sparse_simd.hpp), so tier choice never changes solver
+  // results. Built lazily — a scalar-pinned run never pays for them.
+  linalg::SellMirror a_sell_;
+  linalg::SellMirror at_sell_;
   // CSR mirror of the UNSCALED constraint matrix, built only when polish is
   // enabled (replaces the per-polish problem.a.transposed()).
   linalg::RowMajorMirror polish_mirror_;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -115,15 +116,21 @@ std::string raw_value(const std::string& text, const std::string& key) {
   return text.substr(start, end - start);
 }
 
-std::string get_string(const std::string& text, const std::string& key) {
-  const std::string raw = raw_value(text, key);
-  ensure(raw.size() >= 2 && raw.front() == '"', "serialize: '" + key + "' is not a string");
+/// Strips the quotes off a raw string value and undoes append_escaped.
+std::string unquote(const std::string& raw) {
+  ensure(raw.size() >= 2 && raw.front() == '"', "serialize: expected a string");
   std::string out;
   for (std::size_t i = 1; i + 1 < raw.size(); ++i) {
     if (raw[i] == '\\' && i + 2 < raw.size()) ++i;
     out.push_back(raw[i]);
   }
   return out;
+}
+
+std::string get_string(const std::string& text, const std::string& key) {
+  const std::string raw = raw_value(text, key);
+  ensure(raw.size() >= 2 && raw.front() == '"', "serialize: '" + key + "' is not a string");
+  return unquote(raw);
 }
 
 double get_double(const std::string& text, const std::string& key) {
@@ -166,6 +173,32 @@ std::vector<std::string> array_elements(const std::string& raw) {
   }
   if (i > start) elements.push_back(raw.substr(start, i - start));
   return elements;
+}
+
+/// Splits an object's raw text ("{...}") whose members are all string-valued
+/// into unescaped (key, value) pairs — the shape of the manifest's env map.
+std::vector<std::pair<std::string, std::string>> object_string_members(
+    const std::string& raw) {
+  ensure(raw.size() >= 2 && raw.front() == '{' && raw.back() == '}',
+         "serialize: expected an object");
+  std::vector<std::pair<std::string, std::string>> members;
+  std::size_t i = 1;
+  while (i + 1 < raw.size()) {
+    if (raw[i] != '"') {
+      ++i;
+      continue;
+    }
+    const std::size_t key_end = skip_string(raw, i);
+    std::string key = unquote(raw.substr(i, key_end - i));
+    std::size_t v = key_end;
+    while (v < raw.size() && (raw[v] == ' ' || raw[v] == ':')) ++v;
+    ensure(v + 1 < raw.size() && raw[v] == '"',
+           "serialize: object member '" + key + "' is not a string");
+    const std::size_t val_end = skip_string(raw, v);
+    members.emplace_back(std::move(key), unquote(raw.substr(v, val_end - v)));
+    i = val_end;
+  }
+  return members;
 }
 
 }  // namespace
@@ -382,6 +415,11 @@ ReplayBundle bundle_from_json(const std::string& json) {
   bundle.manifest.host = get_string(manifest, "host");
   bundle.manifest.threads = static_cast<std::size_t>(get_int(manifest, "threads"));
   bundle.manifest.cpus = static_cast<unsigned>(get_int(manifest, "cpus"));
+  // "simd" arrived with manifest schema 2; accept schema-1 bundles.
+  if (value_position(manifest, "simd") != std::string::npos) {
+    bundle.manifest.simd = get_string(manifest, "simd");
+  }
+  bundle.manifest.env = object_string_members(raw_value(manifest, "env"));
   bundle.manifest.spec_hash = get_string(manifest, "spec_hash");
   for (const std::string& seed_text : array_elements(raw_value(manifest, "seeds"))) {
     bundle.manifest.seeds.push_back(std::strtoull(seed_text.c_str(), nullptr, 10));

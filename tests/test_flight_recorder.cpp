@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/audit.hpp"
+#include "linalg/simd_dispatch.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -203,6 +204,8 @@ TEST(SerializeTest, ReplayBundleRoundTripsThroughDisk) {
   bundle.manifest.seeds = {42};
   bundle.manifest.spec_hash = "0123456789abcdef";
   bundle.manifest.trace_paths = {"builtin:demo"};
+  // A quoted/backslashed env pair exercises escaping through the round trip.
+  bundle.manifest.env.emplace_back("GEOPLACE_FAKE", "a\"b\\c");
   bundle.scenario = gp::scenario::preset("trace_driven");
   bundle.policy.name = "mpc";
   bundle.seed = 42;
@@ -221,6 +224,12 @@ TEST(SerializeTest, ReplayBundleRoundTripsThroughDisk) {
   EXPECT_EQ(parsed.records[0].stream, "admm.residual");
   EXPECT_EQ(parsed.records[0].c, 8.0);
   EXPECT_EQ(parsed.manifest.trace_paths, bundle.manifest.trace_paths);
+  // SIMD provenance (satellite of the vector-kernel PR): capture() records
+  // the dispatched tier, and both it and the env map survive the round trip.
+  EXPECT_EQ(bundle.manifest.simd,
+            gp::linalg::simd::tier_name(gp::linalg::simd::active_tier()));
+  EXPECT_EQ(parsed.manifest.simd, bundle.manifest.simd);
+  EXPECT_EQ(parsed.manifest.env, bundle.manifest.env);
 
   const auto path = std::filesystem::temp_directory_path() / "gp_test_bundle.json";
   gp::scenario::write_bundle(bundle, path.string());

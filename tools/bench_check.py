@@ -5,23 +5,30 @@ Usage:
     bench_check.py BASELINE.json CANDIDATE.json [BASELINE2.json CANDIDATE2.json ...]
                    [--threshold 0.15]
     bench_check.py --internal FILE.json [FILE2.json ...]
+    bench_check.py --bandwidth-floor GB_S FILE.json [FILE2.json ...]
     bench_check.py --self-test
 
 Files are consumed in (baseline, candidate) pairs, so one invocation can
 gate several benchmark suites at once (e.g. BENCH_parallel.json and
 BENCH_admm.json). For each pair, walks both JSON trees and compares every
 numeric leaf at the same path whose key ends in "wall_ms" (lower is better)
-or "runs_per_s" (higher is better). The check fails (exit 1) when any
-candidate wall time exceeds its baseline by more than the threshold, or any
-candidate throughput falls below its baseline by more than the threshold
+or "runs_per_s" / "gb_s" (higher is better). The check fails (exit 1) when
+any candidate wall time exceeds its baseline by more than the threshold, or
+any candidate throughput falls below its baseline by more than the threshold
 (default 15%, sized for wall-clock noise on shared CI boxes). Ratio-style
 keys ("wall_ratio", "speedup") and counters are reported but never gate.
 
 --internal checks a single file against ITSELF: every numeric leaf "X_min"
 declares a floor for its sibling leaf "X" (e.g. BENCH_sweep.json writes
-"thread_scaling_ratio" next to "thread_scaling_ratio_min"). This is how
+"thread_scaling_ratio" next to "thread_scaling_ratio_min", BENCH_admm.json
+"spmv.vector_speedup" next to "spmv.vector_speedup_min"). This is how
 machine-dependent gates travel inside the artifact — the bench decides the
 floor (0.0 = not gated on this box), the checker enforces it anywhere.
+
+--bandwidth-floor gates every "*gb_s" leaf in the given files against one
+absolute floor in GB/s (e.g. `--bandwidth-floor 5.0 BENCH_admm.json` fails
+if any measured bandwidth fell below 5 GB/s). Use it on a box whose memory
+system is known; the relative pair/internal modes stay machine-portable.
 
 Times below --floor-ms (default 5 ms) are skipped: at that scale the
 scheduler jitter exceeds any real regression.
@@ -63,11 +70,14 @@ def walk(tree, path=()):
 
 def leaf_kind(path):
     """Gate direction for a leaf: "time" (lower wins), "throughput" (higher
-    wins), or None (not gated)."""
+    wins), or None (not gated). "_min" leaves are internal-mode floors, never
+    pair-compared (a raised floor would otherwise read as a regression)."""
     leaf = path.split(".")[-1]
+    if leaf.endswith("_min"):
+        return None
     if leaf.endswith("wall_ms"):
         return "time"
-    if leaf.endswith("runs_per_s"):
+    if leaf.endswith("runs_per_s") or leaf.endswith("gb_s"):
         return "throughput"
     return None
 
@@ -116,6 +126,51 @@ def check_internal(tree):
     return violations, rows
 
 
+def check_bandwidth_floor(tree, floor):
+    """Gates every "*gb_s" leaf against one absolute floor (GB/s). Returns
+    (violations, rows); rows are (path, value, ok)."""
+    rows = []
+    violations = []
+    for path, value in sorted(dict(walk(tree)).items()):
+        if not path.split(".")[-1].endswith("gb_s"):
+            continue
+        ok = value >= floor
+        rows.append((path, value, ok))
+        if not ok:
+            violations.append((path, value))
+    return violations, rows
+
+
+def run_bandwidth_floor_files(paths, floor):
+    """Checks each file's gb_s leaves against the absolute floor; worst exit
+    code wins. A file with no gb_s leaves is an error (wrong artifact)."""
+    worst = 0
+    for path in paths:
+        try:
+            with open(path) as f:
+                tree = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_check: {err}", file=sys.stderr)
+            return 2
+        label = f" [{os.path.basename(path)}]"
+        violations, rows = check_bandwidth_floor(strip_manifest(tree, label), floor)
+        if not rows:
+            print(f"bench_check{label}: no gb_s keys found", file=sys.stderr)
+            worst = max(worst, 1)
+            continue
+        for leaf, value, ok in rows:
+            print(f"  {leaf}  {value:.2f} >= {floor:.2f} GB/s  "
+                  f"{'ok' if ok else 'VIOLATION'}")
+        if violations:
+            print(f"bench_check{label}: {len(violations)} bandwidth floor "
+                  f"violation(s)", file=sys.stderr)
+            worst = max(worst, 1)
+        else:
+            print(f"bench_check{label}: OK ({len(rows)} bandwidth(s) >= "
+                  f"{floor:.2f} GB/s)")
+    return worst
+
+
 def run_internal_files(paths):
     """Checks each file's X >= X_min constraints; worst exit code wins."""
     worst = 0
@@ -150,7 +205,10 @@ def run_check(baseline, candidate, threshold, floor_ms, label=""):
         return 1
     width = max(len(r[0]) for r in rows)
     for path, base, cand, ratio, gating in rows:
-        unit = "ms" if leaf_kind(path) == "time" else "runs/s"
+        if leaf_kind(path) == "time":
+            unit = "ms"
+        else:
+            unit = "GB/s" if path.split(".")[-1].endswith("gb_s") else "runs/s"
         flag = "REGRESSION" if any(path == r[0] for r in regressions) else (
             "ok" if gating else "skipped (< floor)")
         print(f"  {path:<{width}}  {base:10.3f} -> {cand:10.3f} {unit}  "
@@ -249,6 +307,29 @@ def self_test():
     expect(1 if check_internal(strip_manifest(internal_manifest))[0] else 0, 0,
            "manifest fields must not create internal floors")
 
+    # gb_s leaves gate as throughputs in pair mode (the BENCH_admm.json spmv
+    # shape), and "*_min" floors never pair-compare: raising a floor in the
+    # candidate must not read as a regression.
+    spmv = {"spmv": {"mirror_ax": {"wall_ms": 4.0, "gb_s": 15.0},
+                     "sell": {"avx2": {"ax": {"wall_ms": 2.0, "gb_s": 30.0}}},
+                     "vector_speedup": 2.0, "vector_speedup_min": 1.25}}
+    slow_spmv = json.loads(json.dumps(spmv))
+    slow_spmv["spmv"]["sell"]["avx2"]["ax"]["gb_s"] = 18.0  # -40%
+    raised_floor = json.loads(json.dumps(spmv))
+    raised_floor["spmv"]["vector_speedup_min"] = 10.0
+    expect(run_check(spmv, slow_spmv, 0.15, 5.0, " [slow-spmv]"), 1,
+           "a 40% bandwidth drop must fail")
+    expect(run_check(spmv, raised_floor, 0.15, 5.0, " [raised-floor]"), 0,
+           "raising an internal floor must not pair-gate")
+
+    # Absolute bandwidth floors (--bandwidth-floor).
+    expect(1 if check_bandwidth_floor(spmv, 5.0)[0] else 0, 0,
+           "bandwidths above an absolute floor must pass")
+    expect(1 if check_bandwidth_floor(spmv, 20.0)[0] else 0, 1,
+           "a bandwidth below the absolute floor must fail")
+    expect(1 if check_bandwidth_floor({"a": {"wall_ms": 1.0}}, 5.0)[1] else 0, 0,
+           "no gb_s leaves yields no bandwidth rows")
+
     # Internal X >= X_min floors, the BENCH_sweep.json shape.
     sweep_ok = {"bit": True, "thread_scaling_ratio": 2.6,
                 "thread_scaling_ratio_min": 2.0}
@@ -290,6 +371,16 @@ def self_test():
                "--internal fails when any file violates a floor")
         expect(run_internal_files([os.path.join(tmp, "missing.json")]), 2,
                "--internal on an unreadable file is a usage error")
+        spmv_file = dump("spmv.json", spmv)
+        expect(run_bandwidth_floor_files([spmv_file], 5.0), 0,
+               "--bandwidth-floor passes when every gb_s clears it")
+        expect(run_bandwidth_floor_files([spmv_file], 20.0), 1,
+               "--bandwidth-floor fails on a bandwidth below it")
+        expect(run_bandwidth_floor_files([ok_file], 5.0), 1,
+               "--bandwidth-floor on a file with no gb_s keys is an error")
+        expect(run_bandwidth_floor_files([os.path.join(tmp, "missing.json")],
+                                         5.0), 2,
+               "--bandwidth-floor on an unreadable file is a usage error")
     if failures == 0:
         print("bench_check self-test OK")
     return 0 if failures == 0 else 1
@@ -307,16 +398,25 @@ def main():
     parser.add_argument("--internal", action="store_true",
                         help="check each file's own X >= X_min floors instead "
                              "of comparing baseline/candidate pairs")
+    parser.add_argument("--bandwidth-floor", type=float, metavar="GB_S",
+                        help="gate every *gb_s leaf in the given files "
+                             "against this absolute floor in GB/s")
     parser.add_argument("--self-test", action="store_true",
                         help="run built-in fixtures instead of reading files")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.internal and args.bandwidth_floor is not None:
+        parser.error("--internal and --bandwidth-floor are separate modes")
     if args.internal:
         if not args.files:
             parser.error("--internal requires at least one file")
         return run_internal_files(args.files)
+    if args.bandwidth_floor is not None:
+        if not args.files:
+            parser.error("--bandwidth-floor requires at least one file")
+        return run_bandwidth_floor_files(args.files, args.bandwidth_floor)
     if len(args.files) < 2 or len(args.files) % 2 != 0:
         parser.error("an even number (>= 2) of files is required: "
                      "BASELINE CANDIDATE [BASELINE2 CANDIDATE2 ...] "
