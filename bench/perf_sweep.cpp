@@ -13,12 +13,21 @@
 // to gate) instead of pretending. On a >= 4-core box the floor is 2.0 and
 // tools/bench_check.py enforces ratio >= floor via its internal-constraint
 // check.
+//
+// Timeline overhead gate: a third 4-lane run with the per-period telemetry
+// timeline (GEOPLACE_TIMELINE) force-armed measures what recording one
+// TelemetryFrame per period costs the hot loop, and re-checks that the
+// sweep's JSONL stays bit-identical with recording on. The floor
+// (timeline_overhead_ratio_min) is deliberately loose — recording must not
+// halve throughput — and, like thread scaling, is only gated on >= 4-cpu
+// hosts where the measurement is not scheduler noise.
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <thread>
 
 #include "obs/manifest.hpp"
+#include "obs/timeline.hpp"
 #include "scenario/sweep.hpp"
 
 int main() {
@@ -45,22 +54,37 @@ int main() {
   const auto result1 = sweep_at(1);
   const auto result4 = sweep_at(4);
 
+  // Third run: identical grid, telemetry timeline force-armed. Frames are
+  // recorded into the per-lane rings but not dumped (no timelines_dir, no
+  // GEOPLACE_TIMELINE dump path), so this isolates the record-path cost.
+  gp::obs::TimelineWriter::set_enabled(true);
+  const auto result_tl = sweep_at(4);
+  gp::obs::TimelineWriter::set_enabled(false);
+
   // The leading manifest line records host facts (lane count among them),
   // so the determinism identity is checked on the stripped body — that is
   // the part that must not depend on GEOPLACE_THREADS.
-  std::ostringstream jsonl1, jsonl4;
+  std::ostringstream jsonl1, jsonl4, jsonl_tl;
   result1.write_jsonl(jsonl1);
   result4.write_jsonl(jsonl4);
+  result_tl.write_jsonl(jsonl_tl);
   const bool manifest_first = gp::obs::is_manifest_line(jsonl1.str()) &&
-                              gp::obs::is_manifest_line(jsonl4.str());
+                              gp::obs::is_manifest_line(jsonl4.str()) &&
+                              gp::obs::is_manifest_line(jsonl_tl.str());
+  const std::string body1 = gp::obs::strip_manifest_lines(jsonl1.str());
   const bool bit_identical =
-      manifest_first && gp::obs::strip_manifest_lines(jsonl1.str()) ==
-                            gp::obs::strip_manifest_lines(jsonl4.str());
+      manifest_first && body1 == gp::obs::strip_manifest_lines(jsonl4.str());
+  // Recording telemetry must never perturb the results themselves.
+  const bool timeline_transparent =
+      manifest_first && body1 == gp::obs::strip_manifest_lines(jsonl_tl.str());
 
   const double ratio =
       result1.runs_per_s > 0.0 ? result4.runs_per_s / result1.runs_per_s : 0.0;
   const bool scaling_gated = cpus >= 4;
   const double ratio_min = scaling_gated ? 2.0 : 0.0;
+  const double timeline_ratio =
+      result4.runs_per_s > 0.0 ? result_tl.runs_per_s / result4.runs_per_s : 0.0;
+  const double timeline_ratio_min = scaling_gated ? 0.5 : 0.0;
 
   std::printf("# sweep: %zu runs (1 scenario x 1 policy x 16 seeds), cpus=%u\n",
               result1.runs.size(), cpus);
@@ -73,6 +97,10 @@ int main() {
   } else {
     std::printf("thread scaling ratio: x%.2f (n/a: cpus=%u < 4, not gated)\n", ratio, cpus);
   }
+  std::printf("timeline armed: %.1f ms, %.2f runs/s (x%.2f of disabled%s), results %s\n",
+              result_tl.wall_ms, result_tl.runs_per_s, timeline_ratio,
+              scaling_gated ? "" : ", not gated",
+              timeline_transparent ? "identical" : "PERTURBED");
 
   std::FILE* json = std::fopen("BENCH_sweep.json", "w");
   if (json != nullptr) {
@@ -85,13 +113,22 @@ int main() {
                  result4.wall_ms, result4.runs_per_s);
     std::fprintf(json, "  \"bit_identical\": %s,\n", bit_identical ? "true" : "false");
     std::fprintf(json, "  \"thread_scaling_ratio\": %.3f,\n", ratio);
-    std::fprintf(json, "  \"thread_scaling_ratio_min\": %.1f\n}\n", ratio_min);
+    std::fprintf(json, "  \"thread_scaling_ratio_min\": %.1f,\n", ratio_min);
+    std::fprintf(json, "  \"timeline\": {\"wall_ms\": %.3f, \"runs_per_s\": %.3f},\n",
+                 result_tl.wall_ms, result_tl.runs_per_s);
+    std::fprintf(json, "  \"timeline_transparent\": %s,\n",
+                 timeline_transparent ? "true" : "false");
+    std::fprintf(json, "  \"timeline_overhead_ratio\": %.3f,\n", timeline_ratio);
+    std::fprintf(json, "  \"timeline_overhead_ratio_min\": %.1f\n}\n", timeline_ratio_min);
     std::fclose(json);
   }
 
-  const bool ok = bit_identical && (!scaling_gated || ratio >= ratio_min);
-  std::printf("\n# determinism %s, scaling %s -- %s\n",
+  const bool ok = bit_identical && timeline_transparent &&
+                  (!scaling_gated ||
+                   (ratio >= ratio_min && timeline_ratio >= timeline_ratio_min));
+  std::printf("\n# determinism %s, timeline %s, scaling %s -- %s\n",
               bit_identical ? "holds" : "VIOLATED",
+              timeline_transparent ? "transparent" : "PERTURBS RESULTS",
               scaling_gated ? (ratio >= ratio_min ? "meets floor" : "BELOW FLOOR") : "n/a",
               ok ? "OK" : "FAILED");
   return ok ? 0 : 1;

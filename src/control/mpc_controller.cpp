@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "dspp/provisioning.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace gp::control {
@@ -54,7 +55,8 @@ MpcStepResult MpcController::step(const Vector& state, const Vector& demand,
 
   obs::Span span("mpc.step");
   const bool metrics_on = obs::metrics_enabled();
-  if (metrics_on && !last_demand_forecast_.empty()) {
+  obs::TelemetryFrame* frame = obs::timeline_frame();
+  if ((metrics_on || frame != nullptr) && !last_demand_forecast_.empty()) {
     // One-step-ahead predictor error: the forecast made last period for
     // "now" versus the demand just observed (relative L2).
     double err_sq = 0.0, ref_sq = 0.0;
@@ -64,10 +66,13 @@ MpcStepResult MpcController::step(const Vector& state, const Vector& demand,
       ref_sq += demand[v] * demand[v];
     }
     const double rel_err = std::sqrt(err_sq) / std::max(std::sqrt(ref_sq), 1e-12);
-    obs::Registry::global().histogram("mpc.demand_forecast_rel_err").record(rel_err);
+    if (metrics_on) {
+      obs::Registry::global().histogram("mpc.demand_forecast_rel_err").record(rel_err);
+    }
     if (obs::tracing_enabled()) {
       obs::Tracer::global().counter("mpc.demand_forecast_rel_err", rel_err);
     }
+    if (frame != nullptr) frame->forecast_rel_err = rel_err;
   }
 
   demand_predictor_->observe(demand);
@@ -79,7 +84,9 @@ MpcStepResult MpcController::step(const Vector& state, const Vector& demand,
   inputs.price = price_predictor_->forecast(settings_.horizon);
   inputs.capacity_override = quota_;
   inputs.soft_demand_penalty = settings_.soft_demand_penalty;
-  if (metrics_on && !inputs.demand.empty()) last_demand_forecast_ = inputs.demand.front();
+  if ((metrics_on || frame != nullptr) && !inputs.demand.empty()) {
+    last_demand_forecast_ = inputs.demand.front();
+  }
 
   // Fast path: the window shape is fixed for the controller's lifetime, so
   // after the first step only the parameters (forecasts, initial state,
@@ -110,6 +117,12 @@ MpcStepResult MpcController::step(const Vector& state, const Vector& demand,
     if (!solution.unserved.empty()) {
       for (double value : solution.unserved.front()) result.unserved_next += value;
     }
+  }
+  if (frame != nullptr) {
+    // Planned SLA-penalty cost for the applied period: the soft-constraint
+    // price of the unserved demand the window solution accepts at k+1
+    // (stays 0 under hard demand constraints).
+    frame->cost_sla_penalty = settings_.soft_demand_penalty * result.unserved_next;
   }
   if (metrics_on) {
     auto& registry = obs::Registry::global();

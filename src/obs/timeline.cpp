@@ -1,0 +1,159 @@
+#include "obs/timeline.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "common/csv.hpp"
+
+namespace gp::obs {
+
+namespace {
+
+/// GEOPLACE_TIMELINE parse, same grammar as GEOPLACE_METRICS/RECORD:
+/// {enabled, path}.
+std::pair<bool, std::string> timeline_env() {
+  const char* raw = std::getenv("GEOPLACE_TIMELINE");
+  if (raw == nullptr) return {false, {}};
+  const std::string value(raw);
+  if (value.empty() || value == "0" || value == "false" || value == "off") return {false, {}};
+  if (value == "1" || value == "true" || value == "on") return {true, {}};
+  return {true, value};
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{timeline_env().first};
+  return flag;
+}
+
+/// JSON number token: shortest round-trip, null for non-finite (JSON has no
+/// NaN/inf) — the same convention as the sweep exports.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  return CsvWriter::format(value);
+}
+
+/// The frame fields in column order, by pointer-to-member — one table
+/// drives the SoA scatter/gather and the export.
+constexpr double TelemetryFrame::* kFields[] = {
+#define GP_TIMELINE_MEMBER(name) &TelemetryFrame::name,
+    GP_TIMELINE_COLUMNS(GP_TIMELINE_MEMBER)
+#undef GP_TIMELINE_MEMBER
+};
+constexpr std::size_t kNumColumns = sizeof(kFields) / sizeof(kFields[0]);
+
+}  // namespace
+
+std::size_t timeline_num_columns() { return kNumColumns; }
+
+const std::vector<std::string>& timeline_column_names() {
+  static const std::vector<std::string> names = {
+#define GP_TIMELINE_NAME(name) #name,
+      GP_TIMELINE_COLUMNS(GP_TIMELINE_NAME)
+#undef GP_TIMELINE_NAME
+  };
+  return names;
+}
+
+void write_timeline_jsonl(std::ostream& out, std::span<const TelemetryFrame> frames,
+                          const RunManifest* manifest) {
+  if (manifest != nullptr) out << manifest->to_jsonl_line() << "\n";
+  const auto& names = timeline_column_names();
+  out << "{\"type\":\"timeline\",\"frames\":" << frames.size() << ",\"columns\":[";
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    out << (c > 0 ? ",\"" : "\"") << names[c] << "\"";
+  }
+  out << "]}\n";
+  for (std::size_t c = 0; c < kNumColumns; ++c) {
+    out << "{\"type\":\"timeline_col\",\"name\":\"" << names[c] << "\",\"values\":[";
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      if (i > 0) out << ",";
+      out << json_number(frames[i].*kFields[c]);
+    }
+    out << "]}\n";
+  }
+}
+
+bool TimelineWriter::enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void TimelineWriter::set_enabled(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+const std::string& TimelineWriter::dump_path() {
+  static const std::string path = timeline_env().second;
+  return path;
+}
+
+TimelineWriter& TimelineWriter::local() {
+  thread_local TimelineWriter writer;
+  return writer;
+}
+
+TimelineWriter::TimelineWriter(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+TelemetryFrame& TimelineWriter::begin(long long period, double utc_hour) {
+  open_frame_ = TelemetryFrame{};
+  open_frame_.period = static_cast<double>(period);
+  open_frame_.utc_hour = utc_hour;
+  open_ = true;
+  return open_frame_;
+}
+
+void TimelineWriter::commit() {
+  if (!open_) return;
+  if (columns_.empty()) {
+    // Lazy ring allocation on the thread's first commit (rule 3/4).
+    columns_.assign(kNumColumns, std::vector<double>(capacity_, 0.0));
+  }
+  for (std::size_t c = 0; c < kNumColumns; ++c) {
+    columns_[c][head_] = open_frame_.*kFields[c];
+  }
+  head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  ++count_;
+  open_ = false;
+}
+
+void TimelineWriter::clear() {
+  head_ = 0;
+  count_ = 0;
+  open_ = false;
+}
+
+std::vector<TelemetryFrame> TimelineWriter::frames() const {
+  const std::size_t retained = size();
+  std::vector<TelemetryFrame> out(retained);
+  // Oldest retained frame sits at head_ when the ring has wrapped, else 0.
+  const std::size_t oldest = count_ >= capacity_ ? head_ : 0;
+  for (std::size_t i = 0; i < retained; ++i) {
+    const std::size_t slot = (oldest + i) % capacity_;
+    for (std::size_t c = 0; c < kNumColumns; ++c) {
+      out[i].*kFields[c] = columns_[c][slot];
+    }
+  }
+  return out;
+}
+
+void TimelineWriter::write_jsonl(std::ostream& out, const RunManifest* manifest) const {
+  const std::vector<TelemetryFrame> gathered = frames();
+  write_timeline_jsonl(out, gathered, manifest);
+}
+
+void TimelineWriter::flush() const {
+  const std::string& path = dump_path();
+  if (path.empty() || size() == 0) return;
+  static std::mutex file_mutex;
+  std::lock_guard<std::mutex> lock(file_mutex);
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  // Each flushed segment is self-describing (the acceptance artifact is
+  // "manifest-headed"): capture provenance once per flush, i.e. per run.
+  const RunManifest manifest = RunManifest::capture("timeline");
+  write_jsonl(out, &manifest);
+}
+
+}  // namespace gp::obs

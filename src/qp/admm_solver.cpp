@@ -10,6 +10,7 @@
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace gp::qp {
@@ -260,6 +261,17 @@ QpResult AdmmSolver::solve(const QpProblem& original) {
     registry.counter("admm.spmv_ns").add(result.info.residual_spmv_ns);
     registry.histogram("admm.iterations_per_solve").record(result.iterations);
     registry.histogram("admm.solve_ms").record(span.elapsed_ms());
+  }
+  if (obs::TelemetryFrame* frame = obs::timeline_frame()) {
+    // Solver-effort telemetry for the open simulation period: effort fields
+    // accumulate (a period may run several solves), residuals keep the last
+    // solve's values.
+    frame->solver_iterations += result.iterations;
+    frame->solver_primal_residual = result.primal_residual;
+    frame->solver_dual_residual = result.dual_residual;
+    frame->solver_factorizations += result.info.factorizations;
+    frame->solver_cache_hits += result.info.cache_hits;
+    if (result.info.factorization_skipped) frame->solver_factorization_skipped += 1.0;
   }
   return result;
 }

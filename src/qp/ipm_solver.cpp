@@ -8,6 +8,7 @@
 #include "linalg/dense_matrix.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace gp::qp {
@@ -300,6 +301,14 @@ QpResult IpmSolver::solve(const QpProblem& problem) {
     registry.counter("ipm.iterations").add(iteration);
     registry.histogram("ipm.iterations_per_solve").record(iteration);
     registry.histogram("ipm.solve_ms").record(span.elapsed_ms());
+  }
+  if (obs::TelemetryFrame* frame = obs::timeline_frame()) {
+    // Same solver-effort telemetry contract as AdmmSolver::solve.
+    frame->solver_iterations += result.iterations;
+    frame->solver_primal_residual = result.primal_residual;
+    frame->solver_dual_residual = result.dual_residual;
+    frame->solver_factorizations += result.info.factorizations;
+    frame->solver_cache_hits += result.info.cache_hits;
   }
   return result;
 }

@@ -1,7 +1,11 @@
 #include "scenario/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -60,18 +64,90 @@ std::string csv_number(double value) {
   return CsvWriter::format(value);
 }
 
-/// Filesystem-safe token for bundle file names.
-std::string sanitize_filename(const std::string& text) {
+/// GEOPLACE_PROGRESS parse (on/off grammar, read once).
+bool progress_env() {
+  static const bool armed = [] {
+    const char* raw = std::getenv("GEOPLACE_PROGRESS");
+    if (raw == nullptr) return false;
+    const std::string value(raw);
+    return !(value.empty() || value == "0" || value == "false" || value == "off");
+  }();
+  return armed;
+}
+
+/// Thread-safe, rate-limited sweep progress line on stderr. Lanes call
+/// update() once per finished run; prints are throttled to one per
+/// kMinPrintIntervalMs via a CAS on the last-print stamp, so contention is
+/// one relaxed fetch_add per run plus the occasional fprintf. Purely
+/// cosmetic: never touches the result arrays.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::size_t total, bool enabled)
+      : total_(total), enabled_(enabled), start_(std::chrono::steady_clock::now()) {}
+
+  void update(bool failed) {
+    const std::size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (failed) failures_.fetch_add(1, std::memory_order_relaxed);
+    if (!enabled_) return;
+    const long long now_ms = elapsed_ms();
+    long long last = last_print_ms_.load(std::memory_order_relaxed);
+    if (done != total_ &&
+        (now_ms - last < kMinPrintIntervalMs ||
+         !last_print_ms_.compare_exchange_strong(last, now_ms, std::memory_order_relaxed))) {
+      return;  // someone printed recently (or just won the slot)
+    }
+    print(done, now_ms, /*final_line=*/done == total_);
+  }
+
+ private:
+  static constexpr long long kMinPrintIntervalMs = 200;
+
+  long long elapsed_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void print(std::size_t done, long long now_ms, bool final_line) const {
+    const double rate = now_ms > 0 ? 1000.0 * static_cast<double>(done)
+                                         / static_cast<double>(now_ms)
+                                   : 0.0;
+    const double eta_s = rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+    std::fprintf(stderr, "\rsweep: %zu/%zu runs, %.1f runs/s, ETA %.1fs, failures %zu%s",
+                 done, total_, rate, eta_s, failures_.load(std::memory_order_relaxed),
+                 final_line ? "\n" : "");
+    std::fflush(stderr);
+  }
+
+  const std::size_t total_;
+  const bool enabled_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<std::size_t> done_{0};
+  std::atomic<std::size_t> failures_{0};
+  std::atomic<long long> last_print_ms_{-kMinPrintIntervalMs};
+};
+
+}  // namespace
+
+std::string sweep_artifact_token(const std::string& name) {
   std::string out;
-  for (char c : text) {
+  bool changed = false;
+  for (char c : name) {
     const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                       (c >= '0' && c <= '9') || c == '-' || c == '.';
     out.push_back(keep ? c : '_');
+    changed = changed || !keep;
+  }
+  // "." / ".." survive the character filter but are path tokens, not names.
+  if (out == "." || out == "..") changed = true;
+  if (out.empty() || changed) {
+    // Disambiguate with a digest of the ORIGINAL name: "a/b" and "a_b" both
+    // sanitize to "a_b" but digest differently, so their artifacts cannot
+    // collide (and an all-hostile name still yields a usable token).
+    out += "-" + fnv1a_hex(name).substr(0, 8);
   }
   return out;
 }
-
-}  // namespace
 
 std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t run_index) {
   // splitmix64 over (base, index): statistically independent per-run
@@ -135,6 +211,10 @@ SweepResult SweepRunner::run() {
   }
 
   result.runs.resize(total);
+  // Per-cell timeline sidecars need the frames captured lane-side (the
+  // engine leaves each run's frames in the lane's thread-local ring).
+  const bool capture_timeline = obs::timeline_enabled() && !options_.timelines_dir.empty();
+  ProgressMeter progress(total, options_.progress || progress_env());
   parallel_for(
       0, total,
       [&](std::size_t index) {
@@ -165,7 +245,9 @@ SweepResult SweepRunner::run() {
         if (obs::recording_enabled()) obs::ConvergenceRecorder::local().clear();
         record.summary = engine.run(policy.policy());
         if (obs::audit::enabled()) record.audit_violations = obs::audit::thread_counts();
-        if (record.summary.unsolved_periods > 0 || !record.audit_violations.empty()) {
+        const bool failed =
+            record.summary.unsolved_periods > 0 || !record.audit_violations.empty();
+        if (failed) {
           for (std::size_t k = 0; k < record.summary.periods.size(); ++k) {
             if (!record.summary.periods[k].solved) {
               record.failed_periods.push_back(static_cast<int>(k));
@@ -175,6 +257,7 @@ SweepResult SweepRunner::run() {
             record.recorder_tail = obs::ConvergenceRecorder::local().tail();
           }
         }
+        if (capture_timeline) record.timeline = obs::TimelineWriter::local().frames();
         if (!options_.keep_periods) {
           record.summary.periods.clear();
           record.summary.periods.shrink_to_fit();
@@ -189,6 +272,7 @@ SweepResult SweepRunner::run() {
         }
         // Results land by index, never by completion order (determinism).
         result.runs[index] = std::move(record);
+        progress.update(failed);
       },
       options_.max_threads);
 
@@ -222,11 +306,30 @@ SweepResult SweepRunner::run() {
         owned.c = sample.c;
         bundle.records.push_back(std::move(owned));
       }
-      const std::string file = sanitize_filename(record.scenario) + "_" +
-                               sanitize_filename(record.policy) + "_seed" +
+      const std::string file = sweep_artifact_token(record.scenario) + "_" +
+                               sweep_artifact_token(record.policy) + "_seed" +
                                std::to_string(record.seed) + ".replay.json";
       write_bundle(bundle, (std::filesystem::path(options_.failures_dir) / file).string());
       ++result.failure_bundles;
+    }
+  }
+
+  // Timeline sidecars: one manifest-headed columnar JSONL per run, written
+  // sequentially in grid order (same thread-count independence as the
+  // replay bundles they sit next to).
+  if (capture_timeline) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.timelines_dir, ec);
+    for (const RunRecord& record : result.runs) {
+      if (record.timeline.empty()) continue;
+      obs::RunManifest manifest = result.manifest;
+      manifest.seeds = {record.seed};
+      const std::string file = sweep_artifact_token(record.scenario) + "_" +
+                               sweep_artifact_token(record.policy) + "_seed" +
+                               std::to_string(record.seed) + ".timeline.jsonl";
+      std::ofstream out(std::filesystem::path(options_.timelines_dir) / file);
+      if (!out) continue;
+      obs::write_timeline_jsonl(out, record.timeline, &manifest);
     }
   }
 

@@ -12,7 +12,11 @@
 // Observability: the sweep emits gp::obs spans ("sweep.run" around the
 // grid, "sweep.cell" per run) and, when metrics are enabled, counters
 // (sweep.runs, sweep.unsolved_periods), a run-wall-time histogram
-// (sweep.run_ms) and a runs-per-second gauge.
+// (sweep.run_ms) and a runs-per-second gauge. With the telemetry timeline
+// armed (GEOPLACE_TIMELINE) and timelines_dir set, every run's per-period
+// frames land as a columnar JSONL sidecar for tools/gp_report; progress
+// (GEOPLACE_PROGRESS or SweepOptions::progress) adds a live stderr line
+// without touching any artifact.
 //
 // Flight recorder: every SweepResult carries the RunManifest captured at
 // run() time, which write_jsonl emits as the first line and write_csv_file
@@ -30,6 +34,7 @@
 
 #include "obs/manifest.hpp"
 #include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
 #include "scenario/policy.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
@@ -58,6 +63,18 @@ struct SweepOptions {
   /// into this directory (created if missing). Bundles are written after
   /// the parallel phase, in grid order.
   std::string failures_dir;
+  /// When non-empty AND the timeline is armed (GEOPLACE_TIMELINE /
+  /// TimelineWriter::set_enabled), every run's per-period telemetry is
+  /// written as a manifest-headed columnar JSONL sidecar
+  /// `<scenario>_<policy>_seed<N>.timeline.jsonl` into this directory
+  /// (created if missing) — written after the parallel phase, in grid
+  /// order, like the replay bundles they sit next to.
+  std::string timelines_dir;
+  /// Live progress line (runs done/total, runs/s, ETA, failures) on
+  /// stderr, thread-safe and rate-limited. Also armed by the
+  /// GEOPLACE_PROGRESS environment variable (same on/off grammar as
+  /// GEOPLACE_METRICS). Never affects the result artifacts.
+  bool progress = false;
 };
 
 /// One grid point's outcome. `summary.periods` is empty unless
@@ -77,6 +94,9 @@ struct RunRecord {
   std::vector<int> failed_periods;  ///< indices of !solved periods
   std::vector<std::pair<std::string, long long>> audit_violations;
   std::vector<obs::ConvergenceSample> recorder_tail;
+  /// Per-period telemetry of this run (captured only when the timeline is
+  /// armed AND SweepOptions::timelines_dir is set; empty otherwise).
+  std::vector<obs::TelemetryFrame> timeline;
 };
 
 /// mean/stddev/min/max over the seed axis of one metric.
@@ -129,6 +149,13 @@ struct SweepResult {
 /// The per-run SimulationConfig seed for run `run_index` under `base_seed`
 /// (splitmix64 over the pair) — pure, so any lane can compute any run.
 std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t run_index);
+
+/// Filesystem-safe token for scenario/policy names inside sweep artifact
+/// file names (replay bundles, timeline sidecars). Path-hostile characters
+/// are replaced by '_'; any name the replacement changed (or an empty
+/// name) gets a short FNV-1a suffix of the ORIGINAL, so "a/b" and "a_b"
+/// cannot collide and no name can escape the artifact directory.
+std::string sweep_artifact_token(const std::string& name);
 
 /// Expands and executes a SweepGrid (see file comment).
 class SweepRunner {

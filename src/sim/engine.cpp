@@ -11,6 +11,7 @@
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace gp::sim {
@@ -92,6 +93,12 @@ Vector SimulationEngine::observe_price(double utc_hour) const {
 
 SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
   obs::Span run_span("sim.run", static_cast<double>(config_.periods));
+  // Timeline recording protocol (obs/timeline.hpp): the engine owns the
+  // period loop, so it clears this thread's ring here — after run() the
+  // ring holds exactly this run's frames, which is what sweep lanes
+  // snapshot into per-cell sidecars. One relaxed load when disabled.
+  const bool timeline_on = obs::timeline_enabled();
+  if (timeline_on) obs::TimelineWriter::local().clear();
   Rng rng(config_.seed);
   SimulationSummary summary;
   summary.periods.reserve(config_.periods);
@@ -127,6 +134,14 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
     const double hour = config_.utc_start_hour + static_cast<double>(k) * config_.period_hours;
     const Vector& demand = demand_trace[k];
     const Vector& price = price_trace[k];
+
+    // Open the period's telemetry frame BEFORE the policy call so the
+    // layers underneath (MPC forecast error, QP solver effort) contribute
+    // their fields through obs::timeline_frame() while it is open.
+    obs::TelemetryFrame* frame =
+        timeline_on ? &obs::TimelineWriter::local().begin(static_cast<long long>(k), hour)
+                    : nullptr;
+    if (frame != nullptr) frame->forecast_rel_err = -1.0;  // -1: no forecast seen
 
     // Policy wall time: the span reads steady_clock unconditionally, so the
     // accounting is identical whether or not tracing/metrics are enabled.
@@ -192,10 +207,35 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
       metrics.sla_compliance = report.compliance();
       metrics.mean_latency_ms = report.mean_latency_ms;
       metrics.unserved_rate = assignment.total_unserved();
+      if (frame != nullptr) {
+        frame->sla_violating_rate = report.violating_rate;
+        frame->overloaded_pairs = static_cast<double>(report.overloaded_pairs);
+        frame->sla_ms = sla_span.elapsed_ms();
+      }
     }
     if (obs::tracing_enabled()) {
       obs::Tracer::global().counter("sim.sla_compliance", metrics.sla_compliance);
       obs::Tracer::global().counter("sim.total_servers", metrics.total_servers);
+    }
+    if (frame != nullptr) {
+      frame->demand_total = metrics.total_demand;
+      frame->servers_total = metrics.total_servers;
+      double max_dc = 0.0, active = 0.0;
+      for (double s : metrics.servers_per_dc) {
+        if (s > 1e-9) active += 1.0;
+        if (s > max_dc) max_dc = s;
+      }
+      frame->dc_active = active;
+      frame->dc_max_share = metrics.total_servers > 0.0 ? max_dc / metrics.total_servers : 0.0;
+      frame->cost_resource = metrics.resource_cost;
+      frame->cost_reconfig = metrics.reconfig_cost;
+      frame->sla_compliance = metrics.sla_compliance;
+      frame->mean_latency_ms = metrics.mean_latency_ms;
+      frame->unserved_rate = metrics.unserved_rate;
+      frame->solved = metrics.solved ? 1.0 : 0.0;
+      frame->policy_ms = policy_ms;
+      frame->period_ms = period_span.elapsed_ms();
+      obs::TimelineWriter::local().commit();
     }
 
     summary.total_resource_cost += metrics.resource_cost;
@@ -227,6 +267,9 @@ SimulationSummary SimulationEngine::run(const PlacementPolicy& policy) {
     registry.counter("sim.unsolved_periods").add(summary.unsolved_periods);
     registry.histogram("sim.run_ms").record(run_span.elapsed_ms());
   }
+  // GEOPLACE_TIMELINE=<path>: append this run's timeline as one columnar
+  // segment (no-op under the plain on/off form).
+  if (timeline_on) obs::TimelineWriter::local().flush();
   return summary;
 }
 

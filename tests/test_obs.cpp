@@ -6,6 +6,7 @@
 // error, and a disabled registry/tracer records nothing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include "obs/export.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "qp/admm_solver.hpp"
 #include "qp/problem.hpp"
@@ -221,6 +223,9 @@ TEST(RegistryTest, RowsAndJsonlExport) {
 }
 
 TEST(SpanTest, MeasuresTimeWithTracingDisabled) {
+  // Pin the flag: the suite may be running with GEOPLACE_TRACE armed (the
+  // CI obs-on job does), and this test is about the disabled path.
+  if (gp::obs::tracing_enabled()) gp::obs::stop_tracing();
   ASSERT_FALSE(gp::obs::tracing_enabled());
   const std::size_t before = Tracer::global().events().size();
   Span span("test.disabled");
@@ -481,6 +486,271 @@ TEST(SolveInfoTest, AdmmPopulatesFactorizationAndCacheFields) {
   EXPECT_EQ(third.info.cache_hits, 1);
   EXPECT_TRUE(third.info.factorization_skipped);
   EXPECT_EQ(third.info.factorizations, 0);
+}
+
+// ---------------------------------------------------- percentile property
+
+// The provable accuracy contract of Histogram::percentile at percentile p
+// over n samples: the estimate interpolates inside the bucket holding the
+// order statistic x_(ceil(max(1, p/100*n))), then clamps to the exact
+// observed [min, max]. So for an interior x_j the estimate lies within one
+// bucket ratio r = 10^(1/buckets_per_decade) of x_j; when x_j underflows
+// the estimate is capped by min_value, and when it overflows it is at
+// least max_value (each still clamped to the observed range).
+void expect_percentile_within_bucket_error(const Histogram& h,
+                                           const std::vector<double>& sorted, double p) {
+  ASSERT_FALSE(sorted.empty());
+  const HistogramOptions& options = h.options();
+  const double r = std::pow(10.0, 1.0 / options.buckets_per_decade);
+  const double n = static_cast<double>(sorted.size());
+  const double rank = std::max(1.0, p / 100.0 * n);
+  const std::size_t j =
+      std::min(sorted.size(), static_cast<std::size_t>(std::ceil(rank - 1e-9)));
+  const double xj = sorted[j - 1];
+  const double estimate = h.percentile(p);
+  const double exact = gp::percentile(sorted, p);
+
+  // Always inside the exact observed range (the clamp).
+  EXPECT_GE(estimate, sorted.front() - 1e-12) << "p" << p;
+  EXPECT_LE(estimate, sorted.back() + 1e-12) << "p" << p;
+
+  if (xj < options.min_value) {
+    // Underflow bucket [0, min_value): the estimate cannot exceed its edge.
+    EXPECT_LE(estimate, options.min_value * (1.0 + 1e-12)) << "p" << p;
+  } else if (xj >= options.max_value) {
+    // Overflow bucket [max_value, max]: the estimate starts at its edge.
+    EXPECT_GE(estimate, options.max_value * (1.0 - 1e-12)) << "p" << p;
+  } else {
+    EXPECT_GE(estimate, xj / r * (1.0 - 1e-9)) << "p" << p << " xj " << xj;
+    EXPECT_LE(estimate, xj * r * (1.0 + 1e-9)) << "p" << p << " xj " << xj;
+    // ... which also pins it within one bucket ratio of the interpolated
+    // exact percentile's bracketing order statistics.
+    EXPECT_GE(estimate, std::min(xj, exact) / r * (1.0 - 1e-9)) << "p" << p;
+    EXPECT_LE(estimate, std::max(xj, exact) * r * (1.0 + 1e-9)) << "p" << p;
+  }
+}
+
+constexpr double kPercentiles[] = {0.0, 1.0, 10.0, 25.0, 50.0,
+                                   75.0, 90.0, 95.0, 99.0, 99.9, 100.0};
+
+/// Deterministic LCG in [0, 1) (no global RNG state in tests).
+struct Lcg {
+  std::uint64_t state;
+  double next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;
+  }
+};
+
+TEST(Histogram, PropertyRandomSamplesStayWithinBucketError) {
+  // Log-uniform populations over several option shapes, including a coarse
+  // 4-buckets-per-decade layout (worst documented error ~78%) and a narrow
+  // [1, 10] range that pushes most samples into the underflow/overflow
+  // buckets.
+  const HistogramOptions shapes[] = {
+      {},                     // defaults: [1e-3, 1e7], 16 per decade
+      {1e-3, 1e7, 4},         // coarse buckets
+      {1.0, 10.0, 16},        // narrow range: heavy under/overflow
+  };
+  for (const auto& options : shapes) {
+    Histogram h(options);
+    Lcg rng{12345};
+    std::vector<double> sorted;
+    for (int i = 0; i < 2000; ++i) {
+      const double v = std::pow(10.0, rng.next() * 8.0 - 4.0);  // 1e-4 .. 1e4
+      h.record(v);
+      sorted.push_back(v);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : kPercentiles) expect_percentile_within_bucket_error(h, sorted, p);
+  }
+}
+
+TEST(Histogram, PropertySingleSampleIsExactAtEveryPercentile) {
+  // count == 1: every percentile clamps to the one observed value.
+  for (double v : {3.7, 1e-6, 0.0, -2.5, 1e9}) {
+    Histogram h;
+    h.record(v);
+    for (double p : kPercentiles) {
+      EXPECT_DOUBLE_EQ(h.percentile(p), v) << "p" << p << " v " << v;
+    }
+  }
+}
+
+TEST(Histogram, PropertyConstantSamplesAreExact) {
+  // All-equal samples: min == max, so the clamp makes every percentile
+  // exact regardless of which bucket the value hashed into.
+  Histogram h;
+  std::vector<double> sorted(100, 0.42);
+  for (double v : sorted) h.record(v);
+  for (double p : kPercentiles) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 0.42);
+    expect_percentile_within_bucket_error(h, sorted, p);
+  }
+}
+
+TEST(Histogram, PropertyUnderflowAndOverflowEdges) {
+  const HistogramOptions options{1.0, 100.0, 8};
+
+  // Entirely below min_value (zeros and negatives clamp there too): the
+  // estimate lives in [observed min, min_value].
+  Histogram low(options);
+  std::vector<double> low_sorted = {-3.0, 0.0, 0.01, 0.2, 0.5};
+  for (double v : low_sorted) low.record(v);
+  for (double p : kPercentiles) {
+    expect_percentile_within_bucket_error(low, low_sorted, p);
+    EXPECT_LE(low.percentile(p), options.min_value);
+    EXPECT_GE(low.percentile(p), -3.0);
+  }
+
+  // Entirely at/above max_value: the estimate lives in [max_value, max].
+  Histogram high(options);
+  std::vector<double> high_sorted = {100.0, 500.0, 1e4, 2e6};
+  for (double v : high_sorted) high.record(v);
+  for (double p : kPercentiles) {
+    expect_percentile_within_bucket_error(high, high_sorted, p);
+    EXPECT_GE(high.percentile(p), options.max_value);
+    EXPECT_LE(high.percentile(p), 2e6);
+  }
+
+  // A mixed population crossing both edges.
+  Histogram mixed(options);
+  Lcg rng{777};
+  std::vector<double> mixed_sorted;
+  for (int i = 0; i < 500; ++i) {
+    const double v = std::pow(10.0, rng.next() * 8.0 - 4.0);  // 1e-4 .. 1e4
+    mixed.record(v);
+    mixed_sorted.push_back(v);
+  }
+  std::sort(mixed_sorted.begin(), mixed_sorted.end());
+  for (double p : kPercentiles) {
+    expect_percentile_within_bucket_error(mixed, mixed_sorted, p);
+  }
+}
+
+TEST(Registry, HistogramSnapshotTracksExactPercentiles) {
+  // The registry path (named histogram + snapshot p50/p95/p99) obeys the
+  // same bound as a standalone Histogram.
+  auto& h = Registry::global().histogram("test.percentile_property");
+  h.reset();
+  Lcg rng{4242};
+  std::vector<double> sorted;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = std::pow(10.0, rng.next() * 6.0 - 3.0);  // 1e-3 .. 1e3
+    h.record(v);
+    sorted.push_back(v);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {50.0, 95.0, 99.0}) {
+    expect_percentile_within_bucket_error(h, sorted, p);
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_DOUBLE_EQ(snap.p50, h.percentile(50.0));
+  EXPECT_DOUBLE_EQ(snap.p95, h.percentile(95.0));
+  EXPECT_DOUBLE_EQ(snap.p99, h.percentile(99.0));
+  h.reset();
+}
+
+// ------------------------------------------------------------- timeline
+
+using gp::obs::TelemetryFrame;
+using gp::obs::TimelineWriter;
+
+TEST(TimelineWriter, RingWrapsAndGathersOldestFirst) {
+  TimelineWriter writer(4);
+  EXPECT_EQ(writer.capacity(), 4u);
+  for (int k = 0; k < 10; ++k) {
+    TelemetryFrame& frame = writer.begin(k, 0.5 * k);
+    frame.demand_total = 100.0 + k;
+    writer.commit();
+  }
+  EXPECT_EQ(writer.size(), 4u);
+  EXPECT_EQ(writer.total_committed(), 10);
+  const auto frames = writer.frames();
+  ASSERT_EQ(frames.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(frames[i].period, 6.0 + i);  // oldest retained first
+    EXPECT_DOUBLE_EQ(frames[i].utc_hour, 0.5 * (6 + i));
+    EXPECT_DOUBLE_EQ(frames[i].demand_total, 106.0 + i);
+  }
+  writer.clear();
+  EXPECT_EQ(writer.size(), 0u);
+  EXPECT_TRUE(writer.frames().empty());
+}
+
+TEST(TimelineWriter, BeginReplacesOpenFrameAndCommitCloses) {
+  TimelineWriter writer(8);
+  EXPECT_EQ(writer.current(), nullptr);
+  writer.begin(0, 0.0).cost_resource = 1.0;
+  writer.begin(1, 0.5).cost_resource = 2.0;  // discards the un-committed 0
+  ASSERT_NE(writer.current(), nullptr);
+  writer.commit();
+  EXPECT_EQ(writer.current(), nullptr);
+  writer.commit();  // no open frame: no-op
+  const auto frames = writer.frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_DOUBLE_EQ(frames[0].period, 1.0);
+  EXPECT_DOUBLE_EQ(frames[0].cost_resource, 2.0);
+}
+
+TEST(TimelineWriter, ColumnarJsonlExportIsSelfDescribing) {
+  TimelineWriter writer(8);
+  writer.begin(0, 0.0).cost_resource = 12.5;
+  writer.commit();
+  TelemetryFrame& second = writer.begin(1, 0.5);
+  second.cost_resource = 0.1;
+  second.mean_latency_ms = std::nan("");
+  writer.commit();
+
+  std::ostringstream out;
+  gp::obs::RunManifest manifest;
+  manifest.tool = "timeline";
+  manifest.git_sha = "deadbeef";
+  writer.write_jsonl(out, &manifest);
+
+  std::istringstream in(out.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  // manifest + segment header + one line per column.
+  ASSERT_EQ(lines.size(), 2 + gp::obs::timeline_num_columns());
+  EXPECT_NE(lines[0].find("\"type\":\"manifest\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"timeline\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"frames\":2"), std::string::npos);
+  for (const std::string& name : gp::obs::timeline_column_names()) {
+    EXPECT_NE(lines[1].find("\"" + name + "\""), std::string::npos) << name;
+  }
+  bool saw_cost = false, saw_latency = false;
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("\"type\":\"timeline_col\""), std::string::npos);
+    if (lines[i].find("\"name\":\"cost_resource\"") != std::string::npos) {
+      saw_cost = true;
+      EXPECT_NE(lines[i].find("[12.5,0.1]"), std::string::npos) << lines[i];
+    }
+    if (lines[i].find("\"name\":\"mean_latency_ms\"") != std::string::npos) {
+      saw_latency = true;
+      // Non-finite doubles are null (JSON has no NaN).
+      EXPECT_NE(lines[i].find("[0,null]"), std::string::npos) << lines[i];
+    }
+  }
+  EXPECT_TRUE(saw_cost);
+  EXPECT_TRUE(saw_latency);
+}
+
+TEST(TimelineWriter, DisabledTimelineContributesNothing) {
+  TimelineWriter::set_enabled(false);
+  EXPECT_EQ(gp::obs::timeline_frame(), nullptr);
+  TimelineWriter::set_enabled(true);
+  // Enabled but no open frame: contributors still get nullptr, not a stale
+  // frame.
+  TimelineWriter::local().clear();
+  EXPECT_EQ(gp::obs::timeline_frame(), nullptr);
+  TelemetryFrame& frame = TimelineWriter::local().begin(0, 0.0);
+  EXPECT_EQ(gp::obs::timeline_frame(), &frame);
+  TimelineWriter::local().commit();
+  EXPECT_EQ(gp::obs::timeline_frame(), nullptr);
+  TimelineWriter::set_enabled(false);
+  TimelineWriter::local().clear();
 }
 
 }  // namespace

@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "obs/manifest.hpp"
+#include "obs/timeline.hpp"
 #include "scenario/policy.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/sweep.hpp"
@@ -198,6 +201,110 @@ TEST(SimulationSummaryCsv, UnsolvedPeriodsWriteEmptyCellsNotNaN) {
   EXPECT_EQ(text.find("nan"), std::string::npos) << text;
   EXPECT_NE(text.find(",,"), std::string::npos) << text;  // the blanked cells
   EXPECT_NE(text.find(",0,"), std::string::npos);         // solved column "0"
+}
+
+TEST(SweepArtifactToken, SanitizesPathHostileNames) {
+  using scenario::sweep_artifact_token;
+  // Clean names pass through untouched (stable artifact names for the
+  // common case).
+  EXPECT_EQ(sweep_artifact_token("ablation_small-v1.2"),
+            sweep_artifact_token("ablation_small-v1.2"));
+  EXPECT_EQ(sweep_artifact_token("fig04"), "fig04");
+  // Hostile characters are replaced AND the token is disambiguated with a
+  // digest of the original, so distinct names can never collide.
+  const std::string slash = sweep_artifact_token("a/b");
+  const std::string underscore = sweep_artifact_token("a_b");
+  EXPECT_EQ(slash.find('/'), std::string::npos);
+  EXPECT_NE(slash, underscore);
+  EXPECT_NE(sweep_artifact_token("a/b"), sweep_artifact_token("a\\b"));
+  // Path tokens and empty names cannot escape or vanish.
+  EXPECT_NE(sweep_artifact_token("."), ".");
+  EXPECT_NE(sweep_artifact_token(".."), "..");
+  EXPECT_FALSE(sweep_artifact_token("").empty());
+  EXPECT_EQ(sweep_artifact_token("../../etc/passwd").find('/'), std::string::npos);
+}
+
+TEST(SweepRunner, TimelineSidecarsLandInsideTheDirectory) {
+  // A slash-containing scenario name must produce a sidecar INSIDE
+  // timelines_dir (regression: "exp/v2" once escaped into a subdirectory
+  // or collided with "exp_v2").
+  auto grid = small_grid();
+  grid.scenarios[0].name = "exp/v2";
+  grid.policies.resize(1);
+  grid.num_seeds = 2;
+
+  const auto dir = std::filesystem::temp_directory_path() / "gp_test_timelines";
+  std::filesystem::remove_all(dir);
+  scenario::SweepOptions options;
+  options.timelines_dir = dir.string();
+
+  obs::TimelineWriter::set_enabled(true);
+  const auto result = scenario::SweepRunner(grid, options).run();
+  obs::TimelineWriter::set_enabled(false);
+  obs::TimelineWriter::local().clear();
+
+  std::vector<std::string> sidecars;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_TRUE(entry.is_regular_file());
+    sidecars.push_back(entry.path().filename().string());
+  }
+  ASSERT_EQ(sidecars.size(), result.runs.size());
+  for (const auto& name : sidecars) {
+    EXPECT_TRUE(name.ends_with(".timeline.jsonl")) << name;
+    EXPECT_EQ(name.find('/'), std::string::npos) << name;
+  }
+  // Every run captured one frame per period, and the sidecar is
+  // manifest-headed columnar JSONL.
+  for (const auto& record : result.runs) {
+    EXPECT_EQ(record.timeline.size(), static_cast<std::size_t>(grid.scenarios[0].sim.periods));
+  }
+  std::ifstream in(dir / sidecars.front());
+  std::string first_line, second_line;
+  ASSERT_TRUE(std::getline(in, first_line));
+  ASSERT_TRUE(std::getline(in, second_line));
+  EXPECT_TRUE(obs::is_manifest_line(first_line)) << first_line;
+  EXPECT_NE(second_line.find("\"type\":\"timeline\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepRunner, TimelineRecordingKeepsExportsBitIdentical) {
+  // The perf_sweep transparency gate as a fast unit check: arming the
+  // timeline (without a sidecar dir) must not change a single digit of the
+  // sweep's exports.
+  const auto grid = small_grid();
+  const std::string off = obs::strip_manifest_lines(jsonl_at(grid, 2));
+  obs::TimelineWriter::set_enabled(true);
+  const std::string on = obs::strip_manifest_lines(jsonl_at(grid, 2));
+  obs::TimelineWriter::set_enabled(false);
+  obs::TimelineWriter::local().clear();
+  EXPECT_EQ(off, on);
+}
+
+TEST(SweepRunner, NoTimelineCaptureWhenDisabledOrNoDir) {
+  // Pin the flag: the suite may be running with GEOPLACE_TIMELINE armed
+  // (the CI obs-on job does), and this test is about the disabled path.
+  const bool was_enabled = obs::TimelineWriter::enabled();
+  obs::TimelineWriter::set_enabled(false);
+
+  // timelines_dir without the timeline armed: no capture, no directory.
+  auto grid = small_grid();
+  grid.policies.resize(1);
+  grid.num_seeds = 1;
+  const auto dir = std::filesystem::temp_directory_path() / "gp_test_timelines_off";
+  std::filesystem::remove_all(dir);
+  scenario::SweepOptions options;
+  options.timelines_dir = dir.string();
+  const auto result = scenario::SweepRunner(grid, options).run();
+  for (const auto& record : result.runs) EXPECT_TRUE(record.timeline.empty());
+  EXPECT_FALSE(std::filesystem::exists(dir));
+
+  // Timeline armed without a timelines_dir: runs stay lean (no per-record
+  // frame copies for a plain sweep).
+  obs::TimelineWriter::set_enabled(true);
+  const auto result2 = scenario::SweepRunner(grid, {}).run();
+  obs::TimelineWriter::set_enabled(was_enabled);
+  obs::TimelineWriter::local().clear();
+  for (const auto& record : result2.runs) EXPECT_TRUE(record.timeline.empty());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/timeline.hpp"
 #include "sim/engine.hpp"
 
 namespace gp::sim {
@@ -289,6 +290,68 @@ TEST(SimulationEngine, ValidatesConfiguration) {
   // Mismatched price model (wrong L).
   EXPECT_THROW(SimulationEngine(model, geo_demand(), geo_prices(2), config),
                PreconditionError);
+}
+
+TEST(SimulationEngine, TimelineMatchesPerPeriodSummary) {
+  // The acceptance check behind tools/gp_report: with the timeline armed,
+  // the recorded frames alone reproduce the engine's per-period cost
+  // trajectory (Fig. 4's raw material) exactly — same doubles, no re-run.
+  dspp::DsppModel model = geo_model();
+  model.sla.reservation_ratio = 1.3;
+  SimulationConfig config;
+  config.periods = 24;
+  auto controller = make_mpc(model);
+  SimulationEngine engine(model, geo_demand(), geo_prices(), config);
+
+  obs::TimelineWriter::set_enabled(true);
+  const SimulationSummary summary = engine.run(policy_from(controller));
+  obs::TimelineWriter::set_enabled(false);
+
+  const auto frames = obs::TimelineWriter::local().frames();
+  ASSERT_EQ(frames.size(), summary.periods.size());
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    const PeriodMetrics& period = summary.periods[k];
+    EXPECT_DOUBLE_EQ(frames[k].period, static_cast<double>(k));
+    EXPECT_EQ(frames[k].utc_hour, period.utc_hour);
+    EXPECT_EQ(frames[k].demand_total, period.total_demand);
+    EXPECT_EQ(frames[k].servers_total, period.total_servers);
+    EXPECT_EQ(frames[k].cost_resource, period.resource_cost);
+    EXPECT_EQ(frames[k].cost_reconfig, period.reconfig_cost);
+    EXPECT_EQ(frames[k].sla_compliance, period.sla_compliance);
+    EXPECT_EQ(frames[k].mean_latency_ms, period.mean_latency_ms);
+    EXPECT_EQ(frames[k].unserved_rate, period.unserved_rate);
+    EXPECT_EQ(frames[k].solved, period.solved ? 1.0 : 0.0);
+    // The MPC step runs at least one ADMM solve per period.
+    EXPECT_GE(frames[k].solver_iterations, 1.0);
+    EXPECT_GT(frames[k].policy_ms, 0.0);
+    EXPECT_GT(frames[k].period_ms, 0.0);
+  }
+  // Forecast error: -1 sentinel before the first forecast, an actual
+  // relative error afterwards (the persistence predictor lags the ramps).
+  EXPECT_EQ(frames[0].forecast_rel_err, -1.0);
+  EXPECT_GE(frames[1].forecast_rel_err, 0.0);
+
+  // A second run clears the thread ring: frames never accumulate across
+  // runs (the sweep relies on this to snapshot per-run sidecars).
+  auto controller2 = make_mpc(model);
+  SimulationEngine engine2(model, geo_demand(), geo_prices(), config);
+  obs::TimelineWriter::set_enabled(true);
+  engine2.run(policy_from(controller2));
+  obs::TimelineWriter::set_enabled(false);
+  EXPECT_EQ(obs::TimelineWriter::local().frames().size(), summary.periods.size());
+  obs::TimelineWriter::local().clear();
+}
+
+TEST(SimulationEngine, DisabledTimelineRecordsNoFrames) {
+  obs::TimelineWriter::local().clear();
+  dspp::DsppModel model = geo_model();
+  SimulationConfig config;
+  config.periods = 6;
+  auto controller = make_mpc(model);
+  SimulationEngine engine(model, geo_demand(), geo_prices(), config);
+  obs::TimelineWriter::set_enabled(false);
+  engine.run(policy_from(controller));
+  EXPECT_EQ(obs::TimelineWriter::local().size(), 0u);
 }
 
 }  // namespace

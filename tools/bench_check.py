@@ -6,6 +6,8 @@ Usage:
                    [--threshold 0.15]
     bench_check.py --internal FILE.json [FILE2.json ...]
     bench_check.py --bandwidth-floor GB_S FILE.json [FILE2.json ...]
+    bench_check.py --append-history FILE.json [FILE2.json ...]
+                   [--history-dir DIR] [--threshold 0.15]
     bench_check.py --self-test
 
 Files are consumed in (baseline, candidate) pairs, so one invocation can
@@ -29,6 +31,15 @@ floor (0.0 = not gated on this box), the checker enforces it anywhere.
 absolute floor in GB/s (e.g. `--bandwidth-floor 5.0 BENCH_admm.json` fails
 if any measured bandwidth fell below 5 GB/s). Use it on a box whose memory
 system is known; the relative pair/internal modes stay machine-portable.
+
+--append-history accumulates a perf trajectory: for each BENCH_X.json it
+appends one JSONL line — the file's manifest (provenance: git sha, build,
+host, ...) plus the bench tree itself — to BENCH_X_history.jsonl next to
+the bench (or under --history-dir). Before appending, the new results are
+gated against the MOST RECENT history line with the ordinary pair rules
+(--threshold/--floor-ms); a regression exits 1 and does NOT append, so a
+red run can never poison the trajectory baseline. The first entry seeds
+the history and always passes.
 
 Times below --floor-ms (default 5 ms) are skipped: at that scale the
 scheduler jitter exceeds any real regression.
@@ -222,6 +233,68 @@ def run_check(baseline, candidate, threshold, floor_ms, label=""):
     return 0
 
 
+def last_history_entry(history_path):
+    """Returns the most recent parseable entry of a history JSONL file, or
+    None when the file is absent/empty. Corrupt lines are skipped with a
+    warning — a truncated tail (e.g. a killed CI run) must not wedge the
+    trajectory forever."""
+    if not os.path.exists(history_path):
+        return None
+    entry = None
+    with open(history_path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                print(f"bench_check: {history_path}:{lineno}: skipping "
+                      f"corrupt history line", file=sys.stderr)
+    return entry
+
+
+def append_history(paths, threshold, floor_ms, history_dir=None):
+    """Gates each bench file against the tail of its history and, when
+    clean, appends it as a new manifest-headed JSONL line. Worst exit code
+    wins; a regressed bench is reported and NOT appended."""
+    worst = 0
+    for path in paths:
+        try:
+            with open(path) as f:
+                tree = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_check: {err}", file=sys.stderr)
+            return 2
+        label = f" [{os.path.basename(path)}]"
+        manifest = tree.get("manifest") if isinstance(tree, dict) else None
+        bench = strip_manifest(tree, label)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        directory = history_dir or os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        history_path = os.path.join(directory, stem + "_history.jsonl")
+
+        prior = last_history_entry(history_path)
+        code = 0
+        if prior is None:
+            print(f"bench_check{label}: no prior history, seeding "
+                  f"{history_path}")
+        else:
+            code = run_check(prior.get("bench", {}), bench, threshold,
+                             floor_ms, label + " vs history")
+        if code != 0:
+            print(f"bench_check{label}: regression vs history tail, "
+                  f"NOT appended to {history_path}", file=sys.stderr)
+            worst = max(worst, code)
+            continue
+        entry = {"manifest": manifest, "bench": bench}
+        with open(history_path, "a") as f:
+            f.write(json.dumps(entry, sort_keys=True,
+                               separators=(",", ":")) + "\n")
+        print(f"bench_check{label}: appended to {history_path}")
+    return worst
+
+
 def run_file_pairs(paths, threshold, floor_ms):
     """Checks each (baseline, candidate) file pair; worst exit code wins."""
     worst = 0
@@ -381,6 +454,44 @@ def self_test():
         expect(run_bandwidth_floor_files([os.path.join(tmp, "missing.json")],
                                          5.0), 2,
                "--bandwidth-floor on an unreadable file is a usage error")
+
+        # --append-history: seed, accumulate, and refuse to append a
+        # regression (so the trajectory baseline cannot be poisoned).
+        hist_dir = os.path.join(tmp, "history")
+        bench_file = dump("BENCH_fake.json", with_manifest)
+        expect(append_history([bench_file], 0.15, 5.0, hist_dir), 0,
+               "the first history entry seeds and passes")
+        expect(append_history([bench_file], 0.15, 5.0, hist_dir), 0,
+               "an identical re-run passes against the history tail")
+        hist_path = os.path.join(hist_dir, "BENCH_fake_history.jsonl")
+        with open(hist_path) as f:
+            lines = [json.loads(line) for line in f if line.strip()]
+        expect(len(lines), 2, "two clean runs produce two history lines")
+        if len(lines) == 2:
+            expect(0 if lines[0]["manifest"].get("tool") == "bench" else 1, 0,
+                   "history lines carry the bench manifest inline")
+            expect(0 if "manifest" not in lines[0]["bench"] else 1, 0,
+                   "the gated bench subtree excludes the manifest")
+        regressed_file = dump("BENCH_fake2.json", regressed)
+        os.replace(regressed_file, os.path.join(tmp, "BENCH_fake.json"))
+        expect(append_history([os.path.join(tmp, "BENCH_fake.json")],
+                              0.15, 5.0, hist_dir), 1,
+               "a regressed bench fails the history gate")
+        with open(hist_path) as f:
+            kept = [line for line in f if line.strip()]
+        expect(len(kept), 2, "a regressed bench is not appended")
+        expect(append_history([os.path.join(tmp, "missing.json")],
+                              0.15, 5.0, hist_dir), 2,
+               "--append-history on an unreadable file is a usage error")
+        # A corrupt tail line is skipped: gating falls back to the last
+        # parseable entry instead of wedging.
+        with open(hist_path, "a") as f:
+            f.write("{truncated\n")
+        good_again = dump("BENCH_fake3.json", with_manifest)
+        os.replace(good_again, os.path.join(tmp, "BENCH_fake.json"))
+        expect(append_history([os.path.join(tmp, "BENCH_fake.json")],
+                              0.15, 5.0, hist_dir), 0,
+               "a corrupt history tail is skipped, not fatal")
     if failures == 0:
         print("bench_check self-test OK")
     return 0 if failures == 0 else 1
@@ -401,14 +512,27 @@ def main():
     parser.add_argument("--bandwidth-floor", type=float, metavar="GB_S",
                         help="gate every *gb_s leaf in the given files "
                              "against this absolute floor in GB/s")
+    parser.add_argument("--append-history", action="store_true",
+                        help="gate each file against its BENCH_*_history.jsonl "
+                             "tail and append it as a new entry when clean")
+    parser.add_argument("--history-dir", metavar="DIR",
+                        help="directory for history files (default: next to "
+                             "each bench file)")
     parser.add_argument("--self-test", action="store_true",
                         help="run built-in fixtures instead of reading files")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test()
-    if args.internal and args.bandwidth_floor is not None:
-        parser.error("--internal and --bandwidth-floor are separate modes")
+    if sum([args.internal, args.bandwidth_floor is not None,
+            args.append_history]) > 1:
+        parser.error("--internal, --bandwidth-floor and --append-history are "
+                     "separate modes")
+    if args.append_history:
+        if not args.files:
+            parser.error("--append-history requires at least one file")
+        return append_history(args.files, args.threshold, args.floor_ms,
+                              args.history_dir)
     if args.internal:
         if not args.files:
             parser.error("--internal requires at least one file")

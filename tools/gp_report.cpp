@@ -1,0 +1,469 @@
+// gp_report: render a per-period telemetry timeline (GEOPLACE_TIMELINE,
+// obs/timeline.hpp) — or a whole sweep's timeline sidecar directory — into
+// per-period tables and anomaly summaries.
+//
+// Input is the columnar JSONL the TimelineWriter emits: an optional
+// {"type":"manifest",...} head, a {"type":"timeline",...} segment header,
+// then one {"type":"timeline_col","name":...,"values":[...]} line per
+// column. A file may hold several segments (one per engine run when
+// GEOPLACE_TIMELINE=<path> appends).
+//
+// Anomaly detectors, per segment:
+//   - cost spikes: total period cost above kSpikeFactor x the trailing
+//     rolling median (window kSpikeWindow, needs >= kSpikeMinHistory
+//     history) — the "why did period 37 spike" question answered offline;
+//   - unsolved streaks: maximal runs of solved == 0;
+//   - forecast-error regressions: the second half's mean one-step demand
+//     forecast error at least kForecastRegressionFactor x the first
+//     half's (and above an absolute floor), plus per-period outliers
+//     above 3 x the median error.
+//
+// Usage:
+//   gp_report <timeline.jsonl | sweep-timelines-dir> [more...]
+//   gp_report --self-test
+//
+// A file argument prints full per-period tables; a directory argument
+// scans its *.timeline.jsonl sidecars and prints one summary line per run
+// plus aggregate anomaly counts.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/timeline.hpp"
+
+namespace {
+
+constexpr double kSpikeFactor = 2.0;
+constexpr std::size_t kSpikeWindow = 9;
+constexpr std::size_t kSpikeMinHistory = 4;
+constexpr double kForecastRegressionFactor = 2.0;
+constexpr double kForecastFloor = 0.02;
+
+/// Extracts the value following `"key":` in a single-line JSON object
+/// (same tolerant scanner as trace_report; both writers emit one object
+/// per line with no whitespace around the colon).
+std::optional<std::string> raw_value(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t pos = at + needle.size();
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  if (pos >= line.size()) return std::nullopt;
+  if (line[pos] == '"') {
+    std::string out;
+    for (++pos; pos < line.size() && line[pos] != '"'; ++pos) {
+      if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+      out.push_back(line[pos]);
+    }
+    return out;
+  }
+  std::size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' && line[end] != ']') ++end;
+  return line.substr(pos, end - pos);
+}
+
+/// Parses the `"values":[...]` array of a timeline_col line; "null" (the
+/// non-finite encoding) becomes NaN.
+std::vector<double> parse_values(const std::string& line) {
+  std::vector<double> out;
+  const std::string needle = "\"values\":[";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return out;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] != ']') {
+    if (line[pos] == ',' || line[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    if (line.compare(pos, 4, "null") == 0) {
+      out.push_back(std::nan(""));
+      pos += 4;
+      continue;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + pos, &end);
+    if (end == line.c_str() + pos) break;  // malformed token: stop the array
+    out.push_back(value);
+    pos = static_cast<std::size_t>(end - line.c_str());
+  }
+  return out;
+}
+
+/// One parsed timeline segment: column name -> values.
+struct Segment {
+  std::size_t frames = 0;
+  std::map<std::string, std::vector<double>> columns;
+
+  const std::vector<double>* column(const std::string& name) const {
+    const auto it = columns.find(name);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+  double at(const std::string& name, std::size_t i, double fallback = 0.0) const {
+    const auto* values = column(name);
+    return values != nullptr && i < values->size() ? (*values)[i] : fallback;
+  }
+};
+
+struct ParsedFile {
+  std::vector<Segment> segments;
+  std::string manifest_tool;  ///< provenance of the first manifest line
+  std::string manifest_git;
+  std::size_t lines = 0;
+};
+
+ParsedFile parse(std::istream& in) {
+  ParsedFile file;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++file.lines;
+    const auto type = raw_value(line, "type");
+    if (!type) continue;
+    if (*type == "manifest") {
+      if (file.manifest_tool.empty()) {
+        file.manifest_tool = raw_value(line, "tool").value_or("");
+        file.manifest_git = raw_value(line, "git_sha").value_or("");
+      }
+    } else if (*type == "timeline") {
+      Segment segment;
+      if (const auto frames = raw_value(line, "frames")) {
+        segment.frames = static_cast<std::size_t>(std::strtoull(frames->c_str(), nullptr, 10));
+      }
+      file.segments.push_back(std::move(segment));
+    } else if (*type == "timeline_col") {
+      if (file.segments.empty()) file.segments.emplace_back();  // headerless: tolerate
+      const auto name = raw_value(line, "name");
+      if (!name) continue;
+      file.segments.back().columns[*name] = parse_values(line);
+    }
+  }
+  return file;
+}
+
+/// Per-period total cost: resource + reconfiguration + planned SLA penalty
+/// (NaN components contribute 0 — unsolved periods stay comparable).
+std::vector<double> total_cost_of(const Segment& segment) {
+  std::vector<double> total(segment.frames, 0.0);
+  for (const char* name : {"cost_resource", "cost_reconfig", "cost_sla_penalty"}) {
+    const auto* values = segment.column(name);
+    if (values == nullptr) continue;
+    for (std::size_t i = 0; i < total.size() && i < values->size(); ++i) {
+      if (std::isfinite((*values)[i])) total[i] += (*values)[i];
+    }
+  }
+  return total;
+}
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2] : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+struct Anomalies {
+  std::vector<std::size_t> cost_spikes;            ///< period indices
+  std::vector<std::pair<std::size_t, std::size_t>> unsolved_streaks;  ///< (start, len)
+  std::vector<std::size_t> forecast_outliers;      ///< period indices
+  bool forecast_regressed = false;
+  double forecast_first_half = 0.0;
+  double forecast_second_half = 0.0;
+
+  std::size_t count() const {
+    return cost_spikes.size() + unsolved_streaks.size() + forecast_outliers.size() +
+           (forecast_regressed ? 1 : 0);
+  }
+};
+
+Anomalies detect(const Segment& segment) {
+  Anomalies found;
+  const std::vector<double> total = total_cost_of(segment);
+
+  // Cost spikes vs the trailing rolling median.
+  for (std::size_t k = kSpikeMinHistory; k < total.size(); ++k) {
+    const std::size_t begin = k > kSpikeWindow ? k - kSpikeWindow : 0;
+    const double median =
+        median_of(std::vector<double>(total.begin() + static_cast<std::ptrdiff_t>(begin),
+                                      total.begin() + static_cast<std::ptrdiff_t>(k)));
+    if (median > 0.0 && total[k] > kSpikeFactor * median) found.cost_spikes.push_back(k);
+  }
+
+  // Unsolved streaks.
+  if (const auto* solved = segment.column("solved")) {
+    std::size_t start = 0, length = 0;
+    for (std::size_t k = 0; k <= solved->size(); ++k) {
+      const bool unsolved = k < solved->size() && (*solved)[k] == 0.0;
+      if (unsolved) {
+        if (length == 0) start = k;
+        ++length;
+      } else if (length > 0) {
+        found.unsolved_streaks.emplace_back(start, length);
+        length = 0;
+      }
+    }
+  }
+
+  // Forecast-error trend and outliers (err < 0 means "no forecast").
+  if (const auto* errs = segment.column("forecast_rel_err")) {
+    std::vector<double> valid;
+    for (double e : *errs) {
+      if (std::isfinite(e) && e >= 0.0) valid.push_back(e);
+    }
+    if (valid.size() >= 8) {
+      const std::size_t half = valid.size() / 2;
+      double first = 0.0, second = 0.0;
+      for (std::size_t i = 0; i < half; ++i) first += valid[i];
+      for (std::size_t i = half; i < valid.size(); ++i) second += valid[i];
+      first /= static_cast<double>(half);
+      second /= static_cast<double>(valid.size() - half);
+      found.forecast_first_half = first;
+      found.forecast_second_half = second;
+      found.forecast_regressed =
+          second > kForecastFloor && second > kForecastRegressionFactor * first;
+    }
+    const double median = median_of(valid);
+    if (median > 0.0) {
+      for (std::size_t k = 0; k < errs->size(); ++k) {
+        if (std::isfinite((*errs)[k]) && (*errs)[k] > 3.0 * median) {
+          found.forecast_outliers.push_back(k);
+        }
+      }
+    }
+  }
+  return found;
+}
+
+std::string join_indices(const std::vector<std::size_t>& indices, std::size_t limit = 12) {
+  std::string out;
+  for (std::size_t i = 0; i < indices.size() && i < limit; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(indices[i]);
+  }
+  if (indices.size() > limit) out += ",...";
+  return out.empty() ? "-" : out;
+}
+
+void print_anomalies(const Anomalies& found) {
+  std::printf("# anomalies: %zu\n", found.count());
+  if (!found.cost_spikes.empty()) {
+    std::printf("#   cost spikes (> %.1fx rolling median): periods %s\n", kSpikeFactor,
+                join_indices(found.cost_spikes).c_str());
+  }
+  for (const auto& [start, length] : found.unsolved_streaks) {
+    std::printf("#   unsolved streak: period %zu, length %zu\n", start, length);
+  }
+  if (found.forecast_regressed) {
+    std::printf("#   forecast error regressed: mean %.4f -> %.4f (first/second half)\n",
+                found.forecast_first_half, found.forecast_second_half);
+  }
+  if (!found.forecast_outliers.empty()) {
+    std::printf("#   forecast outliers (> 3x median err): periods %s\n",
+                join_indices(found.forecast_outliers).c_str());
+  }
+}
+
+void print_table(const Segment& segment) {
+  const std::vector<double> total = total_cost_of(segment);
+  std::printf("%6s %10s %10s %10s %10s %6s %8s %6s %9s %9s %6s\n", "period", "demand",
+              "servers", "cost_res", "cost_total", "sla", "fc_err", "iters", "prim_res",
+              "policy_ms", "solved");
+  for (std::size_t k = 0; k < segment.frames; ++k) {
+    std::printf("%6.0f %10.2f %10.2f %10.2f %10.2f %6.3f %8.4f %6.0f %9.2e %9.3f %6.0f\n",
+                segment.at("period", k), segment.at("demand_total", k),
+                segment.at("servers_total", k), segment.at("cost_resource", k),
+                k < total.size() ? total[k] : 0.0, segment.at("sla_compliance", k),
+                segment.at("forecast_rel_err", k), segment.at("solver_iterations", k),
+                segment.at("solver_primal_residual", k), segment.at("policy_ms", k),
+                segment.at("solved", k));
+  }
+  double cost = 0.0;
+  for (double c : total) cost += c;
+  std::printf("# %zu periods, total cost %.2f\n", segment.frames, cost);
+  print_anomalies(detect(segment));
+}
+
+/// Compact one-line view of a sidecar (directory mode).
+void print_summary_line(const std::string& name, const ParsedFile& file) {
+  for (const Segment& segment : file.segments) {
+    const std::vector<double> total = total_cost_of(segment);
+    double cost = 0.0;
+    for (double c : total) cost += c;
+    std::size_t unsolved = 0;
+    if (const auto* solved = segment.column("solved")) {
+      for (double s : *solved) unsolved += s == 0.0 ? 1 : 0;
+    }
+    const Anomalies found = detect(segment);
+    std::printf("%-56s %4zu periods  cost %12.2f  unsolved %3zu  anomalies %2zu\n",
+                name.c_str(), segment.frames, cost, unsolved, found.count());
+  }
+}
+
+int report_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "gp_report: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  const ParsedFile file = parse(in);
+  if (file.segments.empty()) {
+    std::fprintf(stderr,
+                 "gp_report: no timeline segments in %s (is GEOPLACE_TIMELINE set when "
+                 "running the workload?)\n",
+                 path.c_str());
+    return 1;
+  }
+  for (std::size_t s = 0; s < file.segments.size(); ++s) {
+    std::printf("== %s segment %zu\n", path.c_str(), s);
+    print_table(file.segments[s]);
+  }
+  if (!file.manifest_tool.empty()) {
+    std::printf("# recorded by %s at git %s\n", file.manifest_tool.c_str(),
+                file.manifest_git.c_str());
+  }
+  return 0;
+}
+
+int report_directory(const std::string& dir) {
+  std::vector<std::filesystem::path> sidecars;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() &&
+        entry.path().filename().string().ends_with(".timeline.jsonl")) {
+      sidecars.push_back(entry.path());
+    }
+  }
+  std::sort(sidecars.begin(), sidecars.end());
+  if (sidecars.empty()) {
+    std::fprintf(stderr, "gp_report: no *.timeline.jsonl sidecars in %s\n", dir.c_str());
+    return 1;
+  }
+  std::size_t anomalies = 0;
+  for (const auto& path : sidecars) {
+    std::ifstream in(path);
+    if (!in) continue;
+    const ParsedFile file = parse(in);
+    print_summary_line(path.filename().string(), file);
+    for (const Segment& segment : file.segments) anomalies += detect(segment).count();
+  }
+  std::printf("# %zu sidecars, %zu anomalies total\n", sidecars.size(), anomalies);
+  return 0;
+}
+
+/// Round-trips synthetic frames through write_timeline_jsonl and the
+/// parser, and checks every anomaly detector against planted defects.
+int self_test() {
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "self-test FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  // 48 synthetic periods: steady cost 100 with a 5x spike at period 20, an
+  // unsolved streak at 30..32, and a forecast error that doubles in the
+  // second half (0.01 -> 0.08).
+  std::vector<gp::obs::TelemetryFrame> frames(48);
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    auto& f = frames[k];
+    f.period = static_cast<double>(k);
+    f.utc_hour = 0.5 * static_cast<double>(k);
+    f.demand_total = 1000.0 + static_cast<double>(k);
+    f.cost_resource = k == 20 ? 500.0 : 100.0;
+    f.cost_reconfig = 1.25;
+    f.solved = (k >= 30 && k <= 32) ? 0.0 : 1.0;
+    f.forecast_rel_err = k == 0 ? -1.0 : (k < 24 ? 0.01 : 0.08);
+    f.solver_iterations = 25.0;
+    f.solver_primal_residual = 1e-4;
+    f.sla_compliance = 0.999;
+  }
+  frames[5].mean_latency_ms = std::nan("");  // non-finite -> null round-trip
+
+  gp::obs::RunManifest manifest;
+  manifest.tool = "timeline";
+  manifest.git_sha = "abc123def456";
+  std::ostringstream out;
+  gp::obs::write_timeline_jsonl(out, frames, &manifest);
+
+  std::istringstream in(out.str());
+  const ParsedFile file = parse(in);
+  expect(file.segments.size() == 1, "one segment parsed");
+  expect(file.manifest_tool == "timeline" && file.manifest_git == "abc123def456",
+         "manifest provenance extracted");
+  if (file.segments.empty()) return 1;
+  const Segment& segment = file.segments[0];
+  expect(segment.frames == frames.size(), "frame count round-trips");
+  expect(segment.columns.size() == gp::obs::timeline_num_columns(),
+         "every column present");
+  for (const std::string& name : gp::obs::timeline_column_names()) {
+    const auto* values = segment.column(name);
+    expect(values != nullptr && values->size() == frames.size(), "column sized to frames");
+  }
+  expect(segment.at("cost_resource", 20) == 500.0, "spike value round-trips exactly");
+  expect(segment.at("forecast_rel_err", 0) == -1.0, "sentinel round-trips exactly");
+  expect(segment.at("demand_total", 47) == 1047.0, "demand round-trips exactly");
+  expect(std::isnan(segment.at("mean_latency_ms", 5)), "null parses as NaN");
+
+  const Anomalies found = detect(segment);
+  expect(found.cost_spikes.size() == 1 && found.cost_spikes[0] == 20,
+         "the planted cost spike (and only it) is detected");
+  expect(found.unsolved_streaks.size() == 1 && found.unsolved_streaks[0].first == 30 &&
+             found.unsolved_streaks[0].second == 3,
+         "the planted unsolved streak is detected");
+  expect(found.forecast_regressed, "the planted forecast regression is detected");
+
+  // A clean constant-cost timeline must report no anomalies.
+  std::vector<gp::obs::TelemetryFrame> clean(24);
+  for (std::size_t k = 0; k < clean.size(); ++k) {
+    clean[k].period = static_cast<double>(k);
+    clean[k].cost_resource = 100.0;
+    clean[k].solved = 1.0;
+    clean[k].forecast_rel_err = 0.01;
+  }
+  std::ostringstream clean_out;
+  gp::obs::write_timeline_jsonl(clean_out, clean);
+  std::istringstream clean_in(clean_out.str());
+  const ParsedFile clean_file = parse(clean_in);
+  expect(clean_file.segments.size() == 1 && detect(clean_file.segments[0]).count() == 0,
+         "a clean timeline reports no anomalies");
+
+  // Two appended segments (the GEOPLACE_TIMELINE=<path> shape) stay separate.
+  std::ostringstream multi;
+  gp::obs::write_timeline_jsonl(multi, clean, &manifest);
+  gp::obs::write_timeline_jsonl(multi, frames);
+  std::istringstream multi_in(multi.str());
+  const ParsedFile multi_file = parse(multi_in);
+  expect(multi_file.segments.size() == 2 && multi_file.segments[0].frames == 24 &&
+             multi_file.segments[1].frames == 48,
+         "appended segments parse separately");
+
+  if (failures == 0) std::printf("gp_report self-test OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--self-test") == 0) return self_test();
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: gp_report <timeline.jsonl | sweep-timelines-dir> [more...]\n"
+                 "       gp_report --self-test\n");
+    return 2;
+  }
+  int worst = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::error_code ec;
+    const bool is_dir = std::filesystem::is_directory(argv[i], ec);
+    worst = std::max(worst, is_dir ? report_directory(argv[i]) : report_file(argv[i]));
+  }
+  return worst;
+}

@@ -8,8 +8,13 @@
 // estimate).
 //
 // Usage:
-//   trace_report <trace-file> [<trace-file>...]
+//   trace_report [--csv] <trace-file> [<trace-file>...]
 //   trace_report --self-test
+//
+// --csv writes the same table as machine-readable CSV on stdout (header
+// `span,module,count,total_ms,mean_ms,p50_ms,p95_ms,p99_ms`, rows in the
+// same sorted-by-name order, %.10g numbers that round-trip through
+// strtod), for spreadsheet import or diffing two runs' span profiles.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -159,6 +164,26 @@ void print_table(const Report& report) {
   }
 }
 
+/// The table as CSV: fixed column order, one row per span group in the
+/// same sorted-by-name iteration order as the human table. Span names come
+/// from Span string literals (no commas/quotes in practice), so no quoting
+/// is needed; %.10g keeps every double exact through a strtod round-trip
+/// at these magnitudes.
+void print_csv(const Report& report, std::ostream& out) {
+  out << "span,module,count,total_ms,mean_ms,p50_ms,p95_ms,p99_ms\n";
+  char buffer[256];
+  for (const auto& [name, group] : report.by_name) {
+    std::vector<double> sorted = group.durations_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double count = static_cast<double>(sorted.size());
+    std::snprintf(buffer, sizeof(buffer), "%s,%s,%zu,%.10g,%.10g,%.10g,%.10g,%.10g\n",
+                  name.c_str(), module_of(name).c_str(), sorted.size(), group.total_ms,
+                  group.total_ms / count, gp::percentile(sorted, 50.0),
+                  gp::percentile(sorted, 95.0), gp::percentile(sorted, 99.0));
+    out << buffer;
+  }
+}
+
 /// Feeds synthetic lines of both formats through the parser and checks the
 /// resulting counts/percentiles against hand-computed values.
 int self_test() {
@@ -223,6 +248,43 @@ int self_test() {
   expect(mpc.durations_ms.size() == 2, "mpc.step count == 2");
   expect(gp::approx_equal(mpc.total_ms, 10.0, 1e-12, 1e-9), "mpc.step total == 10 ms");
 
+  // CSV round-trip: the emitted rows must parse back to the exact values
+  // the table was computed from, in the same order.
+  std::ostringstream csv;
+  print_csv(report, csv);
+  std::istringstream csv_in(csv.str());
+  std::string line;
+  expect(std::getline(csv_in, line) &&
+             line == "span,module,count,total_ms,mean_ms,p50_ms,p95_ms,p99_ms",
+         "CSV header is the documented column order");
+  std::size_t rows = 0;
+  while (std::getline(csv_in, line)) {
+    ++rows;
+    std::vector<std::string> cells;
+    std::stringstream cell_stream(line);
+    std::string cell;
+    while (std::getline(cell_stream, cell, ',')) cells.push_back(cell);
+    expect(cells.size() == 8, "CSV row has 8 cells");
+    if (cells.size() != 8) continue;
+    const auto& group = report.by_name.at(cells[0]);
+    expect(cells[1] == module_of(cells[0]), "CSV module column matches span name");
+    expect(std::strtod(cells[2].c_str(), nullptr) ==
+               static_cast<double>(group.durations_ms.size()),
+           "CSV count round-trips");
+    expect(gp::approx_equal(std::strtod(cells[3].c_str(), nullptr), group.total_ms,
+                            1e-9, 1e-12),
+           "CSV total_ms round-trips");
+    std::vector<double> row_sorted = group.durations_ms;
+    std::sort(row_sorted.begin(), row_sorted.end());
+    expect(gp::approx_equal(std::strtod(cells[5].c_str(), nullptr),
+                            gp::percentile(row_sorted, 50.0), 1e-9, 1e-12),
+           "CSV p50_ms round-trips");
+    expect(gp::approx_equal(std::strtod(cells[7].c_str(), nullptr),
+                            gp::percentile(row_sorted, 99.0), 1e-9, 1e-12),
+           "CSV p99_ms round-trips");
+  }
+  expect(rows == report.by_name.size(), "CSV has one row per span group");
+
   if (failures == 0) std::printf("trace_report self-test OK\n");
   return failures == 0 ? 0 : 1;
 }
@@ -231,13 +293,19 @@ int self_test() {
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--self-test") == 0) return self_test();
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: trace_report <trace-file> [<trace-file>...]\n"
+  bool csv = false;
+  int first_file = 1;
+  if (argc >= 2 && std::strcmp(argv[1], "--csv") == 0) {
+    csv = true;
+    first_file = 2;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr, "usage: trace_report [--csv] <trace-file> [<trace-file>...]\n"
                          "       trace_report --self-test\n");
     return 2;
   }
   Report report;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_file; i < argc; ++i) {
     std::ifstream in(argv[i]);
     if (!in) {
       std::fprintf(stderr, "trace_report: cannot open %s\n", argv[i]);
@@ -250,6 +318,12 @@ int main(int argc, char** argv) {
                          "when running the workload?)\n");
     return 1;
   }
-  print_table(report);
+  if (csv) {
+    std::ostringstream out;
+    print_csv(report, out);
+    std::fputs(out.str().c_str(), stdout);
+  } else {
+    print_table(report);
+  }
   return 0;
 }
